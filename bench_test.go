@@ -1,0 +1,191 @@
+package torusnet
+
+import (
+	"testing"
+
+	"torusnet/internal/sweep"
+)
+
+// benchExperiment runs one registered experiment per iteration at Quick
+// scale; `go test -bench=E<k>` regenerates experiment E<k>'s rows (the
+// full-scale tables live in results/ via cmd/experiments).
+func benchExperiment(b *testing.B, id string) {
+	e, ok := sweep.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := e.Run(sweep.Quick)
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1BlaumBound(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2FullTorus(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3SweepSeparator(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4DimCut(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5ImprovedBound(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6ODRExact(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7MultiODR(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8UDR(b *testing.B)             { benchExperiment(b, "E8") }
+func BenchmarkE9MultiUDR(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10Figure1(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11Faults(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12SimNet(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13Optimality(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14SlabCount(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15RoutingMatrix(b *testing.B)  { benchExperiment(b, "E15") }
+func BenchmarkE16TieBreaking(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17Uniformity(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18Coefficients(b *testing.B)   { benchExperiment(b, "E18") }
+func BenchmarkE19FlowControl(b *testing.B)    { benchExperiment(b, "E19") }
+
+// Micro-benchmarks of the hot engines, for performance tracking.
+
+func BenchmarkLoadComputeODR(b *testing.B) {
+	t := NewTorus(8, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ComputeLoad(p, ODR{}, LoadOptions{})
+		if res.Max <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkLoadComputeODRSerial(b *testing.B) {
+	t := NewTorus(8, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, ODR{}, LoadOptions{Workers: 1})
+	}
+}
+
+func BenchmarkLoadComputeUDR(b *testing.B) {
+	t := NewTorus(6, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, UDR{}, LoadOptions{})
+	}
+}
+
+func BenchmarkLoadComputeFAR(b *testing.B) {
+	t := NewTorus(6, 2)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, FAR{}, LoadOptions{})
+	}
+}
+
+func BenchmarkSweepBisection(b *testing.B) {
+	t := NewTorus(8, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cut := SweepBisect(p)
+		if !cut.Balanced() {
+			b.Fatal("unbalanced")
+		}
+	}
+}
+
+func BenchmarkSimulateExchange(b *testing.B) {
+	t := NewTorus(8, 2)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := Simulate(SimConfig{Placement: p, Algorithm: UDR{}, Seed: int64(i)})
+		if st.Aborted {
+			b.Fatal("aborted")
+		}
+	}
+}
+
+func BenchmarkMonteCarloLoad(b *testing.B) {
+	t := NewTorus(6, 2)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MonteCarloLoad(p, UDR{}, 10, int64(i), LoadOptions{})
+	}
+}
+
+func BenchmarkE20Wormhole(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkE21Schedule(b *testing.B)  { benchExperiment(b, "E21") }
+
+func BenchmarkWormholeExchange(b *testing.B) {
+	t := NewTorus(6, 2)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := SimulateWormhole(WormholeConfig{Placement: p, Algorithm: ODR{}, Seed: 1, MaxCycles: 100000})
+		if st.Deadlocked {
+			b.Fatal("deadlock")
+		}
+	}
+}
+
+func BenchmarkScheduleExchange(b *testing.B) {
+	t := NewTorus(8, 2)
+	p, err := (Full{}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ScheduleExchange(p, ODR{}, 1, ScheduleLongestFirst)
+		if res.Length < res.LowerBound() {
+			b.Fatal("impossible schedule")
+		}
+	}
+}
+
+func BenchmarkE22Patterns(b *testing.B) { benchExperiment(b, "E22") }
+func BenchmarkE23Coverage(b *testing.B) { benchExperiment(b, "E23") }
+func BenchmarkE24Degraded(b *testing.B) { benchExperiment(b, "E24") }
+func BenchmarkE25BSPGap(b *testing.B)   { benchExperiment(b, "E25") }
+func BenchmarkE26Valiant(b *testing.B)  { benchExperiment(b, "E26") }
+func BenchmarkE27MeshVsTorus(b *testing.B) { benchExperiment(b, "E27") }
+func BenchmarkE28Annealing(b *testing.B)   { benchExperiment(b, "E28") }
+func BenchmarkE29Adaptive(b *testing.B)    { benchExperiment(b, "E29") }
+func BenchmarkE30OpenLoop(b *testing.B)    { benchExperiment(b, "E30") }

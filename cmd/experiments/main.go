@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's tables and figure (the
+// E1–E14 registry of DESIGN.md). Without flags it runs everything at full
+// scale and prints plain-text tables; -out writes Markdown and CSV files
+// per experiment into a directory.
+//
+// Usage:
+//
+//	experiments                      # all experiments, full scale, stdout
+//	experiments -run E6,E8           # a subset
+//	experiments -scale quick         # CI-sized parameter ranges
+//	experiments -out results/        # write results/E6.md, results/E6.csv, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"torusnet/internal/sweep"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "full", "parameter scale: quick|full")
+		outDir  = flag.String("out", "", "directory for Markdown/CSV/JSON output (optional)")
+		docPath = flag.String("doc", "", "write all selected tables as one Markdown document")
+		listing = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	if err := run(*runIDs, *scale, *outDir, *docPath, *listing); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runIDs, scaleName, outDir, docPath string, listing bool) error {
+	if listing {
+		for _, e := range sweep.All() {
+			fmt.Printf("%-4s %-60s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return nil
+	}
+
+	var scale sweep.Scale
+	switch scaleName {
+	case "quick":
+		scale = sweep.Quick
+	case "full":
+		scale = sweep.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick|full)", scaleName)
+	}
+
+	var selected []sweep.Experiment
+	if runIDs == "all" {
+		selected = sweep.All()
+	} else {
+		for _, id := range strings.Split(runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := sweep.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var tables []*sweep.Table
+	for _, e := range selected {
+		start := time.Now()
+		tb := e.Run(scale)
+		elapsed := time.Since(start)
+		tables = append(tables, tb)
+		if outDir == "" {
+			if docPath == "" {
+				fmt.Println(tb.Text())
+				fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+			}
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.ID+".md"), []byte(tb.Markdown()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.ID+".csv"), []byte(tb.CSV()), 0o644); err != nil {
+			return err
+		}
+		js, err := tb.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.ID+".json"), js, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d rows in %v -> %s/%s.{md,csv,json}\n", e.ID, len(tb.Rows), elapsed.Round(time.Millisecond), outDir, e.ID)
+	}
+	if docPath != "" {
+		if err := os.WriteFile(docPath, []byte(sweep.Document(tables)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d tables to %s\n", len(tables), docPath)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	if run("all", "bogus", "", "", false) == nil {
+		t.Error("bad scale accepted")
+	}
+	if run("E99", "quick", "", "", false) == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunListAndSubset(t *testing.T) {
+	if err := run("", "quick", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("E5", "quick", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("E5,E10", "quick", dir, "", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E5.md", "E5.csv", "E5.json", "E10.md", "E10.csv", "E10.json"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunWritesDocument(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "tables.md")
+	if err := run("E5,E10", "quick", "", doc, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Experiment tables", "### E5", "### E10"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}

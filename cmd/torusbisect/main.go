@@ -1,0 +1,78 @@
+// Command torusbisect constructs bisections of T^d_k with respect to a
+// placement: the Theorem 1 dimension cut, the appendix hyperplane sweep,
+// and (for tiny tori) the exhaustive optimum, reporting widths against the
+// paper's 4k^{d−1} and 6dk^{d−1} figures and the resulting Eq. 8 load
+// bound.
+//
+// Usage:
+//
+//	torusbisect -k 8 -d 3 -placement linear
+//	torusbisect -k 4 -d 2 -placement random:8 -brute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torusnet/internal/bisect"
+	"torusnet/internal/bounds"
+	"torusnet/internal/cliutil"
+	"torusnet/internal/torus"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 8, "torus radix")
+		d         = flag.Int("d", 2, "torus dimensions")
+		placeSpec = flag.String("placement", "linear", "placement spec (see torusload)")
+		brute     = flag.Bool("brute", false, "also run the exhaustive optimum (tiny tori only)")
+	)
+	flag.Parse()
+
+	if err := run(*k, *d, *placeSpec, *brute); err != nil {
+		fmt.Fprintln(os.Stderr, "torusbisect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, d int, placeSpec string, brute bool) error {
+	if err := torus.Check(k, d); err != nil {
+		return err
+	}
+	spec, err := cliutil.ParsePlacement(placeSpec)
+	if err != nil {
+		return err
+	}
+	t := torus.New(k, d)
+	p, err := spec.Build(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", p)
+	fmt.Printf("uniform: %v\n\n", p.IsUniform())
+
+	for dim := 0; dim < d; dim++ {
+		cut := bisect.DimensionCut(p, dim)
+		fmt.Printf("%-16s width=%4d (Theorem 1: %d)  split=%d|%d balanced=%v  Eq.8 bound=%.3f\n",
+			cut.Method, cut.Width(), int(bounds.Theorem1Width(k, d)),
+			cut.ProcsA, cut.ProcsB, cut.Balanced(), bounds.Bisection(p.Size(), cut.Width()))
+	}
+
+	sweepCut := bisect.Sweep(p)
+	fmt.Printf("%-16s width=%4d (Corollary 1 ceiling: %d)  split=%d|%d balanced=%v  Eq.8 bound=%.3f\n",
+		sweepCut.Method, sweepCut.Width(), bisect.SweepCeiling(t),
+		sweepCut.ProcsA, sweepCut.ProcsB, sweepCut.Balanced(), bounds.Bisection(p.Size(), sweepCut.Width()))
+	arrayE, wrapE := bisect.ArraySlabCrossings(t, sweepCut)
+	fmt.Printf("  sweep decomposition: %d array-edge + %d wrap-edge crossings\n", arrayE, wrapE)
+
+	if brute {
+		cut, err := bisect.BruteForce(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s width=%4d (true optimum)  split=%d|%d  Eq.8 bound=%.3f\n",
+			cut.Method, cut.Width(), cut.ProcsA, cut.ProcsB, bounds.Bisection(p.Size(), cut.Width()))
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if run(1, 2, "linear", false) == nil {
+		t.Error("bad torus accepted")
+	}
+	if run(4, 2, "nope", false) == nil {
+		t.Error("bad placement accepted")
+	}
+	if run(5, 2, "linear", true) == nil {
+		t.Error("brute force on 25 nodes should fail")
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if err := run(4, 2, "linear", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(6, 2, "random:10", false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"bad torus", func() error { return run(1, 2, "linear", "odr", 0, false, 0, 1, false) }},
+		{"bad placement", func() error { return run(4, 2, "nope", "odr", 0, false, 0, 1, false) }},
+		{"bad routing", func() error { return run(4, 2, "linear", "nope", 0, false, 0, 1, false) }},
+		{"unbuildable placement", func() error { return run(4, 2, "random:999", "odr", 0, false, 0, 1, false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if err := run(4, 2, "linear", "udr", 1, true, 5, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, 2, "multi:2", "odr", 1, false, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if run(2, 4, 8, 0, "linear", "odr", 0) == nil {
+		t.Error("zero step accepted")
+	}
+	if run(2, 8, 4, 2, "linear", "odr", 0) == nil {
+		t.Error("kmax < kmin accepted")
+	}
+	if run(2, 4, 6, 2, "bogus", "odr", 0) == nil {
+		t.Error("bad placement accepted")
+	}
+	if run(2, 4, 6, 2, "linear", "bogus", 0) == nil {
+		t.Error("bad routing accepted")
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if err := run(2, 4, 8, 2, "linear", "udr", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, 4, 8, 2, "full", "odr", 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if run(1, 2, "linear", "odr", 1, 0, 0, false, 0, 0, false) == nil {
+		t.Error("bad torus accepted")
+	}
+	if run(4, 2, "bogus", "odr", 1, 0, 0, false, 0, 0, false) == nil {
+		t.Error("bad placement accepted")
+	}
+	if run(4, 2, "linear", "bogus", 1, 0, 0, false, 0, 0, false) == nil {
+		t.Error("bad routing accepted")
+	}
+	if runWormhole(1, 2, "linear", "odr", 1, 0, 4, 2, 2) == nil {
+		t.Error("bad torus accepted by wormhole")
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if err := run(4, 2, "linear", "udr", 1, 1, 1000, true, 4, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(6, 2, "full", "odr", 1, 1, 100000, false, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWormhole(4, 2, "linear", "odr", 1, 100000, 2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	if run(1, "linear", "odr", 4) == nil {
+		t.Error("bad torus accepted")
+	}
+	if run(4, "bogus", "odr", 4) == nil {
+		t.Error("bad placement accepted")
+	}
+	if run(4, "linear", "bogus", 4) == nil {
+		t.Error("bad routing accepted")
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if err := run(6, "linear", "odr", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, "full", "udr", 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package torusnet reproduces "Lower Bounds on Communication Loads and
+// Optimal Placements in Torus Networks" (Azizoglu & Egecioglu, IPPS 1998 /
+// IEEE TC 2000) as an executable library.
+//
+// A d-dimensional k-torus is partially populated with processors according
+// to a placement; a routing algorithm specifies shortest paths between
+// every processor pair; and the load of a link is the expected number of
+// messages crossing it during a complete exchange. The library provides:
+//
+//   - the torus topology, placements (linear, multiple linear, shifted
+//     diagonal, full, random, explicit), and routing algorithms (restricted
+//     and multi-path ODR, UDR, fully adaptive minimal routing);
+//   - an exact expected-load engine (parallel float64, exact big.Rat, and
+//     Monte-Carlo variants) implementing Definition 4;
+//   - every lower bound in the paper (Eq. 1, Lemma 1, Eq. 8, Eq. 9, the §4
+//     improved bound) and the bisection constructions behind them
+//     (Theorem 1 dimension cuts and the appendix hyperplane sweep);
+//   - fault-tolerance analysis (§7) anchored by a max-flow substrate;
+//   - a cycle-accurate store-and-forward simulator that executes complete
+//     exchanges on partially populated tori;
+//   - the E1–E30 experiment registry: E1–E14 regenerate every claim of the
+//     paper as a measured-vs-predicted table, E15–E30 are extension
+//     ablations (routing matrix, wormhole switching, scheduling, BSP,
+//     Valiant randomization, coverage, annealing).
+//
+// The root package is a facade over the internal packages; see the
+// examples/ directory for end-to-end usage and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package torusnet

@@ -1,0 +1,46 @@
+// Bisection machinery end-to-end: the Theorem 1 dimension cut, the
+// appendix hyperplane sweep (plus the min-width refinement), and — on a
+// torus small enough — the exhaustive optimum, all feeding the Eq. 8 lower
+// bound on the maximum load.
+package main
+
+import (
+	"fmt"
+
+	"torusnet"
+)
+
+func main() {
+	t := torusnet.NewTorus(4, 2)
+	placements := []torusnet.PlacementSpec{
+		torusnet.Linear{C: 0},
+		torusnet.MultipleLinear{T: 2},
+		torusnet.Random{Count: 8, Seed: 7},
+	}
+
+	for _, spec := range placements {
+		p, err := spec.Build(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("=== %s (uniform: %v) ===\n", p, p.IsUniform())
+
+		dim := torusnet.DimensionCut(p, 0)
+		sweep := torusnet.SweepBisect(p)
+		best := torusnet.BestSweepBisect(p)
+		fmt.Printf("  %-22s width %3d, split %d|%d\n", "Theorem 1 cut (dim 0):", dim.Width(), dim.ProcsA, dim.ProcsB)
+		fmt.Printf("  %-22s width %3d, split %d|%d\n", "appendix sweep:", sweep.Width(), sweep.ProcsA, sweep.ProcsB)
+		fmt.Printf("  %-22s width %3d, split %d|%d\n", "min-width sweep:", best.Width(), best.ProcsA, best.ProcsB)
+
+		// Each balanced cut yields an Eq. 8 lower bound on E_max; measure
+		// the actual E_max under UDR for comparison.
+		res := torusnet.ComputeLoad(p, torusnet.UDR{}, torusnet.LoadOptions{})
+		bound := torusnet.BisectionBound(p.Size(), best.Width())
+		fmt.Printf("  Eq.8 bound via best cut: E_max >= %.3f; measured UDR E_max = %.3f\n\n",
+			bound, res.Max)
+	}
+
+	fmt.Println("Theorem 1's cut is exactly 4·k^{d-1} directed links and is balanced")
+	fmt.Println("whenever the placement is uniform along the cut dimension; the sweep")
+	fmt.Println("balances any placement at the cost of a wider (but still O(k^{d-1})) cut.")
+}

@@ -1,0 +1,51 @@
+// Complete exchange at cycle level: the §1 motivation, executed. Sweeps k
+// on a 2-dimensional torus and simulates one complete exchange on (a) the
+// fully populated torus and (b) the linear placement, under ODR and UDR.
+// The fully populated torus's completion time per injecting processor
+// degrades superlinearly; the linear placement's stays flat.
+package main
+
+import (
+	"fmt"
+
+	"torusnet"
+)
+
+func main() {
+	fmt.Println("store-and-forward complete exchange, d = 2")
+	fmt.Printf("%6s %10s %8s %8s %10s %14s %12s\n",
+		"k", "placement", "routing", "|P|", "cycles", "maxLinkTraffic", "cycles/|P|")
+
+	for _, k := range []int{4, 6, 8, 10, 12} {
+		t := torusnet.NewTorus(k, 2)
+
+		full, err := (torusnet.Full{}).Build(t)
+		if err != nil {
+			panic(err)
+		}
+		lin, err := (torusnet.Linear{C: 0}).Build(t)
+		if err != nil {
+			panic(err)
+		}
+
+		type runCfg struct {
+			name string
+			p    *torusnet.Placement
+			alg  torusnet.RoutingAlgorithm
+		}
+		for _, cfg := range []runCfg{
+			{"full", full, torusnet.ODR{}},
+			{"linear", lin, torusnet.ODR{}},
+			{"linear", lin, torusnet.UDR{}},
+		} {
+			st := torusnet.Simulate(torusnet.SimConfig{Placement: cfg.p, Algorithm: cfg.alg, Seed: 7})
+			fmt.Printf("%6d %10s %8s %8d %10d %14d %12.2f\n",
+				k, cfg.name, cfg.alg.Name(), cfg.p.Size(), st.Cycles,
+				st.MaxLinkTraffic, float64(st.Cycles)/float64(cfg.p.Size()))
+		}
+	}
+
+	fmt.Println("\nthe full torus column 'cycles/|P|' grows with k (superlinear load,")
+	fmt.Println("E_max > k^{d+1}/8) while the linear placement's stays bounded — the")
+	fmt.Println("scaling argument that motivates partially populated tori.")
+}

@@ -1,0 +1,38 @@
+// Quickstart: place k^{d-1} processors on a d-dimensional k-torus with the
+// paper's linear placement, route a complete exchange with ODR and UDR, and
+// check the measured maximum load against every lower bound.
+package main
+
+import (
+	"fmt"
+
+	"torusnet"
+)
+
+func main() {
+	const k, d = 8, 3
+
+	// T^3_8: 512 nodes, 3072 directed links.
+	t := torusnet.NewTorus(k, d)
+	fmt.Println("torus:", t)
+
+	// The linear placement p1 + p2 + p3 ≡ 0 (mod 8): 64 processors, one
+	// per residue class — uniform in every dimension.
+	p, err := (torusnet.Linear{C: 0}).Build(t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("placement:", p)
+	fmt.Println("uniform:", p.IsUniform())
+
+	for _, alg := range []torusnet.RoutingAlgorithm{torusnet.ODR{}, torusnet.UDR{}} {
+		rep := torusnet.Analyze(p, alg, 0)
+		fmt.Printf("\n--- %s ---\n", alg.Name())
+		fmt.Print(rep)
+	}
+
+	// The same exchange, executed packet-by-packet on the cycle simulator.
+	st := torusnet.Simulate(torusnet.SimConfig{Placement: p, Algorithm: torusnet.UDR{}, Seed: 1})
+	fmt.Printf("\nsimulated complete exchange (UDR): %s\n", st)
+	fmt.Printf("cycles per processor: %.2f\n", float64(st.Cycles)/float64(p.Size()))
+}

@@ -1,0 +1,63 @@
+// Wormhole switching on partially populated tori: the flit-level regime of
+// the complete-exchange literature the paper builds on. The example shows
+// the three classical phenomena the simulator reproduces — single-VC
+// deadlock on wrap rings, dateline rescue with two VCs, and adaptive-order
+// (UDR) deadlock even with datelines — and that the sparse linear placement
+// sails through every configuration.
+package main
+
+import (
+	"fmt"
+
+	"torusnet"
+)
+
+func main() {
+	const k = 6
+	t := torusnet.NewTorus(k, 2)
+	lin, err := (torusnet.Linear{C: 0}).Build(t)
+	if err != nil {
+		panic(err)
+	}
+	full, err := (torusnet.Full{}).Build(t)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("wormhole complete exchange on", t, "(F=4 flits, B=2 buffers/VC)")
+	fmt.Printf("%10s %8s %5s %10s %18s %10s\n", "placement", "routing", "VCs", "cycles", "delivered", "outcome")
+
+	type cfg struct {
+		name string
+		p    *torusnet.Placement
+		alg  torusnet.RoutingAlgorithm
+		vcs  int
+	}
+	for _, c := range []cfg{
+		{"linear", lin, torusnet.ODR{}, 1},
+		{"linear", lin, torusnet.ODR{}, 2},
+		{"full", full, torusnet.ODR{}, 1},
+		{"full", full, torusnet.ODR{}, 2},
+		{"full", full, torusnet.UDR{}, 2},
+	} {
+		st := torusnet.SimulateWormhole(torusnet.WormholeConfig{
+			Placement: c.p, Algorithm: c.alg, Seed: 1,
+			VirtualChannels: c.vcs, MaxCycles: 2_000_000,
+		})
+		outcome := "completed"
+		if st.Deadlocked {
+			outcome = "DEADLOCK"
+		}
+		fmt.Printf("%10s %8s %5d %10d %11d/%-6d %10s\n",
+			c.name, c.alg.Name(), c.vcs, st.Cycles, st.DeliveredFlits, st.Flits, outcome)
+	}
+
+	fmt.Println(`
+reading the table:
+ - full torus, 1 VC: cyclic buffer wait around the wrap rings -> deadlock.
+ - full torus, 2 VCs + dateline: dimension-ordered worms complete.
+ - full torus, UDR: per-packet dimension orders defeat the dateline
+   argument (this is why adaptive wormhole routing needs escape channels).
+ - the linear placement never deadlocks here: 1/k of the nodes inject, so
+   buffer pressure stays far from the cyclic-wait threshold.`)
+}

@@ -1,0 +1,259 @@
+package torusnet
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests double as end-to-end integration tests over the public
+// API: topology → placement → routing → load → bounds → verdicts.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tor := NewTorus(6, 2)
+	if err := CheckTorus(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := (Linear{C: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 6 {
+		t.Fatalf("|P| = %d, want 6", p.Size())
+	}
+	res := ComputeLoad(p, ODR{}, LoadOptions{})
+	if res.Max < BlaumBound(p.Size(), 2) {
+		t.Errorf("E_max %v below Blaum bound", res.Max)
+	}
+	rep := Analyze(p, UDR{}, 0)
+	if rep.OptimalityRatio < 1 {
+		t.Errorf("optimality ratio %v < 1", rep.OptimalityRatio)
+	}
+}
+
+func TestFacadeBisection(t *testing.T) {
+	tor := NewTorus(6, 2)
+	p, err := (MultipleLinear{T: 2}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := DimensionCut(p, 0)
+	if dim.Width() != 24 { // 4·k^{d−1} = 4·6
+		t.Errorf("dimension cut width %d, want 24", dim.Width())
+	}
+	sweepCut := SweepBisect(p)
+	if !sweepCut.Balanced() {
+		t.Error("sweep cut unbalanced")
+	}
+	if got := BisectionBound(p.Size(), dim.Width()); got <= 0 {
+		t.Errorf("Eq. 8 bound %v", got)
+	}
+}
+
+func TestFacadeExactAndMonteCarlo(t *testing.T) {
+	tor := NewTorus(4, 2)
+	p, err := (Linear{C: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ComputeLoadExact(p, UDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	float := ComputeLoad(p, UDR{}, LoadOptions{})
+	if math.Abs(exact.MaxFloat()-float.Max) > 1e-9 {
+		t.Errorf("exact %v vs float %v", exact.MaxFloat(), float.Max)
+	}
+	mc := MonteCarloLoad(p, UDR{}, 200, 3, LoadOptions{})
+	if math.Abs(mc.MaxMean-float.Max) > 1.0 {
+		t.Errorf("Monte-Carlo max %v far from exact %v", mc.MaxMean, float.Max)
+	}
+}
+
+func TestFacadeSimulationAndFaults(t *testing.T) {
+	tor := NewTorus(4, 2)
+	p, err := (Linear{C: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Simulate(SimConfig{Placement: p, Algorithm: ODR{}, Seed: 1})
+	if st.Packets != p.Pairs() || st.Aborted {
+		t.Errorf("simulation: %+v", st)
+	}
+	fr := AnalyzeFaults(p, UDR{}, 0)
+	if fr.Pairs != p.Pairs() {
+		t.Errorf("fault pairs %d, want %d", fr.Pairs, p.Pairs())
+	}
+	if broken := RandomFailureBrokenPairs(p, UDR{}, 1, 1); broken < 0 {
+		t.Errorf("broken pairs %d", broken)
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 30 {
+		t.Fatalf("got %d experiments, want 30", len(exps))
+	}
+	e, ok := ExperimentByID("E10")
+	if !ok {
+		t.Fatal("E10 missing")
+	}
+	tb := e.Run(QuickScale)
+	if len(tb.Rows) == 0 {
+		t.Error("E10 produced no rows")
+	}
+}
+
+func TestFacadeConstantsAndHelpers(t *testing.T) {
+	if Plus.Opposite() != Minus {
+		t.Error("direction constants broken")
+	}
+	if CyclicDistance(1, 6, 8) != 3 {
+		t.Error("CyclicDistance broken")
+	}
+	if MaxPlacementSize(0.5, 4, 3) != 12*3*0.5*16 {
+		t.Error("MaxPlacementSize broken")
+	}
+	if ImprovedBound(2, 4, 3) != 4.0*16/8 {
+		t.Error("ImprovedBound broken")
+	}
+	if SeparatorBound(1, 9, 8) != 2.0 {
+		t.Error("SeparatorBound broken")
+	}
+	tor := NewTorus(3, 2)
+	p := NewPlacement(tor, []Node{0, 4, 8}, "diag")
+	if p.Size() != 3 {
+		t.Error("NewPlacement broken")
+	}
+}
+
+func TestFacadeBestSweep(t *testing.T) {
+	tor := NewTorus(5, 2)
+	p, err := (Linear{C: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := BestSweepBisect(p)
+	plain := SweepBisect(p)
+	if best.Width() > plain.Width() || !best.Balanced() {
+		t.Errorf("best sweep width %d vs plain %d", best.Width(), plain.Width())
+	}
+	routes := EdgeDisjointRoutes(UDR{}, tor, p.Nodes()[0], p.Nodes()[1], 0)
+	if len(routes) < 1 {
+		t.Error("no routes")
+	}
+}
+
+func TestFacadeFullSurfaceTour(t *testing.T) {
+	tor := NewTorus(4, 2)
+	p, err := (LayerCluster{Dim: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := (Linear{C: 0}).Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Routing aliases all satisfy the interface and produce valid loads.
+	for _, alg := range []RoutingAlgorithm{ODR{}, ODRMulti{}, UDR{}, UDRMulti{}, FAR{},
+		ODROrder{Order: []int{1, 0}}, MeshODR{}} {
+		res := ComputeLoad(lin, alg, LoadOptions{})
+		if res.Max <= 0 {
+			t.Errorf("%s: zero load", alg.Name())
+		}
+	}
+
+	// Pattern engine.
+	for _, pat := range []TrafficPattern{
+		PatternCompleteExchange{}, PatternTranspose{}, PatternHotSpot{},
+		PatternShift{Offset: []int{1, 3}}, PatternRandomPairs{Count: 5, Seed: 1},
+	} {
+		res := ComputePatternLoad(lin, pat, UDR{}, LoadOptions{})
+		if res.Total < 0 {
+			t.Errorf("%s: negative total", pat.Name())
+		}
+	}
+	if v := ComputeValiantLoad(lin, PatternTranspose{}, ODR{}, LoadOptions{}); v.Max < 0 {
+		t.Error("valiant negative")
+	}
+
+	// Analysis pipelines.
+	if rep := AnalyzeFull(lin, UDR{}, 0); rep.Coverage.CoveringRadius != 2 {
+		t.Errorf("full report coverage %d", rep.Coverage.CoveringRadius)
+	}
+	if cov := AnalyzeCoverage(p); cov.PackingDistance < 1 {
+		t.Errorf("coverage report: %+v", cov)
+	}
+
+	// Failures.
+	failed := RandomFailures(tor, 3, 1)
+	if len(failed) != 3 {
+		t.Errorf("failures %d", len(failed))
+	}
+	if deg := LoadWithFailures(lin, UDR{}, failed); deg.Load.Max < 0 {
+		t.Error("degraded load negative")
+	}
+
+	// Simulators.
+	if st := SimulateWormhole(WormholeConfig{Placement: lin, Algorithm: ODR{}, Seed: 1,
+		MaxCycles: 100000}); st.Deadlocked {
+		t.Error("wormhole deadlock on linear placement")
+	}
+	if st := Simulate(SimConfig{Placement: lin, Algorithm: ODR{}, Seed: 1, Adaptive: true}); st.Cycles <= 0 {
+		t.Error("adaptive simulation failed")
+	}
+
+	// Scheduling and BSP.
+	sch := ScheduleExchange(lin, ODR{}, 1, ScheduleLongestFirst)
+	if sch.Length < sch.LowerBound() {
+		t.Error("schedule below floor")
+	}
+	if sch2 := ScheduleExchange(lin, ODR{}, 1, ScheduleByIndex); sch2.Length <= 0 {
+		t.Error("by-index schedule empty")
+	}
+	params, samples := EstimateBSP(lin, UDR{}, 3, 1)
+	if len(samples) != 3 || params.G == 0 && params.L == 0 {
+		t.Errorf("BSP estimate: %v %v", params, samples)
+	}
+
+	// Annealing.
+	ann := AnnealPlacement(tor, ODR{}, AnnealConfig{Size: 4, Steps: 30, Seed: 1})
+	if ann.Best.Size() != 4 {
+		t.Errorf("anneal size %d", ann.Best.Size())
+	}
+
+	// Routes and lee analytics.
+	if routes := EdgeDisjointRoutes(UDR{}, tor, lin.Nodes()[0], lin.Nodes()[1], 0); len(routes) < 1 {
+		t.Error("no disjoint routes")
+	}
+	if TorusMeanDistance(4, 2) != 2 {
+		t.Error("mean distance")
+	}
+	if TorusDiameter(4, 2) != 4 {
+		t.Error("diameter")
+	}
+	if LeeSphereSize(4, 2, 1) != 4 {
+		t.Error("sphere size")
+	}
+	if LinearExchangeTotal(4, 2) <= 0 {
+		t.Error("linear exchange total")
+	}
+	if mc := MonteCarloLoad(lin, ODR{}, 3, 1, LoadOptions{}); mc.MaxMean <= 0 {
+		t.Error("monte carlo")
+	}
+	if ex, err := ComputeLoadExact(lin, ODR{}); err != nil || !ex.AllIntegral() {
+		t.Error("exact load")
+	}
+	if BlaumBound(9, 2) != 2 {
+		t.Error("blaum")
+	}
+	// Explicit, Random, Full, MultipleLinear, ShiftedDiagonal aliases.
+	for _, spec := range []PlacementSpec{
+		Explicit{Label: "x", Coords: [][]int{{0, 0}, {1, 1}}},
+		Random{Count: 3, Seed: 1}, Full{}, MultipleLinear{T: 2}, ShiftedDiagonal{Shift: 1},
+	} {
+		if q, err := spec.Build(tor); err != nil || q.Size() == 0 {
+			t.Errorf("spec %s failed: %v", spec.Name(), err)
+		}
+	}
+}

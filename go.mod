@@ -1,0 +1,3 @@
+module torusnet
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package bisect implements bisection of the torus with respect to a
+// placement (Definition 8): partitions of the full node set that split the
+// placement's processors evenly, minimizing (or bounding) the number of
+// directed edges crossing the partition.
+//
+// Three constructions are provided:
+//
+//   - DimensionCut: the Theorem 1 construction — two antipodal cuts across
+//     one dimension, exactly 4·k^{d−1} directed edges, balanced for any
+//     placement that is uniform along that dimension.
+//   - Sweep: the appendix construction — a hyperplane with normal
+//     (1, γ, γ², …, γ^{d−1}) sweeping the array embedding, at most
+//     6·d·k^{d−1} directed torus edges (Corollary 1), balanced within one
+//     processor for *any* placement.
+//   - BruteForce: the true optimum by exhaustive search, feasible only for
+//     tiny tori; it anchors the other two in tests.
+package bisect
+
+import (
+	"fmt"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// Cut is a partition of the torus node set together with its crossing
+// edges. SideA[u] is true when node u lies on the A side.
+type Cut struct {
+	Torus *torus.Torus
+	SideA []bool
+	// Edges are the directed edges with endpoints on different sides.
+	Edges []torus.Edge
+	// ProcsA and ProcsB count placement processors on each side.
+	ProcsA, ProcsB int
+	Method         string
+}
+
+// Width returns the number of directed crossing edges.
+func (c *Cut) Width() int { return len(c.Edges) }
+
+// Balanced reports whether the processor counts differ by at most one.
+func (c *Cut) Balanced() bool {
+	diff := c.ProcsA - c.ProcsB
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1
+}
+
+// String summarizes the cut.
+func (c *Cut) String() string {
+	return fmt.Sprintf("%s cut: width=%d, processors %d|%d", c.Method, c.Width(), c.ProcsA, c.ProcsB)
+}
+
+// finalize recomputes crossing edges and processor counts from SideA.
+func finalize(t *torus.Torus, p *placement.Placement, sideA []bool, method string) *Cut {
+	cut := &Cut{Torus: t, SideA: sideA, Method: method}
+	t.ForEachEdge(func(e torus.Edge) {
+		if sideA[t.EdgeSource(e)] != sideA[t.EdgeTarget(e)] {
+			cut.Edges = append(cut.Edges, e)
+		}
+	})
+	for _, u := range p.Nodes() {
+		if sideA[u] {
+			cut.ProcsA++
+		} else {
+			cut.ProcsB++
+		}
+	}
+	return cut
+}
+
+// Verify checks the structural invariants of a cut: the recorded crossing
+// edges and processor counts match SideA, and both sides are nonempty.
+func (c *Cut) Verify(p *placement.Placement) error {
+	re := finalize(c.Torus, p, c.SideA, c.Method)
+	if len(re.Edges) != len(c.Edges) {
+		return fmt.Errorf("bisect: recorded %d crossing edges, recomputed %d", len(c.Edges), len(re.Edges))
+	}
+	if re.ProcsA != c.ProcsA || re.ProcsB != c.ProcsB {
+		return fmt.Errorf("bisect: recorded processor split %d|%d, recomputed %d|%d",
+			c.ProcsA, c.ProcsB, re.ProcsA, re.ProcsB)
+	}
+	a, b := false, false
+	for _, s := range c.SideA {
+		if s {
+			a = true
+		} else {
+			b = true
+		}
+	}
+	if !a || !b {
+		return fmt.Errorf("bisect: cut does not split the node set")
+	}
+	return nil
+}
+
+// DimensionCut realizes the Theorem 1 bisection: along the chosen
+// dimension, side A consists of the subtori with values 1 .. k/2, so the
+// removed links are the two crossings (0|1) and (k/2 | k/2+1), exactly
+// 4·k^{d−1} directed edges. For a placement uniform along the dimension the
+// split is exactly even when k is even; for odd k side A holds ⌊k/2⌋ of the
+// k subtorus layers.
+func DimensionCut(p *placement.Placement, dim int) *Cut {
+	t := p.Torus()
+	if dim < 0 || dim >= t.D() {
+		panic("bisect: dimension out of range")
+	}
+	sideA := make([]bool, t.Nodes())
+	half := t.K() / 2
+	for v := 1; v <= half; v++ {
+		t.ForEachSubtorusNode(torus.Subtorus{Dim: dim, Value: v}, func(u torus.Node) {
+			sideA[u] = true
+		})
+	}
+	return finalize(t, p, sideA, fmt.Sprintf("dimension(%d)", dim))
+}
+
+// BestDimensionCut tries every dimension and returns the most balanced cut
+// (ties broken by smaller width, then lower dimension).
+func BestDimensionCut(p *placement.Placement) *Cut {
+	var best *Cut
+	for dim := 0; dim < p.Torus().D(); dim++ {
+		c := DimensionCut(p, dim)
+		if best == nil || betterBalance(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func betterBalance(a, b *Cut) bool {
+	da := abs(a.ProcsA - a.ProcsB)
+	db := abs(b.ProcsA - b.ProcsB)
+	if da != db {
+		return da < db
+	}
+	return a.Width() < b.Width()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

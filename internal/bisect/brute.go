@@ -1,0 +1,69 @@
+package bisect
+
+import (
+	"fmt"
+	"math/bits"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// BruteForceLimit caps the node count for exhaustive bisection search.
+const BruteForceLimit = 18
+
+// BruteForce finds a true minimum-width bisection with respect to the
+// placement by enumerating all 2^n node subsets. It is exponential and
+// refuses tori with more than BruteForceLimit nodes; its purpose is to
+// anchor DimensionCut and Sweep in tests and in the E3/E4 experiments.
+func BruteForce(p *placement.Placement) (*Cut, error) {
+	t := p.Torus()
+	n := t.Nodes()
+	if n > BruteForceLimit {
+		return nil, fmt.Errorf("bisect: %d nodes exceed the brute-force limit %d", n, BruteForceLimit)
+	}
+	if p.Size() < 2 {
+		return nil, fmt.Errorf("bisect: placement must have at least 2 processors")
+	}
+
+	// Precompute edge endpoints once.
+	type pair struct{ a, b int }
+	edges := make([]pair, 0, t.Edges())
+	t.ForEachEdge(func(e torus.Edge) {
+		edges = append(edges, pair{int(t.EdgeSource(e)), int(t.EdgeTarget(e))})
+	})
+
+	procMask := uint32(0)
+	for _, u := range p.Nodes() {
+		procMask |= 1 << uint(u)
+	}
+	wantA := p.Size() / 2 // balanced within one: A holds ⌊|P|/2⌋ or ⌈|P|/2⌉
+
+	bestWidth := -1
+	var bestMask uint32
+	total := uint32(1) << uint(n)
+	for mask := uint32(1); mask < total-1; mask++ {
+		procsA := bits.OnesCount32(mask & procMask)
+		if procsA != wantA && procsA != p.Size()-wantA {
+			continue
+		}
+		width := 0
+		for _, e := range edges {
+			if (mask>>uint(e.a))&1 != (mask>>uint(e.b))&1 {
+				width++
+				if bestWidth >= 0 && width >= bestWidth {
+					break
+				}
+			}
+		}
+		if bestWidth < 0 || width < bestWidth {
+			bestWidth = width
+			bestMask = mask
+		}
+	}
+
+	sideA := make([]bool, n)
+	for u := 0; u < n; u++ {
+		sideA[u] = (bestMask>>uint(u))&1 == 1
+	}
+	return finalize(t, p, sideA, "brute-force"), nil
+}

@@ -1,0 +1,147 @@
+package bisect
+
+import (
+	"math/big"
+	"sort"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// Sweep realizes the appendix construction (proof of Proposition 1): sweep
+// a hyperplane with normal direction (1, γ, γ², …, γ^{d−1}) across the
+// standard array embedding of the torus and stop when exactly ⌊|P|/2⌋
+// processors lie on the origin side.
+//
+// The paper takes γ transcendental in (1, 2^{1/(d−1)}) so that no two
+// lattice points share a hyperplane and the sweep picks up processors one
+// at a time. Transcendence is only used to rule out ties among the finitely
+// many coordinate differences |c_i| < k, so we substitute γ = (M+1)/M with
+// M = max(k, d, 16) and do exact integer arithmetic: a tie would mean
+// Σ c_i (M+1)^{i} M^{d−1−i} = 0 with some c_i ≠ 0, and reducing modulo M
+// forces c_{d−1} = … = c_0 = 0, a contradiction. The same choice satisfies
+// the proof's inequalities 1 < γ < … < γ^{d−1} < 2 (since (1+1/M)^{d−1} ≤
+// e^{(d−1)/M} < 2 for M ≥ d) and r·γ^{i−1} ≥ 2 > γ^{d−1} for r ≥ 2.
+//
+// The resulting cut is balanced within one processor for any placement and
+// crosses at most 2·d·k^{d−1} undirected array edges plus the d·k^{d−1}
+// undirected wrap edges — i.e. at most 6·d·k^{d−1} directed torus edges,
+// the Corollary 1 ceiling.
+func Sweep(p *placement.Placement) *Cut {
+	t := p.Torus()
+	order := SweepOrder(t)
+
+	// Walk the sweep order until half the processors are on side A.
+	sideA := make([]bool, t.Nodes())
+	target := p.Size() / 2
+	got := 0
+	idx := 0
+	for ; idx < len(order) && got < target; idx++ {
+		u := order[idx]
+		sideA[u] = true
+		if p.Contains(u) {
+			got++
+		}
+	}
+	// Non-processor nodes between the last captured processor and the next
+	// processor may go to either side; putting them on side A changes
+	// nothing for balance and only the crossing count. We stop right after
+	// the target processor, matching the proof's t0.
+	return finalize(t, p, sideA, "sweep")
+}
+
+// SweepOrder returns all torus nodes sorted by their exact hyperplane
+// projection Σ_j a_j γ^j (ties impossible by the choice of γ; see Sweep).
+// Prefixes of this order are exactly the origin-side slabs the appendix
+// proof sweeps through.
+func SweepOrder(t *torus.Torus) []torus.Node {
+	keys := sweepKeys(t)
+	order := make([]torus.Node, t.Nodes())
+	for i := range order {
+		order[i] = torus.Node(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return keys[order[a]].Cmp(keys[order[b]]) < 0
+	})
+	return order
+}
+
+// CutFromPrefix builds the cut whose A side is the first n nodes of a sweep
+// order — the partition induced by a hyperplane position between the n-th
+// and (n+1)-th node. Used by the E14 slab-count experiment.
+func CutFromPrefix(p *placement.Placement, order []torus.Node, n int) *Cut {
+	t := p.Torus()
+	sideA := make([]bool, t.Nodes())
+	for i := 0; i < n && i < len(order); i++ {
+		sideA[order[i]] = true
+	}
+	return finalize(t, p, sideA, "sweep-prefix")
+}
+
+// sweepKeys returns, for every node a, the exact integer
+// Σ_j a_j · (M+1)^j · M^{d−1−j}, which orders nodes identically to the
+// real-valued projection Σ_j a_j γ^j for γ = (M+1)/M.
+func sweepKeys(t *torus.Torus) []*big.Int {
+	d, k := t.D(), t.K()
+	m := k
+	if d > m {
+		m = d
+	}
+	if m < 16 {
+		m = 16
+	}
+	mBig := big.NewInt(int64(m))
+	m1Big := big.NewInt(int64(m + 1))
+
+	// weights[j] = (M+1)^j · M^{d−1−j}
+	weights := make([]*big.Int, d)
+	for j := 0; j < d; j++ {
+		w := new(big.Int).Exp(m1Big, big.NewInt(int64(j)), nil)
+		w.Mul(w, new(big.Int).Exp(mBig, big.NewInt(int64(d-1-j)), nil))
+		weights[j] = w
+	}
+
+	keys := make([]*big.Int, t.Nodes())
+	coords := make([]int, d)
+	t.ForEachNode(func(u torus.Node) {
+		t.CoordsInto(u, coords)
+		key := new(big.Int)
+		tmp := new(big.Int)
+		for j, a := range coords {
+			tmp.SetInt64(int64(a))
+			tmp.Mul(tmp, weights[j])
+			key.Add(key, tmp)
+		}
+		keys[u] = key
+	})
+	return keys
+}
+
+// SweepCeiling returns the Corollary 1 ceiling 6·d·k^{d−1} on the directed
+// crossing count of a sweep cut.
+func SweepCeiling(t *torus.Torus) int {
+	width := 6 * t.D()
+	for i := 0; i < t.D()-1; i++ {
+		width *= t.K()
+	}
+	return width
+}
+
+// ArraySlabCrossings counts, for a sweep threshold placed immediately after
+// the node at sweep position pos, how many *array* (non-wrap) directed
+// edges cross the partition and how many wrap edges do. It decomposes a
+// sweep cut's width for the E14 experiment.
+func ArraySlabCrossings(t *torus.Torus, cut *Cut) (arrayEdges, wrapEdges int) {
+	for _, e := range cut.Edges {
+		src, dst := t.EdgeSource(e), t.EdgeTarget(e)
+		j := t.EdgeDim(e)
+		cs, cd := t.Coord(src, j), t.Coord(dst, j)
+		// A wrap edge joins coordinates 0 and k−1.
+		if (cs == 0 && cd == t.K()-1) || (cs == t.K()-1 && cd == 0) {
+			wrapEdges++
+		} else {
+			arrayEdges++
+		}
+	}
+	return arrayEdges, wrapEdges
+}

@@ -1,0 +1,133 @@
+// Package bounds implements the paper's lower bounds on the maximum
+// communication load and the derived limit on optimal placement size:
+// the Blaum et al. bound (Eq. 1/6), the general separator bound of Lemma 1,
+// its bisection specialization (Eq. 8), the Corollary 1 ceiling on bisection
+// width with respect to a placement, the Eq. 9 placement-size bound, and the
+// dimension-independent improved bound of §4.
+package bounds
+
+import (
+	"math"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// Blaum returns the lower bound of Eq. 1/6: E_max ≥ (|P|−1) / (2d).
+func Blaum(sizeP, d int) float64 {
+	return float64(sizeP-1) / float64(2*d)
+}
+
+// Separator returns the Lemma 1 lower bound for a processor subset S with
+// boundary ∂S: E_max ≥ 2·|S|·(|P|−|S|) / |∂S|. The boundary size counts
+// directed edges with exactly one endpoint in S (messages cross it in both
+// directions, matching the 2·|S|·(|P|−|S|) message count).
+func Separator(sizeS, sizeP, boundary int) float64 {
+	if boundary == 0 {
+		return math.Inf(1)
+	}
+	return 2 * float64(sizeS) * float64(sizeP-sizeS) / float64(boundary)
+}
+
+// Bisection returns the Eq. 8 specialization of Lemma 1 with |S| = |P|/2:
+// E_max ≥ 2·(|P|/2)² / |∂_b P|.
+func Bisection(sizeP, bisectionWidth int) float64 {
+	half := float64(sizeP) / 2
+	if bisectionWidth == 0 {
+		return math.Inf(1)
+	}
+	return 2 * half * half / float64(bisectionWidth)
+}
+
+// CorollaryBisectionCeiling returns the Corollary 1 upper bound on the
+// bisection width of T^d_k with respect to any placement: 6·d·k^{d−1}
+// directed edges.
+func CorollaryBisectionCeiling(k, d int) float64 {
+	return 6 * float64(d) * math.Pow(float64(k), float64(d-1))
+}
+
+// Theorem1Width returns the bisection width 4·k^{d−1} (directed edges) that
+// Theorem 1 guarantees for uniform placements via two antipodal dimension
+// cuts.
+func Theorem1Width(k, d int) float64 {
+	return 4 * math.Pow(float64(k), float64(d-1))
+}
+
+// MaxPlacementSize returns the Eq. 9 ceiling on the size of a placement
+// that keeps the load linear with constant c1 (E_max = c1·|P|):
+// |P| ≤ 12·d·c1·k^{d−1}.
+func MaxPlacementSize(c1 float64, k, d int) float64 {
+	return 12 * float64(d) * c1 * math.Pow(float64(k), float64(d-1))
+}
+
+// Improved returns the §4 dimension-independent lower bound for a uniform
+// placement of size c·k^{d−1}: E_max ≥ c²·k^{d−1} / 8.
+func Improved(c float64, k, d int) float64 {
+	return c * c * math.Pow(float64(k), float64(d-1)) / 8
+}
+
+// BoundaryEdges counts the directed torus edges with exactly one endpoint
+// in the node set S (given as a membership mask over all torus nodes).
+func BoundaryEdges(t *torus.Torus, inS []bool) int {
+	count := 0
+	t.ForEachEdge(func(e torus.Edge) {
+		if inS[t.EdgeSource(e)] != inS[t.EdgeTarget(e)] {
+			count++
+		}
+	})
+	return count
+}
+
+// SingletonBound evaluates Lemma 1 with S = {one processor}: |∂S| = 4d, so
+// the bound reduces to Blaum's (|P|−1)/(2d). Provided for the E1 experiment
+// that verifies the reduction numerically.
+func SingletonBound(p *placement.Placement) float64 {
+	t := p.Torus()
+	if p.Size() == 0 {
+		return 0
+	}
+	inS := make([]bool, t.Nodes())
+	inS[p.Nodes()[0]] = true
+	return Separator(1, p.Size(), BoundaryEdges(t, inS))
+}
+
+// SubsetBound evaluates Lemma 1 for an arbitrary processor subset S,
+// computing |∂S| on the torus. Nodes of S must carry processors of p.
+func SubsetBound(p *placement.Placement, s []torus.Node) float64 {
+	t := p.Torus()
+	inS := make([]bool, t.Nodes())
+	for _, u := range s {
+		if !p.Contains(u) {
+			panic("bounds: subset node is not a processor of the placement")
+		}
+		inS[u] = true
+	}
+	return Separator(len(s), p.Size(), BoundaryEdges(t, inS))
+}
+
+// BestPrefixBound scans Lemma 1 over the prefix subsets of the placement's
+// processors along one dimension (the natural "slab" subsets) and returns
+// the largest lower bound found. It is a cheap heuristic for a good S.
+func BestPrefixBound(p *placement.Placement) float64 {
+	t := p.Torus()
+	best := Blaum(p.Size(), t.D())
+	for dim := 0; dim < t.D(); dim++ {
+		inS := make([]bool, t.Nodes())
+		sizeS := 0
+		for v := 0; v < t.K()-1; v++ {
+			t.ForEachSubtorusNode(torus.Subtorus{Dim: dim, Value: v}, func(u torus.Node) {
+				inS[u] = true
+				if p.Contains(u) {
+					sizeS++
+				}
+			})
+			if sizeS == 0 || sizeS == p.Size() {
+				continue
+			}
+			if b := Separator(sizeS, p.Size(), BoundaryEdges(t, inS)); b > best {
+				best = b
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,81 @@
+// Package bsp estimates the Bulk-Synchronous Parallel cost parameters of a
+// partially populated torus. The paper frames complete exchange as central
+// to BSP-style computing (Valiant [15], Gerbessiotis & Valiant [8]); here
+// the connection is made quantitative: an h-relation (every processor sends
+// and receives at most h messages) is executed on the cycle simulator for a
+// range of h, and the superstep cost model
+//
+//	cycles(h) ≈ g·h + L
+//
+// is fitted by least squares, yielding the machine's gap g (cycles per
+// message per processor at saturation) and latency L. A placement scales in
+// the BSP sense when g stays bounded as the machine grows — which is the
+// load-linearity property the paper's placements are designed for.
+package bsp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/simnet"
+	"torusnet/internal/stats"
+)
+
+// Params are fitted BSP machine parameters, in cycles.
+type Params struct {
+	G float64 // gap: marginal cycles per unit of h
+	L float64 // latency/overhead: intercept
+}
+
+// String renders the parameters.
+func (p Params) String() string { return fmt.Sprintf("g=%.3f L=%.3f", p.G, p.L) }
+
+// Sample is one measured superstep.
+type Sample struct {
+	H      int
+	Cycles int
+}
+
+// HRelation builds a balanced h-relation on the placement: the union of h
+// random derangement-ish permutations of the processors, so every processor
+// sends exactly h messages and receives exactly h (self-mappings are
+// dropped, so a few processors may fall one short — the standard "at most
+// h" definition).
+func HRelation(p *placement.Placement, h int, seed int64) []load.Demand {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := p.Nodes()
+	var out []load.Demand
+	for round := 0; round < h; round++ {
+		perm := rng.Perm(len(nodes))
+		for i, j := range perm {
+			if i != j {
+				out = append(out, load.Demand{Src: nodes[i], Dst: nodes[j], Weight: 1})
+			}
+		}
+	}
+	return out
+}
+
+// Estimate runs h-relations for h = 1..hmax and fits cycles = g·h + L.
+func Estimate(p *placement.Placement, alg routing.Algorithm, hmax int, seed int64) (Params, []Sample) {
+	if hmax < 2 {
+		hmax = 2
+	}
+	samples := make([]Sample, 0, hmax)
+	hs := make([]float64, 0, hmax)
+	cy := make([]float64, 0, hmax)
+	for h := 1; h <= hmax; h++ {
+		demands := HRelation(p, h, seed+int64(h))
+		st := simnet.Run(simnet.Config{
+			Placement: p, Algorithm: alg, Seed: seed, Demands: demands,
+		})
+		samples = append(samples, Sample{H: h, Cycles: st.Cycles})
+		hs = append(hs, float64(h))
+		cy = append(cy, float64(st.Cycles))
+	}
+	l, g := stats.LinearFit(hs, cy)
+	return Params{G: g, L: l}, samples
+}

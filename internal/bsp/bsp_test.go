@@ -1,0 +1,109 @@
+package bsp
+
+import (
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestHRelationBalance(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, h := range []int{1, 3, 5} {
+		demands := HRelation(p, h, 7)
+		sent := make(map[torus.Node]int)
+		recv := make(map[torus.Node]int)
+		for _, dm := range demands {
+			if dm.Src == dm.Dst {
+				t.Fatal("self demand")
+			}
+			if !p.Contains(dm.Src) || !p.Contains(dm.Dst) {
+				t.Fatal("demand endpoint off the placement")
+			}
+			sent[dm.Src]++
+			recv[dm.Dst]++
+		}
+		for _, u := range p.Nodes() {
+			if sent[u] > h || recv[u] > h {
+				t.Fatalf("h=%d: node %d sends %d receives %d", h, u, sent[u], recv[u])
+			}
+		}
+		if len(demands) > h*p.Size() || len(demands) < h*(p.Size()-h) {
+			t.Fatalf("h=%d: %d demands out of expected range", h, len(demands))
+		}
+	}
+}
+
+func TestHRelationDeterministic(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := HRelation(p, 2, 3)
+	b := HRelation(p, 2, 3)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same relation")
+		}
+	}
+}
+
+func TestEstimateProducesMonotoneSamples(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	params, samples := Estimate(p, routing.UDR{}, 5, 1)
+	if len(samples) != 5 {
+		t.Fatalf("samples %d", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycles < samples[i-1].Cycles {
+			t.Errorf("cycles not nondecreasing in h: %+v", samples)
+			break
+		}
+	}
+	if params.G <= 0 {
+		t.Errorf("gap %v should be positive", params.G)
+	}
+	if params.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestLinearPlacementGapScales(t *testing.T) {
+	// The BSP view of the paper's headline: the linear placement's gap
+	// stays bounded as k grows, because each processor's traffic meets
+	// only linear contention.
+	var gaps []float64
+	for _, k := range []int{4, 6, 8} {
+		tr := torus.New(k, 2)
+		p := build(t, placement.Linear{C: 0}, tr)
+		params, _ := Estimate(p, routing.UDR{}, 4, 2)
+		gaps = append(gaps, params.G)
+	}
+	for _, g := range gaps {
+		if g > 12 {
+			t.Errorf("linear placement gap %v unexpectedly large (gaps: %v)", g, gaps)
+		}
+	}
+}
+
+func TestEstimateClampsHmax(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	_, samples := Estimate(p, routing.ODR{}, 0, 1)
+	if len(samples) != 2 {
+		t.Errorf("hmax clamp failed: %d samples", len(samples))
+	}
+}

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+func TestParsePlacementVariants(t *testing.T) {
+	tr := torus.New(6, 2)
+	cases := []struct {
+		spec string
+		size int
+	}{
+		{"linear", 6},
+		{"linear:3", 6},
+		{"multi:2", 12},
+		{"multi:3:1", 18},
+		{"diagonal", 6},
+		{"diagonal:2", 6},
+		{"full", 36},
+		{"random:10", 10},
+		{"random:10:7", 10},
+	}
+	for _, c := range cases {
+		spec, err := ParsePlacement(c.spec)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		p, err := spec.Build(tr)
+		if err != nil {
+			t.Errorf("%q build: %v", c.spec, err)
+			continue
+		}
+		if p.Size() != c.size {
+			t.Errorf("%q: size %d, want %d", c.spec, p.Size(), c.size)
+		}
+	}
+}
+
+func TestParsePlacementErrors(t *testing.T) {
+	for _, spec := range []string{"", "blah", "linear:x", "multi", "multi:x", "multi:2:y", "random", "random:x", "diagonal:z"} {
+		if _, err := ParsePlacement(spec); err == nil {
+			t.Errorf("%q should fail", spec)
+		}
+	}
+}
+
+func TestParsePlacementSeedDefault(t *testing.T) {
+	spec, err := ParsePlacement("random:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := spec.(placement.Random)
+	if !ok || r.Seed != 1 {
+		t.Errorf("default seed: %+v", spec)
+	}
+}
+
+func TestParseRouting(t *testing.T) {
+	for name, want := range map[string]string{
+		"odr": "ODR", "ODR": "ODR", "odr-multi": "ODR-multi", "odrmulti": "ODR-multi",
+		"udr": "UDR", "udr-multi": "UDR-multi", "FAR": "FAR",
+	} {
+		alg, err := ParseRouting(name)
+		if err != nil {
+			t.Errorf("%q: %v", name, err)
+			continue
+		}
+		if alg.Name() != want {
+			t.Errorf("%q -> %q, want %q", name, alg.Name(), want)
+		}
+	}
+	if _, err := ParseRouting("dijkstra"); err == nil {
+		t.Error("unknown routing should fail")
+	}
+}

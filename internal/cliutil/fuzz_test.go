@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"testing"
+
+	"torusnet/internal/torus"
+)
+
+// FuzzParsePlacement checks the parser never panics and that accepted specs
+// actually build on a small torus or fail with a clean error.
+func FuzzParsePlacement(f *testing.F) {
+	for _, seed := range []string{
+		"linear", "linear:3", "multi:2", "multi:2:1", "diagonal:1",
+		"full", "random:5:9", "", "bogus", "linear:x", "multi::",
+		"random:-1", "multi:999", ":", "linear:3:4:5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		parsed, err := ParsePlacement(spec)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		tr := torus.New(4, 2)
+		p, err := parsed.Build(tr)
+		if err != nil {
+			return // out-of-range counts etc. fail cleanly
+		}
+		if p.Size() < 0 || p.Size() > tr.Nodes() {
+			t.Fatalf("spec %q built impossible placement of size %d", spec, p.Size())
+		}
+	})
+}
+
+func FuzzParseRouting(f *testing.F) {
+	for _, seed := range []string{"odr", "udr", "far", "ODR-MULTI", "", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		alg, err := ParseRouting(name)
+		if err == nil && alg == nil {
+			t.Fatalf("nil algorithm accepted for %q", name)
+		}
+	})
+}

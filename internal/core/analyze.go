@@ -1,0 +1,124 @@
+// Package core ties the substrates together into the paper's top-level
+// question: is a given (placement, routing algorithm) pair optimal — does
+// it achieve maximum load linear in |P| with |P| = Θ(k^{d−1}) processors?
+//
+// Analyze runs the exact load engine, evaluates every lower bound the paper
+// provides (Eq. 1, Lemma 1 via the bisection constructions, the §4 improved
+// bound), constructs Theorem 1 and sweep bisections, and reports the
+// optimality ratio E_max / bestLowerBound.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"torusnet/internal/bisect"
+	"torusnet/internal/bounds"
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+)
+
+// Report is the complete analysis of one placement + routing algorithm.
+type Report struct {
+	Placement *placement.Placement
+	Algorithm string
+
+	// Load results (Definition 4).
+	Load *load.Result
+
+	// Lower bounds on E_max.
+	BlaumBound     float64 // Eq. 1: (|P|−1)/2d
+	BisectionBound float64 // Eq. 8 using the sweep cut width
+	ImprovedBound  float64 // §4: c²k^{d−1}/8 (uniform placements only, else 0)
+
+	// Bisection data.
+	SweepCut     *bisect.Cut
+	DimensionCut *bisect.Cut
+
+	// Density constant c with |P| = c·k^{d−1}.
+	DensityC float64
+	// Uniform reports placement uniformity (premise of Theorem 1 and §4).
+	Uniform bool
+
+	// OptimalityRatio is E_max divided by the best available lower bound;
+	// a bounded ratio as k grows certifies the placement optimal in the
+	// paper's sense.
+	OptimalityRatio float64
+	// LoadPerProcessor is E_max / |P|, the linearity constant c1.
+	LoadPerProcessor float64
+}
+
+// Analyze runs the full pipeline. Workers configures the load engine.
+func Analyze(p *placement.Placement, alg routing.Algorithm, workers int) *Report {
+	t := p.Torus()
+	rep := &Report{
+		Placement: p,
+		Algorithm: alg.Name(),
+		Load:      load.Compute(p, alg, load.Options{Workers: workers}),
+	}
+	rep.BlaumBound = bounds.Blaum(p.Size(), t.D())
+	rep.Uniform = p.IsUniform()
+
+	kd1 := 1.0
+	for i := 0; i < t.D()-1; i++ {
+		kd1 *= float64(t.K())
+	}
+	rep.DensityC = float64(p.Size()) / kd1
+
+	rep.SweepCut = bisect.Sweep(p)
+	rep.DimensionCut = bisect.BestDimensionCut(p)
+	rep.BisectionBound = bounds.Bisection(p.Size(), rep.SweepCut.Width())
+	if rep.DimensionCut.Balanced() {
+		if b := bounds.Bisection(p.Size(), rep.DimensionCut.Width()); b > rep.BisectionBound {
+			rep.BisectionBound = b
+		}
+	}
+	if rep.Uniform {
+		rep.ImprovedBound = bounds.Improved(rep.DensityC, t.K(), t.D())
+	}
+
+	best := rep.BlaumBound
+	if rep.BisectionBound > best {
+		best = rep.BisectionBound
+	}
+	if rep.ImprovedBound > best {
+		best = rep.ImprovedBound
+	}
+	if best > 0 {
+		rep.OptimalityRatio = rep.Load.Max / best
+	}
+	if p.Size() > 0 {
+		rep.LoadPerProcessor = rep.Load.Max / float64(p.Size())
+	}
+	return rep
+}
+
+// BestLowerBound returns the strongest of the evaluated lower bounds.
+func (r *Report) BestLowerBound() float64 {
+	best := r.BlaumBound
+	if r.BisectionBound > best {
+		best = r.BisectionBound
+	}
+	if r.ImprovedBound > best {
+		best = r.ImprovedBound
+	}
+	return best
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	t := r.Placement.Torus()
+	fmt.Fprintf(&sb, "placement %s under %s\n", r.Placement, r.Algorithm)
+	fmt.Fprintf(&sb, "  |P| = %d = %.3f·k^%d, uniform=%v\n", r.Placement.Size(), r.DensityC, t.D()-1, r.Uniform)
+	fmt.Fprintf(&sb, "  E_max = %.4f (%.4f per processor) at %s\n",
+		r.Load.Max, r.LoadPerProcessor, t.EdgeString(r.Load.MaxEdge))
+	fmt.Fprintf(&sb, "  bounds: Blaum=%.4f bisection=%.4f improved=%.4f\n",
+		r.BlaumBound, r.BisectionBound, r.ImprovedBound)
+	fmt.Fprintf(&sb, "  cuts: sweep width=%d (%d|%d), dimension width=%d (%d|%d)\n",
+		r.SweepCut.Width(), r.SweepCut.ProcsA, r.SweepCut.ProcsB,
+		r.DimensionCut.Width(), r.DimensionCut.ProcsA, r.DimensionCut.ProcsB)
+	fmt.Fprintf(&sb, "  optimality ratio = %.4f\n", r.OptimalityRatio)
+	return sb.String()
+}

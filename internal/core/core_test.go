@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestAnalyzeLinearODR(t *testing.T) {
+	tr := torus.New(6, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	rep := Analyze(p, routing.ODR{}, 0)
+
+	if !rep.Uniform {
+		t.Error("linear placement should be uniform")
+	}
+	if rep.DensityC != 1 {
+		t.Errorf("density c = %v, want 1", rep.DensityC)
+	}
+	if rep.Load.Max <= 0 {
+		t.Error("E_max should be positive")
+	}
+	// E_max must respect every lower bound.
+	if rep.Load.Max < rep.BlaumBound {
+		t.Errorf("E_max %v below Blaum bound %v", rep.Load.Max, rep.BlaumBound)
+	}
+	if rep.Load.Max < rep.BisectionBound {
+		t.Errorf("E_max %v below bisection bound %v", rep.Load.Max, rep.BisectionBound)
+	}
+	if rep.Load.Max < rep.ImprovedBound {
+		t.Errorf("E_max %v below improved bound %v", rep.Load.Max, rep.ImprovedBound)
+	}
+	if rep.OptimalityRatio < 1 {
+		t.Errorf("optimality ratio %v < 1 (bound exceeded measurement?)", rep.OptimalityRatio)
+	}
+	if rep.LoadPerProcessor <= 0 || rep.LoadPerProcessor > 0.51 {
+		t.Errorf("load per processor %v outside (0, 1/2]", rep.LoadPerProcessor)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestAnalyzeBoundedOptimalityAcrossK(t *testing.T) {
+	// Optimality certification: the ratio E_max / bestLowerBound stays
+	// bounded as k grows, for both routing algorithms.
+	for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}} {
+		var ratios []float64
+		for _, k := range []int{4, 6, 8} {
+			tr := torus.New(k, 2)
+			p := build(t, placement.Linear{C: 0}, tr)
+			rep := Analyze(p, alg, 0)
+			ratios = append(ratios, rep.OptimalityRatio)
+		}
+		for i, r := range ratios {
+			if r <= 0 || r > 16 {
+				t.Errorf("%s: ratio[%d] = %v unbounded", alg.Name(), i, r)
+			}
+		}
+	}
+}
+
+func TestAnalyzeNonUniformSkipsImprovedBound(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Random{Count: 5, Seed: 3}, tr)
+	rep := Analyze(p, routing.ODR{}, 0)
+	if rep.Uniform {
+		t.Skip("random placement happened to be uniform")
+	}
+	if rep.ImprovedBound != 0 {
+		t.Errorf("improved bound %v should be unset for non-uniform placements", rep.ImprovedBound)
+	}
+	if rep.BestLowerBound() <= 0 {
+		t.Error("best lower bound should still be positive")
+	}
+}
+
+func TestBestLowerBoundIsMax(t *testing.T) {
+	tr := torus.New(6, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	rep := Analyze(p, routing.ODR{}, 0)
+	best := rep.BestLowerBound()
+	if best < rep.BlaumBound || best < rep.BisectionBound || best < rep.ImprovedBound {
+		t.Error("BestLowerBound is not the maximum")
+	}
+}
+
+func TestFigure1Placement(t *testing.T) {
+	p, err := Figure1Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Fig. 1 placement has %d processors, want 3", p.Size())
+	}
+	tr := p.Torus()
+	if tr.K() != 3 || tr.D() != 2 {
+		t.Fatalf("Fig. 1 torus is %s, want T^2_3", tr)
+	}
+	// All three on the anti-diagonal p1+p2 ≡ 0.
+	for _, u := range p.Nodes() {
+		if (tr.Coord(u, 0)+tr.Coord(u, 1))%3 != 0 {
+			t.Errorf("processor %v not on the linear placement", tr.Coords(u))
+		}
+	}
+}
+
+func TestUsedLinksSubsetOfTotal(t *testing.T) {
+	p, _ := Figure1Placement()
+	for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}, routing.FAR{}} {
+		used, total := UsedLinks(p, alg)
+		if len(used) == 0 || len(used) > total {
+			t.Errorf("%s: used %d of %d", alg.Name(), len(used), total)
+		}
+	}
+}
+
+func TestUDRHighlightsAtLeastAsManyLinksAsODR(t *testing.T) {
+	// Fig. 1's point: more specified paths → more (redundant) links.
+	p, _ := Figure1Placement()
+	usedODR, _ := UsedLinks(p, routing.ODR{})
+	usedUDR, _ := UsedLinks(p, routing.UDR{})
+	if len(usedUDR) < len(usedODR) {
+		t.Errorf("UDR highlights %d links, ODR %d", len(usedUDR), len(usedODR))
+	}
+	for e := range usedODR {
+		if !usedUDR[e] {
+			t.Errorf("ODR link %d missing from UDR set", e)
+		}
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	p, _ := Figure1Placement()
+	art, err := RenderFigure1(p, routing.UDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(art, "#") != 3 {
+		t.Errorf("expected 3 processor marks, got %d in:\n%s", strings.Count(art, "#"), art)
+	}
+	if strings.Count(art, "o") != 6 {
+		t.Errorf("expected 6 router marks, got %d", strings.Count(art, "o"))
+	}
+	if !strings.Contains(art, "=") {
+		t.Error("no highlighted horizontal links rendered")
+	}
+}
+
+func TestRenderFigure1RejectsHigherDimensions(t *testing.T) {
+	tr := torus.New(3, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	if _, err := RenderFigure1(p, routing.ODR{}); err == nil {
+		t.Error("3-dimensional torus should not render")
+	}
+}
+
+func TestFigure1Summary(t *testing.T) {
+	s, err := Figure1Summary(routing.UDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "T^2_3 with 3 processors") {
+		t.Errorf("summary header missing:\n%s", s)
+	}
+	// 6 ordered pairs listed.
+	if got := strings.Count(s, "->"); got != 6 {
+		t.Errorf("summary lists %d pairs, want 6", got)
+	}
+}
+
+func TestAnalyzeFull(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	rep := AnalyzeFull(p, routing.UDR{}, 0)
+	if rep.Report == nil || rep.Faults == nil || rep.Schedule == nil {
+		t.Fatal("incomplete full report")
+	}
+	if rep.Faults.Pairs != p.Pairs() {
+		t.Errorf("fault pairs %d", rep.Faults.Pairs)
+	}
+	if rep.Coverage.CoveringRadius != 2 { // ⌊5/2⌋
+		t.Errorf("covering radius %d, want 2", rep.Coverage.CoveringRadius)
+	}
+	if rep.Schedule.Length < rep.Schedule.LowerBound() {
+		t.Error("schedule below floor")
+	}
+	s := rep.String()
+	for _, want := range []string{"fault tolerance", "coverage", "schedule"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("full report missing %q section", want)
+		}
+	}
+}

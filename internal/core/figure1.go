@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// Figure1Placement reproduces the placement of the paper's Fig. 1: three
+// processors on T²₃. The figure places them on the main diagonal — the
+// linear placement p₁+p₂ ≡ 0 (mod 3) — which also makes it the d = 2
+// instance of the paper's running construction.
+func Figure1Placement() (*placement.Placement, error) {
+	t := torus.New(3, 2)
+	return placement.Linear{C: 0}.Build(t)
+}
+
+// UsedLinks returns the set of directed links that appear on at least one
+// routing path between some processor pair (the "highlighted" links of
+// Fig. 1), together with the total link count.
+func UsedLinks(p *placement.Placement, alg routing.Algorithm) (used map[torus.Edge]bool, total int) {
+	t := p.Torus()
+	used = make(map[torus.Edge]bool)
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if src == dst {
+				continue
+			}
+			alg.ForEachPath(t, src, dst, func(path routing.Path) bool {
+				for _, e := range path.Edges {
+					used[e] = true
+				}
+				return true
+			})
+		}
+	}
+	return used, t.Edges()
+}
+
+// RenderFigure1 draws a 2-dimensional torus as ASCII art, marking processor
+// nodes with '#', router-only nodes with 'o', and links on specified
+// routing paths with '=' / '"' (highlighted) versus '-' / ':' (unused).
+// Wrap links are listed below the grid. Only d = 2 tori can be rendered.
+func RenderFigure1(p *placement.Placement, alg routing.Algorithm) (string, error) {
+	t := p.Torus()
+	if t.D() != 2 {
+		return "", fmt.Errorf("core: can only render 2-dimensional tori, got d=%d", t.D())
+	}
+	used, _ := UsedLinks(p, alg)
+	k := t.K()
+
+	highlightH := func(x, y int) bool {
+		// Either direction of the horizontal link between (x,y) and (x+1,y).
+		u := t.NodeAt([]int{x, y})
+		v := t.NodeAt([]int{(x + 1) % k, y})
+		return used[t.EdgeFrom(u, 0, torus.Plus)] || used[t.EdgeFrom(v, 0, torus.Minus)]
+	}
+	highlightV := func(x, y int) bool {
+		u := t.NodeAt([]int{x, y})
+		v := t.NodeAt([]int{x, (y + 1) % k})
+		return used[t.EdgeFrom(u, 1, torus.Plus)] || used[t.EdgeFrom(v, 1, torus.Minus)]
+	}
+
+	var sb strings.Builder
+	// Draw rows top (y = k−1) to bottom (y = 0) like the paper's figure.
+	for y := k - 1; y >= 0; y-- {
+		// Node row with horizontal links.
+		for x := 0; x < k; x++ {
+			u := t.NodeAt([]int{x, y})
+			if p.Contains(u) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('o')
+			}
+			if x < k-1 {
+				if highlightH(x, y) {
+					sb.WriteString("===")
+				} else {
+					sb.WriteString("---")
+				}
+			}
+		}
+		if highlightH(k-1, y) {
+			sb.WriteString("  ==wrap")
+		}
+		sb.WriteByte('\n')
+		// Vertical link row.
+		if y > 0 {
+			for x := 0; x < k; x++ {
+				if highlightV(x, y-1) {
+					sb.WriteByte('"')
+				} else {
+					sb.WriteByte(':')
+				}
+				if x < k-1 {
+					sb.WriteString("   ")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	// Bottom wrap links (vertical, between y = k−1 and y = 0).
+	wrapCols := []string{}
+	for x := 0; x < k; x++ {
+		if highlightV(x, k-1) {
+			wrapCols = append(wrapCols, fmt.Sprintf("x=%d", x))
+		}
+	}
+	if len(wrapCols) > 0 {
+		fmt.Fprintf(&sb, "vertical wrap links highlighted: %s\n", strings.Join(wrapCols, ", "))
+	}
+	return sb.String(), nil
+}
+
+// Figure1Summary reports, for the Fig. 1 scenario, the processor
+// coordinates, the number of highlighted links, and per-pair path counts —
+// the data a reader checks the figure against.
+func Figure1Summary(alg routing.Algorithm) (string, error) {
+	p, err := Figure1Placement()
+	if err != nil {
+		return "", err
+	}
+	t := p.Torus()
+	used, total := UsedLinks(p, alg)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T^2_3 with %d processors at:", p.Size())
+	for _, u := range p.Nodes() {
+		fmt.Fprintf(&sb, " %v", t.Coords(u))
+	}
+	fmt.Fprintf(&sb, "\nrouting %s: %d of %d directed links highlighted\n", alg.Name(), len(used), total)
+	type pairInfo struct {
+		src, dst torus.Node
+		count    float64
+	}
+	var pairs []pairInfo
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if src != dst {
+				pairs = append(pairs, pairInfo{src, dst, alg.PathCount(t, src, dst)})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	for _, pr := range pairs {
+		fmt.Fprintf(&sb, "  %v -> %v: %g path(s)\n", t.Coords(pr.src), t.Coords(pr.dst), pr.count)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"torusnet/internal/cover"
+	"torusnet/internal/faults"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/schedule"
+)
+
+// FullReport extends Report with the fault-tolerance, coverage, and
+// scheduling views — everything a system designer would want before
+// committing to a placement.
+type FullReport struct {
+	*Report
+	Faults   *faults.Report
+	Coverage cover.Report
+	Schedule *schedule.Result
+}
+
+// AnalyzeFull runs the complete pipeline: loads and bounds (Analyze),
+// route-multiplicity and critical-link analysis, covering/packing metrics,
+// and a greedy conflict-free schedule of one complete exchange.
+func AnalyzeFull(p *placement.Placement, alg routing.Algorithm, workers int) *FullReport {
+	return &FullReport{
+		Report:   Analyze(p, alg, workers),
+		Faults:   faults.Analyze(p, alg, workers),
+		Coverage: cover.Analyze(p),
+		Schedule: schedule.CompleteExchange(p, alg, 1, schedule.LongestFirst),
+	}
+}
+
+// String renders the full report.
+func (r *FullReport) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Report.String())
+	fmt.Fprintf(&sb, "  fault tolerance: routes %g..%g (mean %.2f), %d/%d pairs with a critical link, E[broken|1 failure]=%.3f\n",
+		r.Faults.MinRoutes, r.Faults.MaxRoutes, r.Faults.MeanRoutes,
+		r.Faults.PairsWithCritical, r.Faults.Pairs, r.Faults.ExpectedBrokenPairs)
+	fmt.Fprintf(&sb, "  coverage: radius %d, packing distance %d, mean distance %.2f\n",
+		r.Coverage.CoveringRadius, r.Coverage.PackingDistance, r.Coverage.MeanDistance)
+	fmt.Fprintf(&sb, "  schedule: length %d vs floor max(C=%d, D=%d)\n",
+		r.Schedule.Length, r.Schedule.Congestion, r.Schedule.Dilation)
+	return sb.String()
+}

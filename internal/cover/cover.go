@@ -1,0 +1,162 @@
+// Package cover measures placements as resource placements, the framing of
+// the paper's references [3] (Bae & Bose) and [12] (Pitteli & Smitley): how
+// far is any node from the nearest processor (covering radius), how far
+// apart do processors keep from each other (packing distance), and is the
+// placement a perfect Lee-sphere cover. Linear placements have clean closed
+// forms — every unit step changes the residue Σp_i by ±1, so the distance
+// from a node to the placement is exactly the cyclic distance of its
+// residue to the placement's, giving covering radius ⌊k/2⌋ and packing
+// distance 2 — which the tests pin against BFS ground truth.
+package cover
+
+import (
+	"torusnet/internal/lee"
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// DistanceToPlacement returns, for every node, the Lee distance to the
+// nearest processor (multi-source BFS).
+func DistanceToPlacement(p *placement.Placement) []int {
+	t := p.Torus()
+	dist := make([]int, t.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]torus.Node, 0, t.Nodes())
+	for _, u := range p.Nodes() {
+		dist[u] = 0
+		queue = append(queue, u)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for j := 0; j < t.D(); j++ {
+			for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+				v := t.Step(u, j, dir)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// CoveringRadius returns max over nodes of the distance to the nearest
+// processor: every node finds a processor within this radius. Returns -1
+// for an empty placement.
+func CoveringRadius(p *placement.Placement) int {
+	if p.Size() == 0 {
+		return -1
+	}
+	max := 0
+	for _, d := range DistanceToPlacement(p) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// PackingDistance returns the minimum Lee distance between two distinct
+// processors, or -1 when the placement has fewer than two.
+func PackingDistance(p *placement.Placement) int {
+	nodes := p.Nodes()
+	if len(nodes) < 2 {
+		return -1
+	}
+	t := p.Torus()
+	best := -1
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			d := t.LeeDistance(u, v)
+			if best < 0 || d < best {
+				best = d
+				if best == 1 {
+					return 1
+				}
+			}
+		}
+	}
+	return best
+}
+
+// IsPerfectCover reports whether the Lee spheres of radius r around the
+// processors tile the torus exactly: |P| · ballSize(r) = k^d and every
+// node is within r of exactly one processor.
+func IsPerfectCover(p *placement.Placement, r int) bool {
+	t := p.Torus()
+	if p.Size()*lee.BallSize(t.K(), t.D(), r) != t.Nodes() {
+		return false
+	}
+	// Exact tiling: every node within r of exactly one processor. Count
+	// coverage multiplicity by expanding each ball.
+	covered := make([]int, t.Nodes())
+	for _, u := range p.Nodes() {
+		forEachWithin(t, u, r, func(v torus.Node) {
+			covered[v]++
+		})
+	}
+	for _, c := range covered {
+		if c != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachWithin visits every node at Lee distance ≤ r from u (BFS).
+func forEachWithin(t *torus.Torus, u torus.Node, r int, visit func(torus.Node)) {
+	seen := map[torus.Node]bool{u: true}
+	frontier := []torus.Node{u}
+	visit(u)
+	for depth := 0; depth < r; depth++ {
+		var next []torus.Node
+		for _, x := range frontier {
+			for j := 0; j < t.D(); j++ {
+				for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+					v := t.Step(x, j, dir)
+					if !seen[v] {
+						seen[v] = true
+						visit(v)
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// Report bundles the resource-placement metrics of one placement.
+type Report struct {
+	CoveringRadius  int
+	PackingDistance int
+	// MeanDistance is the average node-to-nearest-processor distance.
+	MeanDistance float64
+}
+
+// Analyze computes the Report.
+func Analyze(p *placement.Placement) Report {
+	dist := DistanceToPlacement(p)
+	rep := Report{PackingDistance: PackingDistance(p), CoveringRadius: -1}
+	if p.Size() == 0 {
+		return rep
+	}
+	sum := 0
+	for _, d := range dist {
+		sum += d
+		if d > rep.CoveringRadius {
+			rep.CoveringRadius = d
+		}
+	}
+	rep.MeanDistance = float64(sum) / float64(len(dist))
+	return rep
+}
+
+// LinearCoveringRadius is the closed form for linear placements with unit
+// coefficients: the residue Σp_i changes by exactly ±1 per hop, so the
+// distance from residue r to residue c is their cyclic distance, and the
+// worst node sits ⌊k/2⌋ away.
+func LinearCoveringRadius(k int) int { return k / 2 }

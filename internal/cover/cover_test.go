@@ -1,0 +1,167 @@
+package cover
+
+import (
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestDistanceToPlacementMatchesPerNodeBFS(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Random{Count: 4, Seed: 3}, tr)
+	dist := DistanceToPlacement(p)
+	tr.ForEachNode(func(u torus.Node) {
+		best := -1
+		for _, v := range p.Nodes() {
+			d := tr.LeeDistance(u, v)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if dist[u] != best {
+			t.Fatalf("node %d: multi-source %d, exhaustive %d", u, dist[u], best)
+		}
+	})
+}
+
+func TestLinearCoveringRadiusClosedForm(t *testing.T) {
+	// Linear placements: covering radius is exactly ⌊k/2⌋ (residue walk).
+	for _, c := range []struct{ k, d int }{{4, 2}, {5, 2}, {6, 2}, {7, 2}, {4, 3}, {5, 3}, {6, 3}} {
+		tr := torus.New(c.k, c.d)
+		p := build(t, placement.Linear{C: 0}, tr)
+		if got, want := CoveringRadius(p), LinearCoveringRadius(c.k); got != want {
+			t.Errorf("T^%d_%d: covering radius %d, closed form %d", c.d, c.k, got, want)
+		}
+	}
+}
+
+func TestLinearPackingDistanceIsTwo(t *testing.T) {
+	// Two processors with equal residue sums differ in at least two
+	// coordinate steps, and distance exactly 2 is realized (±1 in two
+	// dimensions), for every k ≥ 3, d ≥ 2.
+	for _, c := range []struct{ k, d int }{{3, 2}, {5, 2}, {4, 3}, {5, 3}} {
+		tr := torus.New(c.k, c.d)
+		p := build(t, placement.Linear{C: 0}, tr)
+		if got := PackingDistance(p); got != 2 {
+			t.Errorf("T^%d_%d: packing distance %d, want 2", c.d, c.k, got)
+		}
+	}
+}
+
+func TestMultipleLinearPackingDistanceIsOne(t *testing.T) {
+	// Adjacent residue classes contain adjacent nodes.
+	tr := torus.New(5, 2)
+	p := build(t, placement.MultipleLinear{T: 2}, tr)
+	if got := PackingDistance(p); got != 1 {
+		t.Errorf("packing distance %d, want 1", got)
+	}
+}
+
+func TestCoveringRadiusFullAndEmpty(t *testing.T) {
+	tr := torus.New(4, 2)
+	full := build(t, placement.Full{}, tr)
+	if got := CoveringRadius(full); got != 0 {
+		t.Errorf("full placement covering radius %d, want 0", got)
+	}
+	empty := placement.New(tr, nil, "empty")
+	if got := CoveringRadius(empty); got != -1 {
+		t.Errorf("empty placement covering radius %d, want -1", got)
+	}
+	if got := PackingDistance(empty); got != -1 {
+		t.Errorf("empty placement packing %d, want -1", got)
+	}
+}
+
+func TestPerfectCoverOnRing(t *testing.T) {
+	// On a ring of 9 nodes, processors every 3 positions form a perfect
+	// radius-1 cover (balls of size 3 tile Z_9).
+	tr := torus.New(9, 1)
+	p := build(t, placement.Explicit{Label: "every3", Coords: [][]int{{0}, {3}, {6}}}, tr)
+	if !IsPerfectCover(p, 1) {
+		t.Error("every-3rd placement should be a perfect radius-1 cover of the 9-ring")
+	}
+	if IsPerfectCover(p, 2) {
+		t.Error("radius 2 should overlap")
+	}
+}
+
+func TestPerfectCoverLeeSphereD2(t *testing.T) {
+	// The classical diagonal perfect code: on T^2_5, the placement
+	// {(i, 2i)} has 5 processors whose radius-1 Lee spheres (size 5) tile
+	// the 25 nodes — the Lee-metric perfect 1-error-correcting code.
+	tr := torus.New(5, 2)
+	coords := make([][]int, 5)
+	for i := 0; i < 5; i++ {
+		coords[i] = []int{i, (2 * i) % 5}
+	}
+	p := build(t, placement.Explicit{Label: "lee-code", Coords: coords}, tr)
+	if !IsPerfectCover(p, 1) {
+		t.Error("the (1,2)-diagonal on T^2_5 should be a perfect Lee code")
+	}
+	if got := CoveringRadius(p); got != 1 {
+		t.Errorf("covering radius %d, want 1", got)
+	}
+	if got := PackingDistance(p); got != 3 {
+		t.Errorf("packing distance %d, want 3 (perfect 1-code has minimum distance 3)", got)
+	}
+}
+
+func TestPerfectCoverRejectsWrongSizes(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	// 4 balls of size 5 ≠ 16 nodes.
+	if IsPerfectCover(p, 1) {
+		t.Error("linear placement on T^2_4 is not a perfect 1-cover")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	tr := torus.New(6, 2)
+	lin := build(t, placement.Linear{C: 0}, tr)
+	rep := Analyze(lin)
+	if rep.CoveringRadius != 3 || rep.PackingDistance != 2 {
+		t.Errorf("linear report: %+v", rep)
+	}
+	if rep.MeanDistance <= 0 || rep.MeanDistance >= float64(rep.CoveringRadius) {
+		t.Errorf("mean distance %v out of range", rep.MeanDistance)
+	}
+	empty := Analyze(placement.New(tr, nil, "empty"))
+	if empty.CoveringRadius != -1 {
+		t.Errorf("empty report: %+v", empty)
+	}
+}
+
+func TestLoadOptimalAndCoverageOptimalDiverge(t *testing.T) {
+	// A key trade-off the cover metrics expose: the linear placement is
+	// load-optimal but coverage-POOR — all its processors sit on one
+	// residue class, so nodes with distant residues are ⌊k/2⌋ away. Random
+	// placements of the same size spread across residues and usually cover
+	// strictly better. (The E23 experiment tabulates this.)
+	tr := torus.New(8, 2)
+	lin := build(t, placement.Linear{C: 0}, tr)
+	linRadius := CoveringRadius(lin)
+	if linRadius != LinearCoveringRadius(8) {
+		t.Fatalf("linear radius %d, closed form %d", linRadius, LinearCoveringRadius(8))
+	}
+	betterOrEqual := 0
+	for seed := int64(0); seed < 8; seed++ {
+		rnd := build(t, placement.Random{Count: lin.Size(), Seed: seed}, tr)
+		if CoveringRadius(rnd) <= linRadius {
+			betterOrEqual++
+		}
+	}
+	if betterOrEqual < 5 {
+		t.Errorf("only %d of 8 random placements cover at least as well as linear's radius %d",
+			betterOrEqual, linRadius)
+	}
+}

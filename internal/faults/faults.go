@@ -1,0 +1,190 @@
+// Package faults quantifies the fault-tolerance argument of §7: ODR pins
+// every processor pair to a single path, so any link on that path is a
+// single point of failure, while UDR offers s! correction orders and
+// (outside degenerate cases) no shared link at all. The package measures
+// critical links per pair, pair survivability under link failures, and the
+// expected damage of a random link failure, and anchors route multiplicity
+// against the max-flow edge-disjointness ceiling.
+package faults
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// CriticalEdges returns the directed links used by *every* path of
+// C^A_{p→q}. If any of them fails, the pair cannot communicate under A.
+func CriticalEdges(a routing.Algorithm, t *torus.Torus, p, q torus.Node) []torus.Edge {
+	var critical map[torus.Edge]bool
+	a.ForEachPath(t, p, q, func(path routing.Path) bool {
+		if critical == nil {
+			critical = make(map[torus.Edge]bool, len(path.Edges))
+			for _, e := range path.Edges {
+				critical[e] = true
+			}
+			return true
+		}
+		onPath := make(map[torus.Edge]bool, len(path.Edges))
+		for _, e := range path.Edges {
+			onPath[e] = true
+		}
+		for e := range critical {
+			if !onPath[e] {
+				delete(critical, e)
+			}
+		}
+		return len(critical) > 0
+	})
+	out := make([]torus.Edge, 0, len(critical))
+	t.ForEachEdge(func(e torus.Edge) {
+		if critical[e] {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// Survives reports whether the pair can still communicate under A when the
+// given links have failed, i.e. some path of C^A_{p→q} avoids all of them.
+func Survives(a routing.Algorithm, t *torus.Torus, p, q torus.Node, failed map[torus.Edge]bool) bool {
+	ok := false
+	a.ForEachPath(t, p, q, func(path routing.Path) bool {
+		for _, e := range path.Edges {
+			if failed[e] {
+				return true // this path is broken; keep looking
+			}
+		}
+		ok = true
+		return false
+	})
+	return ok
+}
+
+// Report aggregates fault metrics for a placement under an algorithm.
+type Report struct {
+	Placement *placement.Placement
+	Algorithm string
+	// Pairs is the number of ordered processor pairs.
+	Pairs int
+	// MinRoutes/MaxRoutes/MeanRoutes summarize |C^A_{p→q}|.
+	MinRoutes, MaxRoutes float64
+	MeanRoutes           float64
+	// TotalCritical is Σ_pairs |critical edges|; dividing by the number of
+	// directed links gives the expected number of ordered pairs
+	// disconnected by one uniformly random link failure.
+	TotalCritical int
+	// PairsWithCritical counts ordered pairs having at least one critical
+	// link (for ODR: all of them; for UDR: only pairs differing in a
+	// single dimension).
+	PairsWithCritical int
+	// ExpectedBrokenPairs = TotalCritical / |E|.
+	ExpectedBrokenPairs float64
+}
+
+// Analyze computes a fault Report. Pair analysis fans out across workers.
+func Analyze(p *placement.Placement, a routing.Algorithm, workers int) *Report {
+	t := p.Torus()
+	procs := p.Nodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(procs) {
+		workers = maxInt(1, len(procs))
+	}
+
+	type partial struct {
+		pairs, totalCritical, pairsWithCritical int
+		minR, maxR, sumR                        float64
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pt := partial{minR: -1}
+			for i := w; i < len(procs); i += workers {
+				src := procs[i]
+				for _, dst := range procs {
+					if dst == src {
+						continue
+					}
+					pt.pairs++
+					routes := a.PathCount(t, src, dst)
+					pt.sumR += routes
+					if pt.minR < 0 || routes < pt.minR {
+						pt.minR = routes
+					}
+					if routes > pt.maxR {
+						pt.maxR = routes
+					}
+					crit := CriticalEdges(a, t, src, dst)
+					pt.totalCritical += len(crit)
+					if len(crit) > 0 {
+						pt.pairsWithCritical++
+					}
+				}
+			}
+			partials[w] = pt
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{Placement: p, Algorithm: a.Name(), MinRoutes: -1}
+	for _, pt := range partials {
+		rep.Pairs += pt.pairs
+		rep.TotalCritical += pt.totalCritical
+		rep.PairsWithCritical += pt.pairsWithCritical
+		rep.MeanRoutes += pt.sumR
+		if pt.pairs > 0 {
+			if rep.MinRoutes < 0 || pt.minR < rep.MinRoutes {
+				rep.MinRoutes = pt.minR
+			}
+			if pt.maxR > rep.MaxRoutes {
+				rep.MaxRoutes = pt.maxR
+			}
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.MeanRoutes /= float64(rep.Pairs)
+	}
+	rep.ExpectedBrokenPairs = float64(rep.TotalCritical) / float64(t.Edges())
+	return rep
+}
+
+// RandomFailureTrial knocks out `failures` uniformly random distinct links
+// and returns the number of ordered processor pairs that cannot communicate
+// under the algorithm.
+func RandomFailureTrial(p *placement.Placement, a routing.Algorithm, failures int, seed int64) int {
+	t := p.Torus()
+	rng := rand.New(rand.NewSource(seed))
+	failed := make(map[torus.Edge]bool, failures)
+	for len(failed) < failures && len(failed) < t.Edges() {
+		failed[torus.Edge(rng.Intn(t.Edges()))] = true
+	}
+	broken := 0
+	procs := p.Nodes()
+	for _, src := range procs {
+		for _, dst := range procs {
+			if dst == src {
+				continue
+			}
+			if !Survives(a, t, src, dst, failed) {
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package faults
+
+import (
+	"testing"
+
+	"torusnet/internal/load"
+	"torusnet/internal/maxflow"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestODREveryPathEdgeIsCritical(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := tr.NodeAt([]int{0, 0})
+	q := tr.NodeAt([]int{2, 1})
+	crit := CriticalEdges(routing.ODR{}, tr, p, q)
+	if want := tr.LeeDistance(p, q); len(crit) != want {
+		t.Errorf("ODR critical edges = %d, want %d (whole path)", len(crit), want)
+	}
+}
+
+func TestUDRMultiDimensionPairsHaveNoCriticalEdges(t *testing.T) {
+	// For s >= 2 the s! UDR orders share no common link: the first hop
+	// already differs between orders starting with different dimensions.
+	tr := torus.New(5, 3)
+	cases := [][2][]int{
+		{{0, 0, 0}, {1, 2, 0}},
+		{{0, 0, 0}, {2, 2, 2}},
+		{{1, 1, 1}, {3, 0, 1}},
+	}
+	for _, c := range cases {
+		p, q := tr.NodeAt(c[0]), tr.NodeAt(c[1])
+		if crit := CriticalEdges(routing.UDR{}, tr, p, q); len(crit) != 0 {
+			t.Errorf("UDR %v->%v: %d critical edges, want 0", c[0], c[1], len(crit))
+		}
+	}
+}
+
+func TestUDRSingleDimensionPairsAreVulnerable(t *testing.T) {
+	// s = 1: UDR degenerates to the single ring path.
+	tr := torus.New(5, 3)
+	p := tr.NodeAt([]int{0, 0, 0})
+	q := tr.NodeAt([]int{2, 0, 0})
+	crit := CriticalEdges(routing.UDR{}, tr, p, q)
+	if len(crit) != 2 {
+		t.Errorf("single-dimension UDR pair: %d critical edges, want 2", len(crit))
+	}
+}
+
+func TestSurvivesDetectsBrokenPair(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := tr.NodeAt([]int{0, 0})
+	q := tr.NodeAt([]int{2, 1})
+	// Fail the first edge of the unique ODR path.
+	var first torus.Edge
+	routing.ODR{}.ForEachPath(tr, p, q, func(path routing.Path) bool {
+		first = path.Edges[0]
+		return false
+	})
+	failed := map[torus.Edge]bool{first: true}
+	if Survives(routing.ODR{}, tr, p, q, failed) {
+		t.Error("ODR pair should not survive the loss of its only path")
+	}
+	if !Survives(routing.UDR{}, tr, p, q, failed) {
+		t.Error("UDR pair should survive via the other correction order")
+	}
+}
+
+func TestSurvivesWithNoFailures(t *testing.T) {
+	tr := torus.New(4, 2)
+	if !Survives(routing.ODR{}, tr, 0, 5, nil) {
+		t.Error("pair should survive with no failures")
+	}
+}
+
+func TestAnalyzeODRvsUDR(t *testing.T) {
+	tr := torus.New(5, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	odr := Analyze(p, routing.ODR{}, 0)
+	udr := Analyze(p, routing.UDR{}, 0)
+
+	if odr.Pairs != p.Pairs() || udr.Pairs != p.Pairs() {
+		t.Fatalf("pair counts: %d, %d, want %d", odr.Pairs, udr.Pairs, p.Pairs())
+	}
+	// ODR: single route per pair, every pair vulnerable.
+	if odr.MinRoutes != 1 || odr.MaxRoutes != 1 {
+		t.Errorf("ODR routes min/max = %v/%v, want 1/1", odr.MinRoutes, odr.MaxRoutes)
+	}
+	if odr.PairsWithCritical != odr.Pairs {
+		t.Errorf("ODR pairs with critical = %d, want all %d", odr.PairsWithCritical, odr.Pairs)
+	}
+	// UDR: up to d! routes; only single-dimension pairs vulnerable.
+	if udr.MaxRoutes != 6 {
+		t.Errorf("UDR max routes = %v, want 3! = 6", udr.MaxRoutes)
+	}
+	if udr.PairsWithCritical >= udr.Pairs {
+		t.Errorf("UDR pairs with critical = %d, want < %d", udr.PairsWithCritical, udr.Pairs)
+	}
+	if udr.ExpectedBrokenPairs >= odr.ExpectedBrokenPairs {
+		t.Errorf("UDR expected damage %v should be below ODR %v",
+			udr.ExpectedBrokenPairs, odr.ExpectedBrokenPairs)
+	}
+}
+
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := Analyze(p, routing.UDR{}, 1)
+	b := Analyze(p, routing.UDR{}, 4)
+	if a.TotalCritical != b.TotalCritical || a.PairsWithCritical != b.PairsWithCritical ||
+		a.MeanRoutes != b.MeanRoutes {
+		t.Errorf("worker counts disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestUDRSingleDimVulnerablePairCount(t *testing.T) {
+	// On a linear placement, the UDR-vulnerable ordered pairs are exactly
+	// those differing in one dimension. Count them independently.
+	tr := torus.New(5, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	want := 0
+	deltas := make([]torus.Delta, tr.D())
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if src != dst && tr.Deltas(src, dst, deltas) == 1 {
+				want++
+			}
+		}
+	}
+	rep := Analyze(p, routing.UDR{}, 0)
+	if rep.PairsWithCritical != want {
+		t.Errorf("UDR vulnerable pairs = %d, want %d", rep.PairsWithCritical, want)
+	}
+}
+
+func TestRandomFailureTrialBounds(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	if got := RandomFailureTrial(p, routing.UDR{}, 0, 1); got != 0 {
+		t.Errorf("no failures should break nothing, got %d", got)
+	}
+	broken := RandomFailureTrial(p, routing.ODR{}, 3, 2)
+	if broken < 0 || broken > p.Pairs() {
+		t.Errorf("broken = %d out of range", broken)
+	}
+	// All links failed: every pair is broken.
+	if got := RandomFailureTrial(p, routing.ODR{}, tr.Edges(), 3); got != p.Pairs() {
+		t.Errorf("total failure should break all %d pairs, got %d", p.Pairs(), got)
+	}
+}
+
+func TestRandomFailureUDRNoWorseThanODR(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for seed := int64(0); seed < 5; seed++ {
+		odr := RandomFailureTrial(p, routing.ODR{}, 4, seed)
+		udr := RandomFailureTrial(p, routing.UDR{}, 4, seed)
+		if udr > odr {
+			t.Errorf("seed %d: UDR broke %d pairs, ODR only %d", seed, udr, odr)
+		}
+	}
+}
+
+func TestRouteCountBelowEdgeDisjointCeiling(t *testing.T) {
+	// UDR provides s! *route choices*, but the torus only has 2d edge-
+	// disjoint paths between any two nodes; verify the ceiling holds where
+	// the route sets are actually disjoint (s <= 2, where s! <= 2d always).
+	tr := torus.New(5, 2)
+	p := tr.NodeAt([]int{0, 0})
+	q := tr.NodeAt([]int{2, 2})
+	if got := maxflow.EdgeConnectivity(tr, p, q); got != 4 {
+		t.Fatalf("edge connectivity = %d, want 4", got)
+	}
+	// The 2 UDR routes for an s=2 pair are edge-disjoint.
+	var paths []routing.Path
+	routing.UDR{}.ForEachPath(tr, p, q, func(pp routing.Path) bool {
+		paths = append(paths, pp)
+		return true
+	})
+	if len(paths) != 2 {
+		t.Fatalf("UDR routes = %d, want 2", len(paths))
+	}
+	used := make(map[torus.Edge]bool)
+	for _, e := range paths[0].Edges {
+		used[e] = true
+	}
+	for _, e := range paths[1].Edges {
+		if used[e] {
+			t.Errorf("UDR s=2 routes share edge %s", tr.EdgeString(e))
+		}
+	}
+}
+
+func TestLoadWithNoFailuresMatchesCompute(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}} {
+		clean := load.Compute(p, alg, load.Options{})
+		degraded := LoadWithFailures(p, alg, nil)
+		if degraded.BrokenPairs != 0 || degraded.ReroutedPairs != 0 {
+			t.Fatalf("%s: phantom failures: %+v", alg.Name(), degraded)
+		}
+		for e := range clean.Loads {
+			if diff := clean.Loads[e] - degraded.Load.Loads[e]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: edge %d: %v vs %v", alg.Name(), e, clean.Loads[e], degraded.Load.Loads[e])
+			}
+		}
+	}
+}
+
+func TestLoadWithFailuresReroutesODR(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	// Fail the first hop of one specific ODR path: that pair must reroute.
+	src, dst := p.Nodes()[0], p.Nodes()[1]
+	var first torus.Edge
+	routing.ODR{}.ForEachPath(tr, src, dst, func(path routing.Path) bool {
+		first = path.Edges[0]
+		return false
+	})
+	failed := map[torus.Edge]bool{first: true}
+	degraded := LoadWithFailures(p, routing.ODR{}, failed)
+	if degraded.ReroutedPairs == 0 {
+		t.Error("expected at least one rerouted pair")
+	}
+	if degraded.BrokenPairs != 0 {
+		t.Error("single link failure cannot disconnect the torus")
+	}
+	// No load on the failed link.
+	if degraded.Load.Loads[first] != 0 {
+		t.Errorf("failed link carries load %v", degraded.Load.Loads[first])
+	}
+	// Conservation is now an inequality: detours can lengthen paths.
+	if degraded.Load.Total < load.ExpectedTotal(p)-1e-9 {
+		t.Errorf("degraded total %v below clean total %v", degraded.Load.Total, load.ExpectedTotal(p))
+	}
+}
+
+func TestLoadWithFailuresUDRRedistributes(t *testing.T) {
+	// With UDR, failing one link of a 2-route pair shifts all weight to
+	// the surviving route without any BFS fallback.
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	src, dst := p.Nodes()[0], p.Nodes()[1]
+	var paths []routing.Path
+	routing.UDR{}.ForEachPath(tr, src, dst, func(path routing.Path) bool {
+		paths = append(paths, path)
+		return true
+	})
+	if len(paths) != 2 {
+		t.Skip("pair does not have exactly 2 routes")
+	}
+	failed := map[torus.Edge]bool{paths[0].Edges[0]: true}
+	degraded := LoadWithFailures(p, routing.UDR{}, failed)
+	if degraded.ReroutedPairs != 0 {
+		t.Error("UDR should survive via its second route, not BFS")
+	}
+	// The survivor's first edge now carries this pair's full unit (plus
+	// whatever other pairs contribute) — at least 1 in total from src.
+	if degraded.Load.Loads[paths[1].Edges[0]] < 1 {
+		t.Errorf("surviving route underloaded: %v", degraded.Load.Loads[paths[1].Edges[0]])
+	}
+}
+
+func TestLoadWithFailuresDisconnection(t *testing.T) {
+	// Isolate one processor completely: its pairs break in both directions.
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	victim := p.Nodes()[0]
+	failed := make(map[torus.Edge]bool)
+	for j := 0; j < tr.D(); j++ {
+		for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+			out := tr.EdgeFrom(victim, j, dir)
+			failed[out] = true
+			failed[tr.Reverse(out)] = true
+		}
+	}
+	degraded := LoadWithFailures(p, routing.UDR{}, failed)
+	want := 2 * (p.Size() - 1) // both directions for every partner
+	if degraded.BrokenPairs != want {
+		t.Errorf("broken pairs %d, want %d", degraded.BrokenPairs, want)
+	}
+}
+
+func TestRandomFailuresDeterministic(t *testing.T) {
+	tr := torus.New(4, 2)
+	a := RandomFailures(tr, 5, 7)
+	b := RandomFailures(tr, 5, 7)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatal("wrong count")
+	}
+	for e := range a {
+		if !b[e] {
+			t.Fatal("same seed must give same failures")
+		}
+	}
+	all := RandomFailures(tr, tr.Edges()+10, 1)
+	if len(all) != tr.Edges() {
+		t.Errorf("over-request should cap at %d, got %d", tr.Edges(), len(all))
+	}
+}
+
+func TestDegradedEMaxGrowsWithFailures(t *testing.T) {
+	// More failures generally concentrate more load; at minimum the
+	// degraded E_max never falls below the clean E_max under UDR here.
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	clean := load.Compute(p, routing.UDR{}, load.Options{})
+	degraded := LoadWithFailures(p, routing.UDR{}, RandomFailures(tr, 6, 3))
+	if degraded.Load.Max < clean.Max-1e-9 {
+		t.Errorf("degraded E_max %v below clean %v", degraded.Load.Max, clean.Max)
+	}
+}

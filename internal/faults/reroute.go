@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"math/rand"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// DegradedResult is the load picture of a complete exchange on a torus
+// with failed links.
+type DegradedResult struct {
+	// Load is the per-edge expected load after redistribution/rerouting.
+	Load *load.Result
+	// ReroutedPairs used the BFS fallback (all algorithm routes broken).
+	ReroutedPairs int
+	// BrokenPairs could not communicate at all (network disconnected).
+	BrokenPairs int
+	// Detoured counts fallback paths longer than the Lee distance.
+	Detoured int
+}
+
+// LoadWithFailures recomputes the complete-exchange load when the given
+// links have failed. Pairs redistribute uniformly over their surviving
+// algorithm routes; pairs with no surviving route fall back to a
+// deterministic BFS shortest path in the degraded network (a detour, no
+// longer necessarily minimal); pairs in a disconnected component are
+// counted broken and carry no load.
+func LoadWithFailures(p *placement.Placement, alg routing.Algorithm, failed map[torus.Edge]bool) *DegradedResult {
+	t := p.Torus()
+	loads := make([]float64, t.Edges())
+	res := &DegradedResult{}
+
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if dst == src {
+				continue
+			}
+			var survivors []routing.Path
+			alg.ForEachPath(t, src, dst, func(path routing.Path) bool {
+				for _, e := range path.Edges {
+					if failed[e] {
+						return true
+					}
+				}
+				survivors = append(survivors, path)
+				return true
+			})
+			if len(survivors) > 0 {
+				w := 1.0 / float64(len(survivors))
+				for _, path := range survivors {
+					for _, e := range path.Edges {
+						loads[e] += w
+					}
+				}
+				continue
+			}
+			detour := bfsPath(t, src, dst, failed)
+			if detour == nil {
+				res.BrokenPairs++
+				continue
+			}
+			res.ReroutedPairs++
+			if len(detour) > t.LeeDistance(src, dst) {
+				res.Detoured++
+			}
+			for _, e := range detour {
+				loads[e]++
+			}
+		}
+	}
+	res.Load = load.NewResultFromLoads(t, p, alg.Name()+"/degraded", loads)
+	return res
+}
+
+// bfsPath finds a shortest path avoiding failed links, deterministically
+// (lowest edge index first), returning nil when dst is unreachable.
+func bfsPath(t *torus.Torus, src, dst torus.Node, failed map[torus.Edge]bool) []torus.Edge {
+	parent := make([]torus.Edge, t.Nodes())
+	seen := make([]bool, t.Nodes())
+	seen[src] = true
+	queue := []torus.Node{src}
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		u := queue[head]
+		for j := 0; j < t.D() && !found; j++ {
+			for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+				e := t.EdgeFrom(u, j, dir)
+				if failed[e] {
+					continue
+				}
+				v := t.EdgeTarget(e)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				parent[v] = e
+				if v == dst {
+					found = true
+					break
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	var rev []torus.Edge
+	for cur := dst; cur != src; cur = t.EdgeSource(parent[cur]) {
+		rev = append(rev, parent[cur])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// RandomFailures draws n distinct failed links deterministically from seed.
+func RandomFailures(t *torus.Torus, n int, seed int64) map[torus.Edge]bool {
+	rng := rand.New(rand.NewSource(seed))
+	failed := make(map[torus.Edge]bool, n)
+	for len(failed) < n && len(failed) < t.Edges() {
+		failed[torus.Edge(rng.Intn(t.Edges()))] = true
+	}
+	return failed
+}

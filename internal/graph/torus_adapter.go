@@ -1,0 +1,29 @@
+package graph
+
+import "torusnet/internal/torus"
+
+// FromTorus builds the digraph of a torus, one graph edge per directed
+// torus link, in torus edge-index order (graph edge i corresponds to torus
+// edge i in iteration order of adjacency lists built here).
+func FromTorus(t *torus.Torus) *Digraph {
+	g := New(t.Nodes())
+	t.ForEachNode(func(u torus.Node) {
+		for j := 0; j < t.D(); j++ {
+			g.AddEdge(int(u), int(t.Step(u, j, torus.Plus)))
+			g.AddEdge(int(u), int(t.Step(u, j, torus.Minus)))
+		}
+	})
+	return g
+}
+
+// FromTorusWithout builds the torus digraph minus a set of failed directed
+// links, for fault analysis.
+func FromTorusWithout(t *torus.Torus, failed map[torus.Edge]bool) *Digraph {
+	g := New(t.Nodes())
+	t.ForEachEdge(func(e torus.Edge) {
+		if !failed[e] {
+			g.AddEdge(int(t.EdgeSource(e)), int(t.EdgeTarget(e)))
+		}
+	})
+	return g
+}

@@ -1,0 +1,83 @@
+package load
+
+import "math"
+
+// ODRLinearInteriorMax returns the closed-form expression of §6.1 for the
+// maximum load of a linear placement of size k^{d-1} under restricted ODR:
+//
+//	k^{d-1}/8 + k^{d-2}/4          (k even)
+//	k^{d-1}/8 − k^{d-3}/8          (k odd)
+//
+// The paper presents this as E_max, but its busiest-edge census multiplies
+// the ring-pair count by k^{s−2}·k^{d−s−1} residue solutions, which
+// presumes an *interior* correction dimension 2 ≤ s ≤ d−1. Measurement
+// (experiment E6) confirms the expression exactly — for edges of interior
+// dimensions. The global maximum is attained on the first/last dimension
+// instead, where ODR funnels (see ODRLinearMax); both are Θ(k^{d-1}), so
+// Theorem 2's linearity claim is unaffected.
+func ODRLinearInteriorMax(k, d int) float64 {
+	if k%2 == 0 {
+		return math.Pow(float64(k), float64(d-1))/8 + math.Pow(float64(k), float64(d-2))/4
+	}
+	return math.Pow(float64(k), float64(d-1))/8 - math.Pow(float64(k), float64(d-3))/8
+}
+
+// ODRLinearMax returns the measured-and-derived global maximum load of a
+// linear placement of size k^{d-1} under restricted ODR:
+//
+//	k^{d-1}/2                      (k even)
+//	(k^{d-1} − k^{d-2})/2          (k odd)
+//
+// The maximum sits on last-dimension edges: every destination q receives
+// its |P|−1 messages through only the two dim-d in-arcs ODR allows, so the
+// busier arc carries ⌈k/2⌉·k^{d-2}-ish load. (Symmetrically, first-
+// dimension out-edges of each source are equally hot.) This is a factor ~4
+// above the paper's §6.1 expression but still linear in |P| = k^{d-1}, so
+// Theorem 2 stands with constant 1/2 instead of 1/8. Any routing with a
+// fixed final correction dimension in fact obeys E_max ≥ (|P|−k^{d-2})/2
+// here: the |P|−k^{d-2} sources differing from a destination in that
+// dimension all arrive over its 2 final-dimension in-edges.
+func ODRLinearMax(k, d int) float64 {
+	if k%2 == 0 {
+		return math.Pow(float64(k), float64(d-1)) / 2
+	}
+	return (math.Pow(float64(k), float64(d-1)) - math.Pow(float64(k), float64(d-2))) / 2
+}
+
+// ODRRingPairChoices returns the number of admissible (p_s, q_s) choices on
+// a single ring for the busiest edge under restricted ODR (§6.1):
+// (k/2)(k/2+1)/2 for even k, ((k−1)/2)((k−1)/2+1)/2 for odd k.
+func ODRRingPairChoices(k int) int {
+	if k%2 == 0 {
+		h := k / 2
+		return h * (h + 1) / 2
+	}
+	h := (k - 1) / 2
+	return h * (h + 1) / 2
+}
+
+// FullTorusLowerBound returns the §1 bisection-counting lower bound on the
+// maximum load of the fully populated k-even d-dimensional torus:
+// E_max > k^{d+1}/8. It is superlinear in the processor count k^d — the
+// scaling failure that motivates partially populated tori.
+func FullTorusLowerBound(k, d int) float64 {
+	return math.Pow(float64(k), float64(d+1)) / 8
+}
+
+// MultiODRUpperBound returns the Theorem 3 bound t²·k^{d-1} on the maximum
+// load of a multiple linear placement of size t·k^{d-1} under ODR.
+func MultiODRUpperBound(k, d, t int) float64 {
+	return float64(t*t) * math.Pow(float64(k), float64(d-1))
+}
+
+// UDRUpperBound returns the Theorem 4 bound 2^{d-1}·k^{d-1} on the maximum
+// load of a linear placement under UDR.
+func UDRUpperBound(k, d int) float64 {
+	return math.Pow(2, float64(d-1)) * math.Pow(float64(k), float64(d-1))
+}
+
+// MultiUDRUpperBound returns the Theorem 5 bound t²·2^{d-1}·k^{d-1} for
+// multiple linear placements under UDR.
+func MultiUDRUpperBound(k, d, t int) float64 {
+	return float64(t*t) * UDRUpperBound(k, d)
+}

@@ -1,0 +1,181 @@
+// Package load computes the communication load of Definition 4: given a
+// placement P and a routing algorithm A on T^d_k, the load of a directed
+// edge l is the expected number of messages crossing l during one complete
+// exchange (every processor sends one message to every other processor,
+// each message picking a path uniformly from C^A_{p→q}).
+//
+// The engine fans the |P|·(|P|−1) ordered pairs across workers, each with a
+// private per-edge accumulator that is merged once at the end, so there is
+// no shared-write contention and results are deterministic for a fixed
+// worker count. An exact big.Rat engine and a Monte-Carlo estimator provide
+// independent cross-checks.
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// Result holds per-edge expected loads for one (placement, algorithm) pair.
+type Result struct {
+	Torus     *torus.Torus
+	Placement *placement.Placement
+	Algorithm string
+	// Loads[e] is the expected number of messages crossing directed edge e.
+	Loads []float64
+	// Max is the maximum load E_max and MaxEdge attains it.
+	Max     float64
+	MaxEdge torus.Edge
+	// Total is Σ_l E(l); it always equals the sum of Lee distances over all
+	// ordered processor pairs (each message occupies exactly Lee(p,q) edges
+	// in expectation).
+	Total float64
+}
+
+// Options configures the engine.
+type Options struct {
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Compute evaluates the exact expected load of every directed edge.
+func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Result {
+	t := p.Torus()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	procs := p.Nodes()
+	if workers > len(procs) {
+		workers = maxInt(1, len(procs))
+	}
+
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, t.Edges())
+			add := func(e torus.Edge, weight float64) { local[e] += weight }
+			// Static block partition over source processors keeps the
+			// floating-point summation order stable per worker count.
+			for i := w; i < len(procs); i += workers {
+				src := procs[i]
+				for _, dst := range procs {
+					if dst == src {
+						continue
+					}
+					alg.AccumulatePair(t, src, dst, add)
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	loads := make([]float64, t.Edges())
+	for _, local := range partials {
+		for e, v := range local {
+			loads[e] += v
+		}
+	}
+	return newResult(t, p, alg.Name(), loads)
+}
+
+// NewResultFromLoads wraps an externally computed per-edge load vector in
+// a Result (used by the fault-rerouting engine, which redistributes loads
+// itself). The slice is owned by the Result afterwards.
+func NewResultFromLoads(t *torus.Torus, p *placement.Placement, algName string, loads []float64) *Result {
+	return newResult(t, p, algName, loads)
+}
+
+func newResult(t *torus.Torus, p *placement.Placement, algName string, loads []float64) *Result {
+	res := &Result{Torus: t, Placement: p, Algorithm: algName, Loads: loads}
+	for e, v := range loads {
+		res.Total += v
+		if v > res.Max {
+			res.Max = v
+			res.MaxEdge = torus.Edge(e)
+		}
+	}
+	return res
+}
+
+// Mean returns the average load over all directed edges.
+func (r *Result) Mean() float64 {
+	return r.Total / float64(len(r.Loads))
+}
+
+// MeanNonzero returns the average load over edges with nonzero load.
+func (r *Result) MeanNonzero() float64 {
+	sum, n := 0.0, 0
+	for _, v := range r.Loads {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// NonzeroEdges returns the number of edges carrying any load.
+func (r *Result) NonzeroEdges() int {
+	n := 0
+	for _, v := range r.Loads {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PerDimensionMax returns E_max restricted to edges of each dimension.
+func (r *Result) PerDimensionMax() []float64 {
+	out := make([]float64, r.Torus.D())
+	for e, v := range r.Loads {
+		j := r.Torus.EdgeDim(torus.Edge(e))
+		if v > out[j] {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s with %s: E_max=%.4f at %s, mean=%.4f",
+		r.Placement, r.Algorithm, r.Max, r.Torus.EdgeString(r.MaxEdge), r.Mean())
+}
+
+// ExpectedTotal returns the analytically required value of Total: the sum
+// of Lee distances over all ordered processor pairs. Compute results must
+// match it exactly up to floating point error (load conservation).
+func ExpectedTotal(p *placement.Placement) float64 {
+	t := p.Torus()
+	procs := p.Nodes()
+	total := 0
+	for _, src := range procs {
+		for _, dst := range procs {
+			if dst != src {
+				total += t.LeeDistance(src, dst)
+			}
+		}
+	}
+	return float64(total)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package load
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// MonteCarlo estimates edge loads empirically: each of the given rounds
+// performs one complete exchange in which every ordered pair samples a
+// routing path at random (the operational model in §2.1), and per-edge
+// message counts are averaged over rounds. As rounds grows the estimate
+// converges to the exact expectation from Compute; the estimator also
+// exposes the per-edge *peak* over rounds, the quantity a capacity planner
+// would care about.
+func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed int64, opts Options) *MonteCarloResult {
+	t := p.Torus()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rounds {
+		workers = maxInt(1, rounds)
+	}
+	procs := p.Nodes()
+
+	type partial struct {
+		sum  []float64
+		peak []float64
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sum := make([]float64, t.Edges())
+			peak := make([]float64, t.Edges())
+			count := make([]float64, t.Edges())
+			// Each round gets its own derived, reproducible stream.
+			for r := w; r < rounds; r += workers {
+				rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+				for i := range count {
+					count[i] = 0
+				}
+				for _, src := range procs {
+					for _, dst := range procs {
+						if dst == src {
+							continue
+						}
+						path := alg.SamplePath(t, src, dst, rng)
+						for _, e := range path.Edges {
+							count[e]++
+						}
+					}
+				}
+				for e, c := range count {
+					sum[e] += c
+					if c > peak[e] {
+						peak[e] = c
+					}
+				}
+			}
+			partials[w] = partial{sum: sum, peak: peak}
+		}(w)
+	}
+	wg.Wait()
+
+	mean := make([]float64, t.Edges())
+	peak := make([]float64, t.Edges())
+	for _, pt := range partials {
+		for e := range mean {
+			mean[e] += pt.sum[e]
+			if pt.peak[e] > peak[e] {
+				peak[e] = pt.peak[e]
+			}
+		}
+	}
+	res := &MonteCarloResult{Torus: t, Rounds: rounds, MeanLoads: mean, PeakLoads: peak}
+	for e := range mean {
+		mean[e] /= float64(rounds)
+		if mean[e] > res.MaxMean {
+			res.MaxMean = mean[e]
+		}
+		if peak[e] > res.MaxPeak {
+			res.MaxPeak = peak[e]
+		}
+	}
+	return res
+}
+
+// MonteCarloResult holds empirical load estimates.
+type MonteCarloResult struct {
+	Torus  *torus.Torus
+	Rounds int
+	// MeanLoads[e] is the average number of messages on e per exchange.
+	MeanLoads []float64
+	// PeakLoads[e] is the maximum observed over all rounds.
+	PeakLoads []float64
+	MaxMean   float64
+	MaxPeak   float64
+}

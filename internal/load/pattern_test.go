@@ -1,0 +1,171 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func TestCompleteExchangePatternMatchesCompute(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}} {
+		direct := Compute(p, alg, Options{})
+		viaPattern := ComputePattern(p, CompleteExchange{}, alg, Options{})
+		for e := range direct.Loads {
+			if math.Abs(direct.Loads[e]-viaPattern.Loads[e]) > 1e-9 {
+				t.Fatalf("%s: edge %d: %v vs %v", alg.Name(), e, direct.Loads[e], viaPattern.Loads[e])
+			}
+		}
+	}
+}
+
+func TestPatternConservation(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	patterns := []Pattern{
+		CompleteExchange{},
+		Transpose{},
+		Shift{Offset: []int{1, 5}}, // 1+5 ≡ 0: stays on the placement
+		HotSpot{HotIndex: 0},
+		RandomPairs{Count: 30, Seed: 4},
+	}
+	for _, pat := range patterns {
+		want := PatternTotal(p, pat)
+		for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}, routing.FAR{}} {
+			res := ComputePattern(p, pat, alg, Options{})
+			if math.Abs(res.Total-want) > 1e-6*math.Max(1, want) {
+				t.Errorf("%s/%s: total %v, want %v", pat.Name(), alg.Name(), res.Total, want)
+			}
+		}
+	}
+}
+
+func TestTransposeDemands(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Full{}, tr)
+	demands := (Transpose{}).Demands(p)
+	// Diagonal nodes (a, a) are their own partner: 4 of them drop out.
+	if len(demands) != 12 {
+		t.Fatalf("transpose demands %d, want 12", len(demands))
+	}
+	for _, dm := range demands {
+		c := tr.Coords(dm.Src)
+		want := tr.NodeAt([]int{c[1], c[0]})
+		if dm.Dst != want {
+			t.Fatalf("partner of %v is %v, want %v", c, tr.Coords(dm.Dst), tr.Coords(want))
+		}
+	}
+}
+
+func TestTransposeOnLinearPlacementStaysInside(t *testing.T) {
+	// Coordinate reversal preserves the coordinate sum, so a linear
+	// placement is closed under transpose: every processor (except fixed
+	// points) finds its partner.
+	tr := torus.New(5, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	demands := (Transpose{}).Demands(p)
+	fixed := 0
+	coords := make([]int, 3)
+	for _, u := range p.Nodes() {
+		tr.CoordsInto(u, coords)
+		if coords[0] == coords[2] {
+			fixed++
+		}
+	}
+	if len(demands) != p.Size()-fixed {
+		t.Errorf("demands %d, want %d (size %d minus %d fixed points)",
+			len(demands), p.Size()-fixed, p.Size(), fixed)
+	}
+}
+
+func TestShiftDemands(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	// Zero-sum offset keeps the shift inside the placement: all |P| pairs.
+	in := (Shift{Offset: []int{2, 4}}).Demands(p)
+	if len(in) != p.Size() {
+		t.Errorf("zero-sum shift demands %d, want %d", len(in), p.Size())
+	}
+	// Offset with nonzero sum leaves the placement entirely: no demands.
+	out := (Shift{Offset: []int{1, 0}}).Demands(p)
+	if len(out) != 0 {
+		t.Errorf("off-placement shift demands %d, want 0", len(out))
+	}
+}
+
+func TestShiftPanicsOnWrongArity(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(Shift{Offset: []int{1}}).Demands(p)
+}
+
+func TestHotSpotRespectsBlaumStyleFloor(t *testing.T) {
+	// |P|−1 messages into one node through at most 2d in-edges.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := ComputePattern(p, HotSpot{}, routing.UDR{}, Options{})
+	floor := float64(p.Size()-1) / float64(2*tr.D())
+	if res.Max < floor-1e-9 {
+		t.Errorf("hotspot E_max %v below funnel floor %v", res.Max, floor)
+	}
+	if len((HotSpot{}).Demands(p)) != p.Size()-1 {
+		t.Error("hotspot demand count wrong")
+	}
+}
+
+func TestRandomPairsDeterministic(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := (RandomPairs{Count: 20, Seed: 9}).Demands(p)
+	b := (RandomPairs{Count: 20, Seed: 9}).Demands(p)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same demands")
+		}
+	}
+}
+
+func TestPatternLoadsLighterThanExchange(t *testing.T) {
+	// Transpose and shift are permutation-sized patterns; their E_max must
+	// be far below the complete exchange's on the same placement.
+	tr := torus.New(8, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	ce := ComputePattern(p, CompleteExchange{}, routing.UDR{}, Options{})
+	trn := ComputePattern(p, Transpose{}, routing.UDR{}, Options{})
+	if trn.Max >= ce.Max {
+		t.Errorf("transpose E_max %v not below exchange %v", trn.Max, ce.Max)
+	}
+}
+
+func TestPatternDeterministicAcrossWorkers(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := ComputePattern(p, HotSpot{}, routing.UDR{}, Options{Workers: 1})
+	b := ComputePattern(p, HotSpot{}, routing.UDR{}, Options{Workers: 4})
+	for e := range a.Loads {
+		if math.Abs(a.Loads[e]-b.Loads[e]) > 1e-9 {
+			t.Fatal("worker counts disagree")
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	if (CompleteExchange{}).Name() != "complete-exchange" ||
+		(Transpose{}).Name() != "transpose" ||
+		(HotSpot{HotIndex: 2}).Name() != "hotspot(2)" ||
+		(RandomPairs{Count: 5}).Name() != "random-pairs(5)" {
+		t.Error("pattern names wrong")
+	}
+}

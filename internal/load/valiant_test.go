@@ -1,0 +1,76 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func TestValiantConservation(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, pat := range []Pattern{CompleteExchange{}, HotSpot{}} {
+		res := ComputeValiant(p, pat, routing.ODR{}, Options{})
+		want := ValiantExpectedTotal(p, pat)
+		if math.Abs(res.Total-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("%s: total %v, want %v", pat.Name(), res.Total, want)
+		}
+	}
+}
+
+func TestValiantRoughlyDoublesTraffic(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	direct := Compute(p, routing.ODR{}, Options{})
+	valiant := ComputeValiant(p, CompleteExchange{}, routing.ODR{}, Options{})
+	ratio := valiant.Total / direct.Total
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("Valiant total/direct total = %v, expected around 2 (placement pairs are farther-than-average)", ratio)
+	}
+}
+
+func TestValiantSmoothsAdversarialPermutation(t *testing.T) {
+	// The classical Valiant win: on the full torus, the transpose
+	// permutation is adversarial for dimension-ordered routing (the
+	// diagonal band funnels), while two-phase randomization spreads it.
+	// Compare E_max normalized by total traffic (Valiant pays 2× volume
+	// but should still win in load *imbalance* = max/mean).
+	tr := torus.New(8, 2)
+	p := build(t, placement.Full{}, tr)
+	direct := ComputePattern(p, Transpose{}, routing.ODR{}, Options{})
+	valiant := ComputeValiant(p, Transpose{}, routing.ODR{}, Options{})
+	directImbalance := direct.Max / direct.Mean()
+	valiantImbalance := valiant.Max / valiant.Mean()
+	if valiantImbalance >= directImbalance {
+		t.Errorf("Valiant imbalance %v should beat direct ODR %v on transpose",
+			valiantImbalance, directImbalance)
+	}
+}
+
+func TestValiantDeterministicAcrossWorkers(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := ComputeValiant(p, CompleteExchange{}, routing.UDR{}, Options{Workers: 1})
+	b := ComputeValiant(p, CompleteExchange{}, routing.UDR{}, Options{Workers: 4})
+	for e := range a.Loads {
+		if math.Abs(a.Loads[e]-b.Loads[e]) > 1e-9 {
+			t.Fatal("worker counts disagree")
+		}
+	}
+}
+
+func TestValiantHotSpotStillFunnels(t *testing.T) {
+	// Valiant balances the middle of the network but cannot beat the
+	// destination funnel: |P|−1 messages still converge on the hot node's
+	// 2d in-links.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := ComputeValiant(p, HotSpot{}, routing.UDR{}, Options{})
+	floor := float64(p.Size()-1) / float64(2*tr.D())
+	if res.Max < floor-1e-9 {
+		t.Errorf("Valiant hotspot E_max %v below funnel floor %v", res.Max, floor)
+	}
+}

@@ -1,0 +1,160 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on integer-
+// capacity networks. In this repository it serves as the exact engine for
+// edge-connectivity questions: the number of edge-disjoint paths between
+// processors (the fault-tolerance ceiling that UDR's s! route sets are
+// measured against) and min-cut separators used to sanity-check bisection
+// constructions on small tori.
+package maxflow
+
+// Network is a flow network over nodes 0..N-1.
+type Network struct {
+	n     int
+	head  [][]int32 // per-node indices into edges
+	to    []int32
+	cap   []int64
+	flow  []int64
+	level []int32
+	iter  []int32
+}
+
+// New creates an empty network with n nodes.
+func New(n int) *Network {
+	return &Network{n: n, head: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// AddEdge inserts a directed edge u -> v with the given capacity and its
+// residual reverse edge with capacity 0. It returns the edge's id, usable
+// with Flow and Residual after a MaxFlow run.
+func (nw *Network) AddEdge(u, v int, capacity int64) int {
+	id := len(nw.to)
+	nw.to = append(nw.to, int32(v))
+	nw.cap = append(nw.cap, capacity)
+	nw.flow = append(nw.flow, 0)
+	nw.head[u] = append(nw.head[u], int32(id))
+	// Reverse residual edge.
+	nw.to = append(nw.to, int32(u))
+	nw.cap = append(nw.cap, 0)
+	nw.flow = append(nw.flow, 0)
+	nw.head[v] = append(nw.head[v], int32(id+1))
+	return id
+}
+
+// Flow returns the flow currently assigned to edge id.
+func (nw *Network) Flow(id int) int64 { return nw.flow[id] }
+
+// Capacity returns the capacity of edge id.
+func (nw *Network) Capacity(id int) int64 { return nw.cap[id] }
+
+func (nw *Network) residual(id int) int64 { return nw.cap[id] - nw.flow[id] }
+
+// bfsLevels builds the level graph; returns false if t is unreachable.
+func (nw *Network) bfsLevels(s, t int) bool {
+	if nw.level == nil {
+		nw.level = make([]int32, nw.n)
+	}
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := make([]int32, 0, nw.n)
+	queue = append(queue, int32(s))
+	nw.level[s] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, id := range nw.head[u] {
+			if nw.residual(int(id)) <= 0 {
+				continue
+			}
+			v := nw.to[id]
+			if nw.level[v] < 0 {
+				nw.level[v] = nw.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+func (nw *Network) dfsAugment(u, t int, pushed int64) int64 {
+	if u == t {
+		return pushed
+	}
+	for ; nw.iter[u] < int32(len(nw.head[u])); nw.iter[u]++ {
+		id := nw.head[u][nw.iter[u]]
+		v := nw.to[id]
+		if nw.residual(int(id)) <= 0 || nw.level[v] != nw.level[u]+1 {
+			continue
+		}
+		avail := pushed
+		if r := nw.residual(int(id)); r < avail {
+			avail = r
+		}
+		if got := nw.dfsAugment(int(v), t, avail); got > 0 {
+			nw.flow[id] += got
+			nw.flow[id^1] -= got
+			return got
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s→t flow. It may be called once per network
+// (flows accumulate); build a fresh network for each query.
+func (nw *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	if nw.iter == nil {
+		nw.iter = make([]int32, nw.n)
+	}
+	var total int64
+	const inf = int64(1) << 62
+	for nw.bfsLevels(s, t) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for {
+			pushed := nw.dfsAugment(s, t, inf)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// MinCut returns the edge ids of a minimum s-t cut after MaxFlow has run:
+// the saturated forward edges from the residual-reachable side of s.
+func (nw *Network) MinCut(s int) []int {
+	reach := make([]bool, nw.n)
+	reach[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range nw.head[u] {
+			v := nw.to[id]
+			if !reach[v] && nw.residual(int(id)) > 0 {
+				reach[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	var cut []int
+	for u := 0; u < nw.n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, id := range nw.head[u] {
+			// Only original (even-indexed) edges count; residual reverses
+			// are odd.
+			if id%2 == 0 && !reach[nw.to[id]] && nw.cap[id] > 0 {
+				cut = append(cut, int(id))
+			}
+		}
+	}
+	return cut
+}

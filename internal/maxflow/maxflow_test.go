@@ -1,0 +1,142 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"torusnet/internal/torus"
+)
+
+func TestMaxFlowTinyNetwork(t *testing.T) {
+	// Classic diamond: s=0, t=3; two disjoint unit paths.
+	nw := New(4)
+	nw.AddEdge(0, 1, 1)
+	nw.AddEdge(0, 2, 1)
+	nw.AddEdge(1, 3, 1)
+	nw.AddEdge(2, 3, 1)
+	if got := nw.MaxFlow(0, 3); got != 2 {
+		t.Errorf("diamond max flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowWithBottleneck(t *testing.T) {
+	nw := New(4)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(1, 2, 2)
+	nw.AddEdge(2, 3, 5)
+	if got := nw.MaxFlow(0, 3); got != 2 {
+		t.Errorf("bottleneck max flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowSelfLoopAndSameNode(t *testing.T) {
+	nw := New(2)
+	nw.AddEdge(0, 1, 3)
+	if got := nw.MaxFlow(0, 0); got != 0 {
+		t.Errorf("s == t flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	nw := New(3)
+	nw.AddEdge(0, 1, 1)
+	if got := nw.MaxFlow(0, 2); got != 0 {
+		t.Errorf("disconnected flow = %d, want 0", got)
+	}
+}
+
+func TestMinCutMatchesFlow(t *testing.T) {
+	nw := New(6)
+	nw.AddEdge(0, 1, 3)
+	nw.AddEdge(0, 2, 2)
+	nw.AddEdge(1, 3, 2)
+	nw.AddEdge(2, 3, 1)
+	nw.AddEdge(2, 4, 2)
+	nw.AddEdge(3, 5, 4)
+	nw.AddEdge(4, 5, 1)
+	flow := nw.MaxFlow(0, 5)
+	cut := nw.MinCut(0)
+	var cutCap int64
+	for _, id := range cut {
+		cutCap += nw.Capacity(id)
+	}
+	if cutCap != flow {
+		t.Errorf("min cut capacity %d != max flow %d", cutCap, flow)
+	}
+}
+
+func TestTorusEdgeConnectivityIs2D(t *testing.T) {
+	// Menger: the torus (k ≥ 3) is 2d-edge-connected, and 2d is also the
+	// out-degree ceiling.
+	for _, c := range []struct{ k, d int }{{3, 1}, {4, 1}, {3, 2}, {4, 2}, {3, 3}} {
+		tr := torus.New(c.k, c.d)
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 4; trial++ {
+			src := torus.Node(rng.Intn(tr.Nodes()))
+			dst := torus.Node(rng.Intn(tr.Nodes()))
+			if src == dst {
+				continue
+			}
+			if got := EdgeConnectivity(tr, src, dst); got != 2*c.d {
+				t.Errorf("T^%d_%d: connectivity(%d,%d) = %d, want %d", c.d, c.k, src, dst, got, 2*c.d)
+			}
+		}
+	}
+}
+
+func TestEdgeConnectivityAfterFailures(t *testing.T) {
+	tr := torus.New(4, 2)
+	src := tr.NodeAt([]int{0, 0})
+	dst := tr.NodeAt([]int{2, 2})
+	// Fail one of src's out-edges: connectivity drops to 3.
+	failed := map[torus.Edge]bool{tr.EdgeFrom(src, 0, torus.Plus): true}
+	if got := EdgeConnectivityWithout(tr, src, dst, failed); got != 3 {
+		t.Errorf("after one failure: %d, want 3", got)
+	}
+	// Fail all four out-edges: disconnected.
+	for j := 0; j < 2; j++ {
+		failed[tr.EdgeFrom(src, j, torus.Plus)] = true
+		failed[tr.EdgeFrom(src, j, torus.Minus)] = true
+	}
+	if got := EdgeConnectivityWithout(tr, src, dst, failed); got != 0 {
+		t.Errorf("after isolating source: %d, want 0", got)
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	nw := New(2)
+	id := nw.AddEdge(0, 1, 7)
+	if nw.Capacity(id) != 7 {
+		t.Errorf("capacity %d", nw.Capacity(id))
+	}
+	nw.MaxFlow(0, 1)
+	if nw.Flow(id) != 7 {
+		t.Errorf("flow %d, want 7", nw.Flow(id))
+	}
+	if nw.N() != 2 {
+		t.Errorf("N = %d", nw.N())
+	}
+}
+
+func TestLargeRandomNetworkFlowEqualsCut(t *testing.T) {
+	// Max-flow/min-cut duality as a property check on random networks.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 12
+		nw := New(n)
+		for i := 0; i < 40; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				nw.AddEdge(u, v, int64(1+rng.Intn(5)))
+			}
+		}
+		flow := nw.MaxFlow(0, n-1)
+		var cutCap int64
+		for _, id := range nw.MinCut(0) {
+			cutCap += nw.Capacity(id)
+		}
+		if cutCap != flow {
+			t.Fatalf("trial %d: cut %d != flow %d", trial, cutCap, flow)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package maxflow
+
+import "torusnet/internal/torus"
+
+// EdgeConnectivity returns the maximum number of edge-disjoint directed
+// paths between two distinct torus nodes, treating every directed link as
+// unit capacity. For the torus this is 2d whenever k ≥ 3 (and 2d counting
+// the parallel links of a k=2 ring).
+func EdgeConnectivity(t *torus.Torus, src, dst torus.Node) int {
+	nw := New(t.Nodes())
+	t.ForEachEdge(func(e torus.Edge) {
+		nw.AddEdge(int(t.EdgeSource(e)), int(t.EdgeTarget(e)), 1)
+	})
+	return int(nw.MaxFlow(int(src), int(dst)))
+}
+
+// EdgeConnectivityWithout computes edge connectivity after removing the
+// given failed links.
+func EdgeConnectivityWithout(t *torus.Torus, src, dst torus.Node, failed map[torus.Edge]bool) int {
+	nw := New(t.Nodes())
+	t.ForEachEdge(func(e torus.Edge) {
+		if !failed[e] {
+			nw.AddEdge(int(t.EdgeSource(e)), int(t.EdgeTarget(e)), 1)
+		}
+	})
+	return int(nw.MaxFlow(int(src), int(dst)))
+}

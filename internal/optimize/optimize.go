@@ -1,0 +1,116 @@
+// Package optimize searches for low-load placements directly, by seeded
+// simulated annealing over node subsets of fixed size with E_max under a
+// routing algorithm as the energy. It answers the question the paper's
+// constructions raise empirically: can an unstructured search beat the
+// linear placement? (E28 measures: it essentially cannot — annealed
+// placements converge to the linear placement's E_max from above, which is
+// strong empirical evidence of optimality beyond the Θ-bounds.)
+package optimize
+
+import (
+	"math"
+	"math/rand"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// Config parameterizes an annealing run.
+type Config struct {
+	// Size is the number of processors to place.
+	Size int
+	// Steps is the number of proposed moves.
+	Steps int
+	// Seed drives the proposal and acceptance randomness.
+	Seed int64
+	// InitialTemp and FinalTemp bound the geometric cooling schedule.
+	// Zero values default to 2.0 and 0.01 (in units of E_max).
+	InitialTemp, FinalTemp float64
+	// Workers for the load engine.
+	Workers int
+}
+
+// Result reports the annealing outcome.
+type Result struct {
+	Best      *placement.Placement
+	BestEMax  float64
+	StartEMax float64
+	Accepted  int
+	Steps     int
+}
+
+// Anneal searches for a placement of cfg.Size processors minimizing E_max
+// under the algorithm. Moves relocate one processor to a random empty
+// node; acceptance follows Metropolis with geometric cooling. The search
+// is deterministic for a fixed seed.
+func Anneal(t *torus.Torus, alg routing.Algorithm, cfg Config) *Result {
+	if cfg.Size < 2 || cfg.Size > t.Nodes() {
+		panic("optimize: placement size out of range")
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 200
+	}
+	t0 := cfg.InitialTemp
+	if t0 <= 0 {
+		t0 = 2.0
+	}
+	t1 := cfg.FinalTemp
+	if t1 <= 0 {
+		t1 = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Start from a random placement.
+	perm := rng.Perm(t.Nodes())
+	current := make([]torus.Node, cfg.Size)
+	occupied := make([]bool, t.Nodes())
+	for i := 0; i < cfg.Size; i++ {
+		current[i] = torus.Node(perm[i])
+		occupied[perm[i]] = true
+	}
+	energy := func(nodes []torus.Node) float64 {
+		p := placement.New(t, nodes, "anneal")
+		return load.Compute(p, alg, load.Options{Workers: cfg.Workers}).Max
+	}
+	cur := energy(current)
+	res := &Result{StartEMax: cur, BestEMax: cur, Steps: steps}
+	best := append([]torus.Node(nil), current...)
+
+	cool := math.Pow(t1/t0, 1/math.Max(1, float64(steps-1)))
+	temp := t0
+	for step := 0; step < steps; step++ {
+		// Propose: move one processor to a random free node.
+		pi := rng.Intn(cfg.Size)
+		var target torus.Node
+		for {
+			target = torus.Node(rng.Intn(t.Nodes()))
+			if !occupied[target] {
+				break
+			}
+		}
+		old := current[pi]
+		occupied[old] = false
+		occupied[target] = true
+		current[pi] = target
+		next := energy(current)
+		accept := next <= cur || rng.Float64() < math.Exp((cur-next)/temp)
+		if accept {
+			cur = next
+			res.Accepted++
+			if cur < res.BestEMax {
+				res.BestEMax = cur
+				copy(best, current)
+			}
+		} else {
+			occupied[target] = false
+			occupied[old] = true
+			current[pi] = old
+		}
+		temp *= cool
+	}
+	res.Best = placement.New(t, best, "annealed")
+	return res
+}

@@ -1,0 +1,79 @@
+package optimize
+
+import (
+	"testing"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func TestAnnealImprovesOrMatchesStart(t *testing.T) {
+	tr := torus.New(5, 2)
+	res := Anneal(tr, routing.UDR{}, Config{Size: 5, Steps: 120, Seed: 1})
+	if res.BestEMax > res.StartEMax {
+		t.Errorf("best %v worse than start %v", res.BestEMax, res.StartEMax)
+	}
+	if res.Best.Size() != 5 {
+		t.Errorf("size %d", res.Best.Size())
+	}
+	// Reported best energy is reproducible.
+	re := load.Compute(res.Best, routing.UDR{}, load.Options{}).Max
+	if re != res.BestEMax {
+		t.Errorf("recomputed %v, reported %v", re, res.BestEMax)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	tr := torus.New(4, 2)
+	a := Anneal(tr, routing.ODR{}, Config{Size: 4, Steps: 60, Seed: 9})
+	b := Anneal(tr, routing.ODR{}, Config{Size: 4, Steps: 60, Seed: 9})
+	if a.BestEMax != b.BestEMax || a.Accepted != b.Accepted {
+		t.Error("same seed must reproduce the search")
+	}
+	for i, u := range a.Best.Nodes() {
+		if b.Best.Nodes()[i] != u {
+			t.Fatal("best placements differ")
+		}
+	}
+}
+
+func TestAnnealCannotBeatLinearByMuch(t *testing.T) {
+	// The empirical optimality check: annealing size-k placements on T²_k
+	// should not find anything meaningfully below the linear placement's
+	// E_max (allowing a small slack for lucky symmetric configurations).
+	tr := torus.New(5, 2)
+	lin, err := placement.Linear{C: 0}.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linMax := load.Compute(lin, routing.UDR{}, load.Options{}).Max
+	res := Anneal(tr, routing.UDR{}, Config{Size: lin.Size(), Steps: 400, Seed: 3})
+	if res.BestEMax < linMax*0.75 {
+		t.Errorf("annealed %v dramatically beats linear %v — optimality claim in doubt",
+			res.BestEMax, linMax)
+	}
+}
+
+func TestAnnealPanicsOnBadSize(t *testing.T) {
+	tr := torus.New(4, 2)
+	for _, size := range []int{0, 1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d should panic", size)
+				}
+			}()
+			Anneal(tr, routing.ODR{}, Config{Size: size, Steps: 5, Seed: 1})
+		}()
+	}
+}
+
+func TestAnnealDefaults(t *testing.T) {
+	tr := torus.New(4, 2)
+	res := Anneal(tr, routing.ODR{}, Config{Size: 4, Seed: 2})
+	if res.Steps != 200 {
+		t.Errorf("default steps %d, want 200", res.Steps)
+	}
+}

@@ -1,0 +1,167 @@
+// Package placement implements processor placements on partially populated
+// tori (Definition 2 of Azizoglu & Egecioglu). A placement is a subset of
+// the torus nodes that carry processors; all other nodes act only as
+// routers. Placements here are *descriptions*: a Spec generates the
+// placement P_{d,k} for any torus, which is what the paper's linearity
+// statements quantify over.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"torusnet/internal/torus"
+)
+
+// Placement is a concrete set of processor nodes on one torus.
+type Placement struct {
+	t     *torus.Torus
+	nodes []torus.Node // sorted, unique
+	has   []bool       // indexed by node
+	name  string
+}
+
+// New builds a placement from an arbitrary node set. Duplicate nodes are
+// collapsed; node indices must be valid for the torus.
+func New(t *torus.Torus, nodes []torus.Node, name string) *Placement {
+	has := make([]bool, t.Nodes())
+	for _, u := range nodes {
+		if !t.InRange(u) {
+			panic(fmt.Sprintf("placement: node %d out of range for %s", u, t))
+		}
+		has[u] = true
+	}
+	uniq := make([]torus.Node, 0, len(nodes))
+	for u, ok := range has {
+		if ok {
+			uniq = append(uniq, torus.Node(u))
+		}
+	}
+	return &Placement{t: t, nodes: uniq, has: has, name: name}
+}
+
+// Torus returns the torus the placement lives on.
+func (p *Placement) Torus() *torus.Torus { return p.t }
+
+// Name returns the placement's descriptive name.
+func (p *Placement) Name() string { return p.name }
+
+// Size returns |P|, the number of processors.
+func (p *Placement) Size() int { return len(p.nodes) }
+
+// Nodes returns the processors in increasing node-index order. The caller
+// must not mutate the returned slice.
+func (p *Placement) Nodes() []torus.Node { return p.nodes }
+
+// Contains reports whether node u carries a processor.
+func (p *Placement) Contains(u torus.Node) bool { return p.has[u] }
+
+// String describes the placement.
+func (p *Placement) String() string {
+	return fmt.Sprintf("%s on %s, |P|=%d", p.name, p.t, len(p.nodes))
+}
+
+// CountInSubtorus returns the number of processors in the given principal
+// subtorus.
+func (p *Placement) CountInSubtorus(s torus.Subtorus) int {
+	count := 0
+	p.t.ForEachSubtorusNode(s, func(u torus.Node) {
+		if p.has[u] {
+			count++
+		}
+	})
+	return count
+}
+
+// IsUniform reports whether every principal subtorus along every dimension
+// contains the same number of processors (the paper's uniformity condition
+// behind Theorem 1).
+func (p *Placement) IsUniform() bool {
+	if len(p.nodes)%p.t.K() != 0 {
+		return false
+	}
+	want := len(p.nodes) / p.t.K()
+	for dim := 0; dim < p.t.D(); dim++ {
+		for v := 0; v < p.t.K(); v++ {
+			if p.CountInSubtorus(torus.Subtorus{Dim: dim, Value: v}) != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UniformAlong reports whether the placement assigns an equal number of
+// processors to every principal subtorus along the single dimension dim —
+// the weaker condition that already suffices for the Theorem 1 cut.
+func (p *Placement) UniformAlong(dim int) bool {
+	if len(p.nodes)%p.t.K() != 0 {
+		return false
+	}
+	want := len(p.nodes) / p.t.K()
+	for v := 0; v < p.t.K(); v++ {
+		if p.CountInSubtorus(torus.Subtorus{Dim: dim, Value: v}) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// StabilizedBy reports whether translating every processor by offset maps
+// the placement onto itself. Linear placements are stabilized by every
+// offset whose weighted coordinate sum is 0 mod k.
+func (p *Placement) StabilizedBy(offset []int) bool {
+	for _, u := range p.nodes {
+		if !p.has[p.t.Translate(u, offset)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns the number of ordered processor pairs |P|·(|P|−1), the
+// message count of one complete exchange.
+func (p *Placement) Pairs() int {
+	n := len(p.nodes)
+	return n * (n - 1)
+}
+
+// Spec generates the placement P_{d,k} for any torus; it is the paper's
+// "placement description (algorithm)".
+type Spec interface {
+	// Build instantiates the placement on a concrete torus.
+	Build(t *torus.Torus) (*Placement, error)
+	// Name is a stable identifier such as "linear(c=0)".
+	Name() string
+}
+
+// sortNodes is a helper for deterministic construction order.
+func sortNodes(nodes []torus.Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+}
+
+// UniformityDeviation quantifies how far the placement is from uniform:
+// the maximum over dimensions and layers of |count(layer) − |P|/k|,
+// normalized by |P|/k. Zero means uniform; the paper's conclusion asks how
+// much of this can be relaxed while keeping Theorem 1's machinery — the
+// E28 experiment uses it to show that search-found optimal placements
+// drift *toward* uniformity.
+func (p *Placement) UniformityDeviation() float64 {
+	if p.Size() == 0 {
+		return 0
+	}
+	mean := float64(p.Size()) / float64(p.t.K())
+	worst := 0.0
+	for dim := 0; dim < p.t.D(); dim++ {
+		for v := 0; v < p.t.K(); v++ {
+			dev := float64(p.CountInSubtorus(torus.Subtorus{Dim: dim, Value: v})) - mean
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	return worst / mean
+}

@@ -1,0 +1,41 @@
+package routing
+
+import "torusnet/internal/torus"
+
+// EdgeDisjointRoutes greedily selects a set of pairwise edge-disjoint paths
+// from C^A_{p→q}, enumerating in the algorithm's deterministic order. The
+// size of the returned set is the number of simultaneous link failures the
+// pair provably tolerates minus... precisely: with r disjoint routes, any
+// r−1 link failures leave at least one route intact. The torus ceiling is
+// the edge connectivity 2d (see the maxflow package).
+//
+// maxPaths caps enumeration work for pairs with factorially many routes;
+// pass 0 for no cap.
+func EdgeDisjointRoutes(a Algorithm, t *torus.Torus, p, q torus.Node, maxPaths int) []Path {
+	var selected []Path
+	used := make(map[torus.Edge]bool)
+	seen := 0
+	a.ForEachPath(t, p, q, func(path Path) bool {
+		seen++
+		conflict := false
+		for _, e := range path.Edges {
+			if used[e] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			selected = append(selected, path)
+			for _, e := range path.Edges {
+				used[e] = true
+			}
+		}
+		return maxPaths <= 0 || seen < maxPaths
+	})
+	return selected
+}
+
+// DisjointRouteCount is a convenience wrapper returning just the count.
+func DisjointRouteCount(a Algorithm, t *torus.Torus, p, q torus.Node, maxPaths int) int {
+	return len(EdgeDisjointRoutes(a, t, p, q, maxPaths))
+}

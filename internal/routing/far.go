@@ -1,0 +1,217 @@
+package routing
+
+import (
+	"math/rand"
+
+	"torusnet/internal/torus"
+)
+
+// FAR is fully adaptive minimal routing: C^FAR_{p→q} is the set of *all*
+// shortest paths between p and q, i.e. every interleaving of unit steps
+// (not just full-dimension corrections) and, for tied dimensions (k even,
+// coordinates k/2 apart), both directions. The paper's load model
+// (Definition 4) rewards large path sets; FAR is the extreme point and
+// serves as the generalization baseline the conclusion alludes to.
+//
+// |C^FAR_{p→q}| = 2^T · (Σ dist_j)! / Π (dist_j!) where T is the number of
+// tied dimensions.
+type FAR struct{}
+
+// Name implements Algorithm.
+func (FAR) Name() string { return "FAR" }
+
+// PathCount implements Algorithm.
+func (FAR) PathCount(t *torus.Torus, p, q torus.Node) float64 {
+	return t.MinimalPathCount(p, q)
+}
+
+// farProblem captures the per-pair correction geometry.
+type farProblem struct {
+	dims   []int         // differing dimensions
+	dists  []int         // cyclic distances per differing dimension
+	deltas []torus.Delta // canonical deltas
+	tied   []int         // indices (into dims) of tied dimensions
+	total  int           // Lee distance
+}
+
+func newFARProblem(t *torus.Torus, p, q torus.Node) farProblem {
+	var pr farProblem
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(p, j), t.Coord(q, j), t.K())
+		if del.Dist == 0 {
+			continue
+		}
+		if del.Tie {
+			pr.tied = append(pr.tied, len(pr.dims))
+		}
+		pr.dims = append(pr.dims, j)
+		pr.dists = append(pr.dists, del.Dist)
+		pr.deltas = append(pr.deltas, del)
+		pr.total += del.Dist
+	}
+	return pr
+}
+
+// variantDirs returns the direction of each differing dimension for the
+// given tie-assignment mask (bit set = Minus).
+func (pr farProblem) variantDirs(mask int) []torus.Direction {
+	dirs := make([]torus.Direction, len(pr.dims))
+	for i, del := range pr.deltas {
+		dirs[i] = del.Dir
+	}
+	for bit, idx := range pr.tied {
+		if mask&(1<<bit) != 0 {
+			dirs[idx] = torus.Minus
+		}
+	}
+	return dirs
+}
+
+// multinomial returns (Σ parts)! / Π parts! as float64.
+func multinomial(parts []int) float64 {
+	total := 0
+	out := 1.0
+	for _, p := range parts {
+		for i := 1; i <= p; i++ {
+			total++
+			out = out * float64(total) / float64(i)
+		}
+	}
+	return out
+}
+
+// ForEachPath implements Algorithm. Paths are enumerated variant by variant
+// (tie masks in increasing order), and within a variant by always extending
+// with the lowest eligible dimension first.
+func (FAR) ForEachPath(t *torus.Torus, p, q torus.Node, visit func(Path) bool) {
+	pr := newFARProblem(t, p, q)
+	s := len(pr.dims)
+	progress := make([]int, s)
+	for mask := 0; mask < 1<<len(pr.tied); mask++ {
+		dirs := pr.variantDirs(mask)
+		edges := make([]torus.Edge, 0, pr.total)
+		var rec func(cur torus.Node, done int) bool
+		rec = func(cur torus.Node, done int) bool {
+			if done == pr.total {
+				return visit(Path{Start: p, Edges: append([]torus.Edge(nil), edges...)})
+			}
+			for i := 0; i < s; i++ {
+				if progress[i] == pr.dists[i] {
+					continue
+				}
+				e := t.EdgeFrom(cur, pr.dims[i], dirs[i])
+				edges = append(edges, e)
+				progress[i]++
+				cont := rec(t.EdgeTarget(e), done+1)
+				progress[i]--
+				edges = edges[:len(edges)-1]
+				if !cont {
+					return false
+				}
+			}
+			return true
+		}
+		if !rec(p, 0) {
+			return
+		}
+	}
+}
+
+// AccumulatePair implements Algorithm using dynamic programming over the
+// progress lattice. For a fixed tie variant, the probability that a uniform
+// random shortest path crosses the edge that advances dimension i at
+// progress state x is
+//
+//	ways_to(x) · ways_from(x + e_i) / totalPaths ,
+//
+// where ways_to and ways_from are multinomial coefficients. Tie variants
+// are equiprobable (they contain equally many paths) and their edges along
+// opposite ring arcs are disjoint, so their contributions add.
+func (FAR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, float64)) {
+	pr := newFARProblem(t, p, q)
+	s := len(pr.dims)
+	if s == 0 {
+		return
+	}
+	totalPaths := multinomial(pr.dists)
+	variantProb := 1.0 / float64(int(1)<<len(pr.tied))
+
+	// Enumerate lattice states once; reuse across variants.
+	states := 1
+	for _, dist := range pr.dists {
+		states *= dist + 1
+	}
+	progress := make([]int, s)
+	coords := make([]int, t.D())
+	pCoords := t.Coords(p)
+
+	for mask := 0; mask < 1<<len(pr.tied); mask++ {
+		dirs := pr.variantDirs(mask)
+		for st := 0; st < states; st++ {
+			// Decode mixed-radix state.
+			rem := st
+			done := 0
+			for i := 0; i < s; i++ {
+				progress[i] = rem % (pr.dists[i] + 1)
+				rem /= pr.dists[i] + 1
+				done += progress[i]
+			}
+			waysTo := multinomial(progress)
+			// Node at this state.
+			copy(coords, pCoords)
+			for i := 0; i < s; i++ {
+				j := pr.dims[i]
+				if dirs[i] == torus.Plus {
+					coords[j] = (pCoords[j] + progress[i]) % t.K()
+				} else {
+					coords[j] = (pCoords[j] - progress[i] + t.K()) % t.K()
+				}
+			}
+			cur := t.NodeAt(coords)
+			for i := 0; i < s; i++ {
+				if progress[i] == pr.dists[i] {
+					continue
+				}
+				// ways_from(x + e_i): remaining distances after the step.
+				progress[i]++
+				remDist := make([]int, s)
+				for l := 0; l < s; l++ {
+					remDist[l] = pr.dists[l] - progress[l]
+				}
+				waysFrom := multinomial(remDist)
+				progress[i]--
+				prob := variantProb * waysTo * waysFrom / totalPaths
+				add(t.EdgeFrom(cur, pr.dims[i], dirs[i]), prob)
+			}
+		}
+	}
+}
+
+// SamplePath implements Algorithm: pick a tie variant uniformly, then grow
+// the path by choosing the next dimension with probability proportional to
+// its remaining distance (which makes every interleaving equally likely).
+func (FAR) SamplePath(t *torus.Torus, p, q torus.Node, rng *rand.Rand) Path {
+	pr := newFARProblem(t, p, q)
+	s := len(pr.dims)
+	dirs := pr.variantDirs(rng.Intn(1 << len(pr.tied)))
+	remaining := append([]int(nil), pr.dists...)
+	left := pr.total
+	edges := make([]torus.Edge, 0, pr.total)
+	cur := p
+	for left > 0 {
+		r := rng.Intn(left)
+		i := 0
+		for ; i < s; i++ {
+			if r < remaining[i] {
+				break
+			}
+			r -= remaining[i]
+		}
+		e := t.EdgeFrom(cur, pr.dims[i], dirs[i])
+		edges = append(edges, e)
+		cur = t.EdgeTarget(e)
+		remaining[i]--
+		left--
+	}
+	return Path{Start: p, Edges: edges}
+}

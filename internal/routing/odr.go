@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"math/rand"
+
+	"torusnet/internal/torus"
+)
+
+// ODR is the paper's restricted Ordered Dimensional Routing (§6): dimensions
+// are corrected completely in increasing order, each in the direction of
+// shortest cyclic distance, and a tie (k even, coordinates k/2 apart) is
+// broken toward the (+) direction. There is exactly one canonical path per
+// pair regardless of the parity of k.
+type ODR struct{}
+
+// Name implements Algorithm.
+func (ODR) Name() string { return "ODR" }
+
+// PathCount implements Algorithm; ODR always specifies exactly one path.
+func (ODR) PathCount(t *torus.Torus, p, q torus.Node) float64 { return 1 }
+
+// path builds the canonical ODR path.
+func odrPath(t *torus.Torus, p, q torus.Node) Path {
+	edges := make([]torus.Edge, 0, t.LeeDistance(p, q))
+	cur := p
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(cur, j), t.Coord(q, j), t.K())
+		cur = walkDim(t, cur, j, del.Dir, del.Dist, &edges)
+	}
+	return Path{Start: p, Edges: edges}
+}
+
+// ForEachPath implements Algorithm.
+func (ODR) ForEachPath(t *torus.Torus, p, q torus.Node, visit func(Path) bool) {
+	visit(odrPath(t, p, q))
+}
+
+// AccumulatePair implements Algorithm: each edge of the unique path carries
+// the message with probability 1.
+func (ODR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, float64)) {
+	cur := p
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(cur, j), t.Coord(q, j), t.K())
+		cur = visitDim(t, cur, j, del.Dir, del.Dist, func(e torus.Edge) { add(e, 1) })
+	}
+}
+
+// SamplePath implements Algorithm; the canonical path is the only one.
+func (ODR) SamplePath(t *torus.Torus, p, q torus.Node, rng *rand.Rand) Path {
+	return odrPath(t, p, q)
+}
+
+// ODRMulti is the unrestricted ODR of §6: dimensions are still corrected in
+// increasing order, but when k is even and a coordinate pair is exactly k/2
+// apart both directions are shortest and both are allowed. The path set has
+// size 2^(#tied dimensions).
+type ODRMulti struct{}
+
+// Name implements Algorithm.
+func (ODRMulti) Name() string { return "ODR-multi" }
+
+// PathCount implements Algorithm.
+func (ODRMulti) PathCount(t *torus.Torus, p, q torus.Node) float64 {
+	count := 1.0
+	for j := 0; j < t.D(); j++ {
+		if torus.CoordDelta(t.Coord(p, j), t.Coord(q, j), t.K()).Tie {
+			count *= 2
+		}
+	}
+	return count
+}
+
+// ForEachPath implements Algorithm: enumerates all direction assignments for
+// tied dimensions, Plus before Minus, earlier dimensions varying slowest.
+func (ODRMulti) ForEachPath(t *torus.Torus, p, q torus.Node, visit func(Path) bool) {
+	deltas := make([]torus.Delta, t.D())
+	t.Deltas(p, q, deltas)
+	var tied []int
+	for j, del := range deltas {
+		if del.Tie {
+			tied = append(tied, j)
+		}
+	}
+	n := 1 << len(tied)
+	for mask := 0; mask < n; mask++ {
+		dirs := make([]torus.Direction, t.D())
+		for j, del := range deltas {
+			dirs[j] = del.Dir
+		}
+		for bit, j := range tied {
+			if mask&(1<<bit) != 0 {
+				dirs[j] = torus.Minus
+			}
+		}
+		edges := make([]torus.Edge, 0, t.LeeDistance(p, q))
+		cur := p
+		for j, del := range deltas {
+			cur = walkDim(t, cur, j, dirs[j], del.Dist, &edges)
+		}
+		if !visit(Path{Start: p, Edges: edges}) {
+			return
+		}
+	}
+}
+
+// AccumulatePair implements Algorithm. Each tied dimension splits the
+// remaining probability mass in half between its two direction segments;
+// untied segments carry the full mass. Because dimensions are corrected in
+// a fixed order, the prefix of a path up to dimension j depends only on the
+// direction choices of earlier tied dimensions, so the expected usage of an
+// edge in dimension j is the product of 1/2 over tied dimensions up to and
+// including j — but since each earlier choice leads to a *different* edge
+// (disjoint segments), the per-edge expectation factorizes per dimension.
+func (ODRMulti) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, float64)) {
+	// Enumerate prefixes: maintain the set of (node, probability) states at
+	// the start of each dimension correction. The number of states doubles
+	// at each tied dimension but is bounded by 2^d.
+	type state struct {
+		node torus.Node
+		prob float64
+	}
+	states := []state{{node: p, prob: 1}}
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(p, j), t.Coord(q, j), t.K())
+		if del.Dist == 0 {
+			continue
+		}
+		next := states[:0:0]
+		for _, st := range states {
+			if del.Tie {
+				// Both directions walk k/2 steps and converge on the same
+				// node, so the state does not fork — only the edge mass
+				// splits in half between the two disjoint segments.
+				half := st.prob / 2
+				var end torus.Node
+				for _, dir := range []torus.Direction{torus.Plus, torus.Minus} {
+					end = visitDim(t, st.node, j, dir, del.Dist, func(e torus.Edge) { add(e, half) })
+				}
+				next = append(next, state{node: end, prob: st.prob})
+			} else {
+				prob := st.prob
+				end := visitDim(t, st.node, j, del.Dir, del.Dist, func(e torus.Edge) { add(e, prob) })
+				next = append(next, state{node: end, prob: prob})
+			}
+		}
+		states = next
+	}
+}
+
+// SamplePath implements Algorithm.
+func (ODRMulti) SamplePath(t *torus.Torus, p, q torus.Node, rng *rand.Rand) Path {
+	edges := make([]torus.Edge, 0, t.LeeDistance(p, q))
+	cur := p
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(cur, j), t.Coord(q, j), t.K())
+		dir := del.Dir
+		if del.Tie && rng.Intn(2) == 1 {
+			dir = torus.Minus
+		}
+		cur = walkDim(t, cur, j, dir, del.Dist, &edges)
+	}
+	return Path{Start: p, Edges: edges}
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"math/rand"
+
+	"torusnet/internal/torus"
+)
+
+// UDR is Unordered Dimensional Routing (§7): each dimension in which source
+// and destination differ is corrected completely, in the direction of the
+// shortest cyclic distance (ties broken toward (+), as in restricted ODR),
+// but the s differing dimensions may be corrected in any of the s! orders.
+// Every order yields a distinct shortest path, giving |C^UDR_{p→q}| = s!
+// and with it the fault tolerance the paper motivates.
+type UDR struct{}
+
+// Name implements Algorithm.
+func (UDR) Name() string { return "UDR" }
+
+// differing collects the dimensions where p and q differ along with their
+// canonical correction deltas.
+func differing(t *torus.Torus, p, q torus.Node) (dims []int, deltas []torus.Delta) {
+	for j := 0; j < t.D(); j++ {
+		del := torus.CoordDelta(t.Coord(p, j), t.Coord(q, j), t.K())
+		if del.Dist > 0 {
+			dims = append(dims, j)
+			deltas = append(deltas, del)
+		}
+	}
+	return dims, deltas
+}
+
+// PathCount implements Algorithm: s! where s is the number of differing
+// dimensions.
+func (UDR) PathCount(t *torus.Torus, p, q torus.Node) float64 {
+	dims, _ := differing(t, p, q)
+	return factorial(len(dims))
+}
+
+// ForEachPath implements Algorithm, enumerating correction orders in
+// lexicographic order of the dimension sequence.
+func (UDR) ForEachPath(t *torus.Torus, p, q torus.Node, visit func(Path) bool) {
+	dims, deltas := differing(t, p, q)
+	s := len(dims)
+	order := make([]int, 0, s)
+	used := make([]bool, s)
+	total := t.LeeDistance(p, q)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == s {
+			edges := make([]torus.Edge, 0, total)
+			cur := p
+			for _, idx := range order {
+				cur = walkDim(t, cur, dims[idx], deltas[idx].Dir, deltas[idx].Dist, &edges)
+			}
+			return visit(Path{Start: p, Edges: edges})
+		}
+		for i := 0; i < s; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			cont := rec()
+			order = order[:len(order)-1]
+			used[i] = false
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// AccumulatePair implements Algorithm without enumerating the s! orders.
+// A UDR path corrects dimension j after exactly the dimensions in some set
+// S ⊆ D\{j}; the number of orders with that property is |S|!·(s−1−|S|)!,
+// so each edge of the dimension-j segment "S already corrected" carries the
+// message with probability |S|!·(s−1−|S|)!/s!. Segments for distinct (j, S)
+// are edge-disjoint, which makes the accumulation a direct sum over the
+// 2^{s−1}·s segments.
+func (UDR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, float64)) {
+	dims, deltas := differing(t, p, q)
+	s := len(dims)
+	if s == 0 {
+		return
+	}
+	sFact := factorial(s)
+	coords := make([]int, t.D())
+	for jIdx := 0; jIdx < s; jIdx++ {
+		others := make([]int, 0, s-1)
+		for i := 0; i < s; i++ {
+			if i != jIdx {
+				others = append(others, i)
+			}
+		}
+		for mask := 0; mask < 1<<len(others); mask++ {
+			// Start node: p with the dimensions in S corrected to q.
+			t.CoordsInto(p, coords)
+			size := 0
+			for bit, idx := range others {
+				if mask&(1<<bit) != 0 {
+					coords[dims[idx]] = t.Coord(q, dims[idx])
+					size++
+				}
+			}
+			w := factorial(size) * factorial(s-1-size) / sFact
+			start := t.NodeAt(coords)
+			visitDim(t, start, dims[jIdx], deltas[jIdx].Dir, deltas[jIdx].Dist,
+				func(e torus.Edge) { add(e, w) })
+		}
+	}
+}
+
+// SamplePath implements Algorithm: a uniformly random correction order.
+func (UDR) SamplePath(t *torus.Torus, p, q torus.Node, rng *rand.Rand) Path {
+	dims, deltas := differing(t, p, q)
+	edges := make([]torus.Edge, 0, t.LeeDistance(p, q))
+	cur := p
+	for _, idx := range rng.Perm(len(dims)) {
+		cur = walkDim(t, cur, dims[idx], deltas[idx].Dir, deltas[idx].Dist, &edges)
+	}
+	return Path{Start: p, Edges: edges}
+}

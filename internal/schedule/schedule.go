@@ -1,0 +1,148 @@
+// Package schedule builds conflict-free time schedules for a set of routed
+// messages: message i starts at time start_i and crosses the j-th edge of
+// its path at time start_i + j; no directed link may carry two messages in
+// the same cycle. This is the offline counterpart of the simnet FIFO
+// simulator and the operational meaning of the paper's load bounds: any
+// schedule needs at least C cycles on the most congested link (C = E_max
+// for deterministic routing) and at least D cycles for the longest path
+// (dilation), so length ≥ max(C, D); a good schedule gets close to C + D.
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// Order selects the greedy insertion order.
+type Order int
+
+const (
+	// ByIndex schedules messages in their given order.
+	ByIndex Order = iota
+	// LongestFirst schedules longer paths first (classic list-scheduling
+	// heuristic; long paths are hardest to place late).
+	LongestFirst
+)
+
+// Result is a complete conflict-free schedule.
+type Result struct {
+	Paths  []routing.Path
+	Starts []int
+	// Length is the makespan: max(start + path length).
+	Length int
+	// Congestion is the maximum number of messages sharing one link.
+	Congestion int
+	// Dilation is the longest path length.
+	Dilation int
+}
+
+// LowerBound returns max(Congestion, Dilation), the universal floor for
+// any conflict-free schedule of these paths.
+func (r *Result) LowerBound() int {
+	if r.Congestion > r.Dilation {
+		return r.Congestion
+	}
+	return r.Dilation
+}
+
+// Greedy computes a conflict-free schedule: each message takes the smallest
+// start time that avoids all previously placed messages.
+func Greedy(t *torus.Torus, paths []routing.Path, order Order) *Result {
+	res := &Result{Paths: paths, Starts: make([]int, len(paths))}
+
+	idx := make([]int, len(paths))
+	for i := range idx {
+		idx[i] = i
+	}
+	if order == LongestFirst {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return len(paths[idx[a]].Edges) > len(paths[idx[b]].Edges)
+		})
+	}
+
+	// busy[e] marks the occupied cycles of link e as a growable bitmap.
+	busy := make([][]bool, t.Edges())
+	occupy := func(e torus.Edge, time int) {
+		b := busy[e]
+		for len(b) <= time {
+			b = append(b, false)
+		}
+		b[time] = true
+		busy[e] = b
+	}
+	isBusy := func(e torus.Edge, time int) bool {
+		b := busy[e]
+		return time < len(b) && b[time]
+	}
+
+	congestion := make(map[torus.Edge]int)
+	for _, i := range idx {
+		path := paths[i]
+		if len(path.Edges) > res.Dilation {
+			res.Dilation = len(path.Edges)
+		}
+		start := 0
+	retry:
+		for j, e := range path.Edges {
+			if isBusy(e, start+j) {
+				start++
+				goto retry
+			}
+		}
+		res.Starts[i] = start
+		for j, e := range path.Edges {
+			occupy(e, start+j)
+		}
+		if end := start + len(path.Edges); end > res.Length {
+			res.Length = end
+		}
+		for _, e := range path.Edges {
+			congestion[e]++
+			if congestion[e] > res.Congestion {
+				res.Congestion = congestion[e]
+			}
+		}
+	}
+	return res
+}
+
+// Verify recomputes link occupancy and reports the first conflict found.
+func (r *Result) Verify() error {
+	type slot struct {
+		e torus.Edge
+		t int
+	}
+	seen := make(map[slot]int)
+	for i, path := range r.Paths {
+		for j, e := range path.Edges {
+			s := slot{e, r.Starts[i] + j}
+			if prev, dup := seen[s]; dup {
+				return fmt.Errorf("schedule: messages %d and %d share link %d at time %d", prev, i, e, s.t)
+			}
+			seen[s] = i
+		}
+	}
+	return nil
+}
+
+// CompleteExchange builds the message set of one complete exchange on the
+// placement (paths sampled from the algorithm) and schedules it greedily.
+func CompleteExchange(p *placement.Placement, alg routing.Algorithm, seed int64, order Order) *Result {
+	t := p.Torus()
+	rng := rand.New(rand.NewSource(seed))
+	paths := make([]routing.Path, 0, p.Pairs())
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if dst == src {
+				continue
+			}
+			paths = append(paths, alg.SamplePath(t, src, dst, rng))
+		}
+	}
+	return Greedy(t, paths, order)
+}

@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"testing"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/simnet"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestScheduleIsConflictFree(t *testing.T) {
+	for _, c := range []struct{ k, d int }{{4, 2}, {6, 2}, {4, 3}} {
+		tr := torus.New(c.k, c.d)
+		p := build(t, placement.Linear{C: 0}, tr)
+		for _, order := range []Order{ByIndex, LongestFirst} {
+			res := CompleteExchange(p, routing.ODR{}, 1, order)
+			if err := res.Verify(); err != nil {
+				t.Errorf("T^%d_%d order %d: %v", c.d, c.k, order, err)
+			}
+		}
+	}
+}
+
+func TestScheduleRespectsLowerBound(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := CompleteExchange(p, routing.ODR{}, 1, LongestFirst)
+	if res.Length < res.LowerBound() {
+		t.Errorf("length %d below lower bound %d", res.Length, res.LowerBound())
+	}
+	if res.Congestion <= 0 || res.Dilation <= 0 {
+		t.Errorf("degenerate congestion/dilation: %d/%d", res.Congestion, res.Dilation)
+	}
+}
+
+func TestCongestionEqualsEMaxForODR(t *testing.T) {
+	// ODR is deterministic, so the schedule's congestion is exactly the
+	// load engine's E_max.
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := CompleteExchange(p, routing.ODR{}, 1, ByIndex)
+	exact := load.Compute(p, routing.ODR{}, load.Options{})
+	if float64(res.Congestion) != exact.Max {
+		t.Errorf("congestion %d, E_max %v", res.Congestion, exact.Max)
+	}
+}
+
+func TestDilationEqualsDiameterBound(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	res := CompleteExchange(p, routing.ODR{}, 1, ByIndex)
+	if want := 2 * (6 / 2); res.Dilation != want {
+		t.Errorf("dilation %d, want torus diameter %d", res.Dilation, want)
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	// The greedy schedule should land within a small constant of the
+	// max(C, D) floor on these workloads (C + D is the classic target).
+	for _, c := range []struct{ k, d int }{{4, 2}, {6, 2}, {8, 2}, {4, 3}} {
+		tr := torus.New(c.k, c.d)
+		p := build(t, placement.Linear{C: 0}, tr)
+		res := CompleteExchange(p, routing.ODR{}, 1, LongestFirst)
+		if res.Length > res.Congestion+res.Dilation {
+			t.Errorf("T^%d_%d: length %d exceeds C+D = %d+%d", c.d, c.k,
+				res.Length, res.Congestion, res.Dilation)
+		}
+	}
+}
+
+func TestScheduleNoWorseThanFIFOSimulation(t *testing.T) {
+	// Offline scheduling with full knowledge should not lose to the online
+	// FIFO simulator on the same routes.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := CompleteExchange(p, routing.ODR{}, 1, LongestFirst)
+	sim := simnet.Run(simnet.Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1})
+	if res.Length > sim.Cycles {
+		t.Errorf("schedule %d cycles, FIFO simulation %d", res.Length, sim.Cycles)
+	}
+}
+
+func TestLongestFirstNoWorseOnFullTorus(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	byIdx := CompleteExchange(p, routing.ODR{}, 1, ByIndex)
+	longest := CompleteExchange(p, routing.ODR{}, 1, LongestFirst)
+	if err := byIdx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := longest.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Not a theorem, but on this workload the heuristic should not be
+	// dramatically worse; guard against pathological regressions.
+	if longest.Length > byIdx.Length*2 {
+		t.Errorf("longest-first %d vs by-index %d", longest.Length, byIdx.Length)
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	tr := torus.New(4, 2)
+	res := Greedy(tr, nil, ByIndex)
+	if res.Length != 0 || res.Congestion != 0 || res.Dilation != 0 {
+		t.Errorf("empty schedule: %+v", res)
+	}
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoMessagesSharingALink(t *testing.T) {
+	tr := torus.New(5, 1)
+	// Two identical 2-hop paths 0 -> 1 -> 2 must be offset by one cycle.
+	mk := func() routing.Path {
+		return routing.Path{Start: 0, Edges: []torus.Edge{
+			tr.EdgeFrom(0, 0, torus.Plus),
+			tr.EdgeFrom(1, 0, torus.Plus),
+		}}
+	}
+	res := Greedy(tr, []routing.Path{mk(), mk()}, ByIndex)
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != 3 {
+		t.Errorf("length %d, want 3 (starts 0 and 1)", res.Length)
+	}
+	if res.Congestion != 2 || res.Dilation != 2 {
+		t.Errorf("C/D = %d/%d, want 2/2", res.Congestion, res.Dilation)
+	}
+}

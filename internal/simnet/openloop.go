@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// OpenLoopConfig parameterizes a rate-driven (open-loop) simulation: every
+// cycle each processor independently injects a packet with probability
+// Rate, addressed to a uniform random other processor. This produces the
+// classical latency-vs-offered-load curve of interconnection-network
+// evaluation; the §1 throughput claim appears as the offered rate at which
+// latency diverges (saturation).
+type OpenLoopConfig struct {
+	Placement *placement.Placement
+	Algorithm routing.Algorithm
+	// Rate is the per-processor injection probability per cycle, in (0, 1].
+	Rate float64
+	// Warmup cycles run before measurement starts.
+	Warmup int
+	// Measure cycles are observed for the statistics.
+	Measure int
+	Seed    int64
+}
+
+// OpenLoopStats reports the steady-state measurement window.
+type OpenLoopStats struct {
+	// OfferedRate is the configured per-processor injection probability.
+	OfferedRate float64
+	// Injected and Delivered count packets during the measurement window.
+	Injected, Delivered int
+	// ThroughputPerProc is delivered packets per cycle per processor.
+	ThroughputPerProc float64
+	// MeanLatency averages delivery delays of packets delivered in-window.
+	MeanLatency float64
+	// MeanQueue is the average total queued packets over the window —
+	// unbounded growth here is the saturation signature.
+	MeanQueue float64
+	// EndBacklog is the number of packets still in flight at the end.
+	EndBacklog int
+}
+
+// Saturated reports whether the network failed to keep up: deliveries fell
+// clearly behind injections over the measurement window (the backlog grows
+// without bound past the saturation rate).
+func (s *OpenLoopStats) Saturated() bool {
+	return float64(s.Delivered) < 0.9*float64(s.Injected)
+}
+
+// RunOpenLoop executes the open-loop experiment. It is serial and
+// deterministic for a fixed seed.
+func RunOpenLoop(cfg OpenLoopConfig) *OpenLoopStats {
+	p := cfg.Placement
+	t := p.Torus()
+	procs := p.Nodes()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	queues := make([]queue, t.Edges())
+	type pkt struct {
+		route []torus.Edge
+		hop   int32
+		birth int32
+	}
+	var packets []pkt
+	moved := make([]int32, t.Edges())
+	inFlight := 0
+
+	stats := &OpenLoopStats{OfferedRate: cfg.Rate}
+	var latencySum int64
+	var queueSum int64
+
+	total := cfg.Warmup + cfg.Measure
+	for cycle := 0; cycle < total; cycle++ {
+		measuring := cycle >= cfg.Warmup
+
+		// Injection: Bernoulli per processor, uniform destination.
+		for _, src := range procs {
+			if rng.Float64() >= cfg.Rate {
+				continue
+			}
+			dst := procs[rng.Intn(len(procs))]
+			if dst == src {
+				continue
+			}
+			path := cfg.Algorithm.SamplePath(t, src, dst, rng)
+			id := int32(len(packets))
+			packets = append(packets, pkt{route: path.Edges, birth: int32(cycle)})
+			queues[path.Edges[0]].push(id)
+			inFlight++
+			if measuring {
+				stats.Injected++
+			}
+		}
+
+		// One flit per link per cycle (peek then commit, serial).
+		for e := range queues {
+			if queues[e].empty() {
+				moved[e] = -1
+			} else {
+				moved[e] = queues[e].peek()
+			}
+		}
+		for e := range moved {
+			id := moved[e]
+			if id < 0 {
+				continue
+			}
+			pk := &packets[id]
+			queues[e].pop()
+			pk.hop++
+			if int(pk.hop) == len(pk.route) {
+				inFlight--
+				if measuring {
+					stats.Delivered++
+					latencySum += int64(cycle+1) - int64(pk.birth)
+				}
+			} else {
+				queues[pk.route[pk.hop]].push(id)
+			}
+		}
+		if measuring {
+			queueSum += int64(inFlight)
+		}
+	}
+
+	if stats.Delivered > 0 {
+		stats.MeanLatency = float64(latencySum) / float64(stats.Delivered)
+	}
+	if cfg.Measure > 0 {
+		stats.ThroughputPerProc = float64(stats.Delivered) / float64(cfg.Measure) / float64(len(procs))
+		stats.MeanQueue = float64(queueSum) / float64(cfg.Measure)
+	}
+	stats.EndBacklog = inFlight
+	return stats
+}

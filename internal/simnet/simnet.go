@@ -1,0 +1,409 @@
+// Package simnet is a cycle-accurate store-and-forward network simulator
+// for partially populated tori. It executes the paper's operational model
+// directly: one complete exchange injects |P|·(|P|−1) packets, each packet
+// follows a path drawn from its routing algorithm's path set, every
+// directed link transmits one packet per cycle, and contended packets wait
+// in per-link FIFO queues.
+//
+// The simulator substitutes for the hardware testbed the paper reasons
+// about abstractly: completion time is lower-bounded by the maximum link
+// traffic, so the linear-vs-superlinear E_max separation between linear
+// placements and the fully populated torus shows up directly as a
+// completion-time separation (experiment E12).
+//
+// Beyond the paper's model the simulator supports two knobs real routers
+// have: bounded link queues with backpressure (a packet cannot advance into
+// a full queue; cyclic buffer dependencies can then deadlock, which is
+// detected and reported) and staggered injection (each processor spaces its
+// messages InjectInterval cycles apart instead of dumping them all at cycle
+// zero). Both default off, reproducing the paper's idealized scenario.
+//
+// Each cycle advances in two phases: a parallel peek phase in which every
+// link inspects its head packet, and an ordered commit phase that admits
+// moves in link-index order (respecting queue capacities). Results are
+// bit-identical regardless of worker count.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Placement *placement.Placement
+	Algorithm routing.Algorithm
+	// Seed drives path sampling for multi-path algorithms.
+	Seed int64
+	// Workers for the peek phase; 0 means GOMAXPROCS.
+	Workers int
+	// MaxCycles aborts a runaway simulation; 0 means no limit.
+	MaxCycles int
+	// QueueCapacity bounds every link queue; 0 means unbounded. With
+	// bounded queues a packet stays put until its next queue has room
+	// (backpressure), and a source holds each packet until its first link
+	// queue admits it.
+	QueueCapacity int
+	// InjectInterval spaces each source's messages this many cycles apart
+	// (message j enters at cycle j·InjectInterval); 0 injects everything
+	// at cycle 0.
+	InjectInterval int
+	// Demands overrides the workload: one packet per demand (weights are
+	// rounded to packet counts). Nil means one complete exchange.
+	Demands []load.Demand
+	// Adaptive switches to congestion-aware minimal routing: instead of a
+	// precomputed path, every hop picks the minimal-direction output link
+	// with the shortest queue (ties by link order). The Algorithm is then
+	// unused. Adaptivity is the online counterpart of UDR's route freedom.
+	Adaptive bool
+}
+
+// Stats reports the outcome of one complete exchange.
+type Stats struct {
+	// Packets injected (= |P|·(|P|−1)).
+	Packets int
+	// Cycles until the last delivery.
+	Cycles int
+	// MaxLinkTraffic is the largest total number of packets carried by any
+	// single directed link — the empirical counterpart of E_max.
+	MaxLinkTraffic int
+	// PerDimTraffic[j] is the largest traffic on any link of dimension j.
+	PerDimTraffic []int
+	// MaxQueueLen is the peak occupancy of any link queue.
+	MaxQueueLen int
+	// TotalHops is the sum of path lengths actually travelled.
+	TotalHops int
+	// MeanLatency and MaxLatency are delivery-time statistics in cycles,
+	// measured from each packet's injection time.
+	MeanLatency float64
+	MaxLatency  int
+	// LinkUtilization is TotalHops / (Cycles · links): the fraction of
+	// link-cycles that carried a packet.
+	LinkUtilization float64
+	// Aborted is set when MaxCycles was reached before completion.
+	Aborted bool
+	// Deadlocked is set when bounded queues reached a cycle with pending
+	// packets and no possible progress (cyclic buffer dependency).
+	Deadlocked bool
+}
+
+// Throughput returns delivered packets per cycle.
+func (s *Stats) Throughput() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Packets) / float64(s.Cycles)
+}
+
+// String summarizes the run.
+func (s *Stats) String() string {
+	suffix := ""
+	if s.Deadlocked {
+		suffix = " DEADLOCK"
+	}
+	if s.Aborted {
+		suffix += " ABORTED"
+	}
+	return fmt.Sprintf("packets=%d cycles=%d maxLink=%d maxQueue=%d meanLat=%.1f%s",
+		s.Packets, s.Cycles, s.MaxLinkTraffic, s.MaxQueueLen, s.MeanLatency, suffix)
+}
+
+type packet struct {
+	route []torus.Edge // nil in adaptive mode
+	src   torus.Node   // used in adaptive mode
+	dst   torus.Node
+	hop   int32
+	birth int32
+}
+
+// queue is a simple FIFO of packet ids.
+type queue struct {
+	items []int32
+	head  int
+}
+
+func (q *queue) push(id int32) { q.items = append(q.items, id) }
+func (q *queue) empty() bool   { return q.head >= len(q.items) }
+func (q *queue) length() int   { return len(q.items) - q.head }
+func (q *queue) peek() int32   { return q.items[q.head] }
+func (q *queue) pop() int32 {
+	id := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return id
+}
+
+// Run executes one complete exchange and returns its statistics.
+func Run(cfg Config) *Stats {
+	p := cfg.Placement
+	t := p.Torus()
+	alg := cfg.Algorithm
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Build packets, one per demand (default: complete exchange), with a
+	// sampled route and an injection time from the per-source message index.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	demands := cfg.Demands
+	if demands == nil {
+		demands = load.CompleteExchange{}.Demands(p)
+	}
+	packets := make([]packet, 0, len(demands))
+	injectAt := make([]int32, 0, len(demands))
+	msgIdx := make(map[torus.Node]int)
+	for _, dm := range demands {
+		copies := int(dm.Weight + 0.5)
+		for c := 0; c < copies; c++ {
+			if cfg.Adaptive {
+				packets = append(packets, packet{src: dm.Src, dst: dm.Dst})
+			} else {
+				path := alg.SamplePath(t, dm.Src, dm.Dst, rng)
+				packets = append(packets, packet{route: path.Edges, src: dm.Src, dst: dm.Dst})
+			}
+			injectAt = append(injectAt, int32(msgIdx[dm.Src]*cfg.InjectInterval))
+			msgIdx[dm.Src]++
+		}
+	}
+
+	// Injection order: packets sorted by (injectAt, packet id). With
+	// InjectInterval == 0 this is plain packet order.
+	pending := make([]int32, len(packets))
+	for i := range pending {
+		pending[i] = int32(i)
+	}
+	if cfg.InjectInterval > 0 {
+		sortByInjection(pending, injectAt)
+	}
+
+	stats := &Stats{Packets: len(packets), PerDimTraffic: make([]int, t.D())}
+	queues := make([]queue, t.Edges())
+	traffic := make([]int, t.Edges())
+
+	// adaptiveNext picks the minimal-direction out-edge of node v toward
+	// dst with the shortest queue (deterministic tie-break by edge order).
+	adaptiveNext := func(v, dst torus.Node) torus.Edge {
+		best := torus.Edge(-1)
+		bestLen := 0
+		for j := 0; j < t.D(); j++ {
+			del := torus.CoordDelta(t.Coord(v, j), t.Coord(dst, j), t.K())
+			if del.Dist == 0 {
+				continue
+			}
+			candidates := []torus.Direction{del.Dir}
+			if del.Tie {
+				candidates = []torus.Direction{torus.Plus, torus.Minus}
+			}
+			for _, dir := range candidates {
+				e := t.EdgeFrom(v, j, dir)
+				if l := queues[e].length(); best < 0 || l < bestLen {
+					best = e
+					bestLen = l
+				}
+			}
+		}
+		return best
+	}
+	remaining := 0
+	for _, id := range pending {
+		pk := &packets[id]
+		if len(pk.route) > 0 || (cfg.Adaptive && pk.src != pk.dst) {
+			remaining++
+		}
+	}
+
+	// moved[e] is the packet the link at e wants to forward this cycle
+	// (-1 when its queue is empty).
+	moved := make([]int32, t.Edges())
+	var latencySum int64
+	var blockedInj []int32
+	nextInject := 0
+	capUnlimited := cfg.QueueCapacity <= 0
+
+	cycle := 0
+	for remaining > 0 {
+		if cfg.MaxCycles > 0 && cycle >= cfg.MaxCycles {
+			stats.Aborted = true
+			break
+		}
+
+		// Injection: packets whose time has come enter their first queue,
+		// provided it has room; blocked injections retry next cycle in
+		// their original order.
+		injected := false
+		var retry []int32
+		tryInject := func(id int32) {
+			pk := &packets[id]
+			var first torus.Edge
+			if cfg.Adaptive {
+				if pk.src == pk.dst {
+					return
+				}
+				first = adaptiveNext(pk.src, pk.dst)
+			} else {
+				if len(pk.route) == 0 {
+					return
+				}
+				first = pk.route[0]
+			}
+			if !capUnlimited && queues[first].length() >= cfg.QueueCapacity {
+				retry = append(retry, id)
+				return
+			}
+			pk.birth = int32(cycle)
+			queues[first].push(id)
+			injected = true
+			if l := queues[first].length(); l > stats.MaxQueueLen {
+				stats.MaxQueueLen = l
+			}
+		}
+		for _, id := range blockedInj {
+			tryInject(id)
+		}
+		for nextInject < len(pending) {
+			id := pending[nextInject]
+			if int(injectAt[id]) > cycle {
+				break
+			}
+			tryInject(id)
+			nextInject++
+		}
+		blockedInj = retry
+
+		cycle++
+
+		// Phase 1 (parallel): each link peeks at its head packet.
+		var wg sync.WaitGroup
+		shard := (len(queues) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * shard
+			hi := lo + shard
+			if hi > len(queues) {
+				hi = len(queues)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for e := lo; e < hi; e++ {
+					if queues[e].empty() {
+						moved[e] = -1
+					} else {
+						moved[e] = queues[e].peek()
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		// Phase 2 (ordered): commit moves in link-index order, honoring
+		// queue capacities observed at commit time (deterministic).
+		progressed := false
+		for e := range moved {
+			id := moved[e]
+			if id < 0 {
+				continue
+			}
+			pk := &packets[id]
+			var final bool
+			var next torus.Edge
+			if cfg.Adaptive {
+				arrival := t.EdgeTarget(torus.Edge(e))
+				final = arrival == pk.dst
+				if !final {
+					next = adaptiveNext(arrival, pk.dst)
+				}
+			} else {
+				final = int(pk.hop) == len(pk.route)-1
+				if !final {
+					next = pk.route[pk.hop+1]
+				}
+			}
+			if !final && !capUnlimited && queues[next].length() >= cfg.QueueCapacity {
+				continue // backpressure: stay at the head of this queue
+			}
+			queues[e].pop()
+			progressed = true
+			traffic[e]++
+			stats.TotalHops++
+			pk.hop++
+			if final {
+				lat := cycle - int(pk.birth)
+				latencySum += int64(lat)
+				if lat > stats.MaxLatency {
+					stats.MaxLatency = lat
+				}
+				remaining--
+			} else {
+				queues[next].push(id)
+				if l := queues[next].length(); l > stats.MaxQueueLen {
+					stats.MaxQueueLen = l
+				}
+			}
+		}
+
+		if !progressed && !injected && nextInject >= len(pending) {
+			// Nothing moved, nothing entered, and nothing remains to
+			// inject on a future cycle: with bounded queues this is a
+			// buffer deadlock; without, it is impossible while packets
+			// remain.
+			stats.Deadlocked = true
+			break
+		}
+	}
+
+	stats.Cycles = cycle
+	for e, tr := range traffic {
+		if tr > stats.MaxLinkTraffic {
+			stats.MaxLinkTraffic = tr
+		}
+		if j := t.EdgeDim(torus.Edge(e)); tr > stats.PerDimTraffic[j] {
+			stats.PerDimTraffic[j] = tr
+		}
+	}
+	delivered := stats.Packets - remaining
+	if delivered > 0 {
+		stats.MeanLatency = float64(latencySum) / float64(delivered)
+	}
+	if cycle > 0 {
+		stats.LinkUtilization = float64(stats.TotalHops) / (float64(cycle) * float64(t.Edges()))
+	}
+	return stats
+}
+
+// sortByInjection stably sorts packet ids by injection time, preserving id
+// order within a time (insertion-friendly counting sort over times).
+func sortByInjection(ids []int32, injectAt []int32) {
+	maxT := int32(0)
+	for _, id := range ids {
+		if injectAt[id] > maxT {
+			maxT = injectAt[id]
+		}
+	}
+	counts := make([]int32, maxT+2)
+	for _, id := range ids {
+		counts[injectAt[id]+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	out := make([]int32, len(ids))
+	for _, id := range ids {
+		out[counts[injectAt[id]]] = id
+		counts[injectAt[id]]++
+	}
+	copy(ids, out)
+}

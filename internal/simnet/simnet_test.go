@@ -1,0 +1,422 @@
+package simnet
+
+import (
+	"testing"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestAllPacketsDelivered(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1})
+	if st.Aborted {
+		t.Fatal("simulation aborted")
+	}
+	if st.Packets != p.Pairs() {
+		t.Errorf("packets = %d, want %d", st.Packets, p.Pairs())
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+func TestTotalHopsEqualsLeeSum(t *testing.T) {
+	// Every packet travels exactly Lee(p,q) hops under minimal routing.
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, alg := range []routing.Algorithm{routing.ODR{}, routing.UDR{}, routing.FAR{}} {
+		st := Run(Config{Placement: p, Algorithm: alg, Seed: 2})
+		if want := int(load.ExpectedTotal(p)); st.TotalHops != want {
+			t.Errorf("%s: total hops %d, want %d", alg.Name(), st.TotalHops, want)
+		}
+	}
+}
+
+func TestCompletionAtLeastMaxTraffic(t *testing.T) {
+	// A link delivers one packet per cycle, so cycles >= max link traffic.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3})
+	if st.Cycles < st.MaxLinkTraffic {
+		t.Errorf("cycles %d below max link traffic %d", st.Cycles, st.MaxLinkTraffic)
+	}
+}
+
+func TestODRTrafficMatchesExactLoads(t *testing.T) {
+	// ODR is deterministic, so per-link traffic equals the exact load and
+	// the max equals E_max.
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	res := load.Compute(p, routing.ODR{}, load.Options{})
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 4})
+	if float64(st.MaxLinkTraffic) != res.Max {
+		t.Errorf("sim max traffic %d, exact E_max %v", st.MaxLinkTraffic, res.Max)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 5, Workers: 1})
+	b := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 5, Workers: 7})
+	if a.Cycles != b.Cycles || a.MaxLinkTraffic != b.MaxLinkTraffic ||
+		a.MeanLatency != b.MeanLatency || a.MaxQueueLen != b.MaxQueueLen {
+		t.Errorf("worker counts disagree: %s vs %s", a, b)
+	}
+}
+
+func TestSameSeedSameResult(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := Run(Config{Placement: p, Algorithm: routing.FAR{}, Seed: 6})
+	b := Run(Config{Placement: p, Algorithm: routing.FAR{}, Seed: 6})
+	if a.Cycles != b.Cycles || a.TotalHops != b.TotalHops {
+		t.Error("same seed should reproduce the run exactly")
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 7, MaxCycles: 2})
+	if !st.Aborted {
+		t.Error("expected abort at MaxCycles")
+	}
+	if st.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", st.Cycles)
+	}
+}
+
+func TestFullTorusSlowerThanLinearPlacement(t *testing.T) {
+	// The headline motivation: a complete exchange on the fully populated
+	// torus needs superlinearly more cycles per processor than on a linear
+	// placement.
+	// At small k the linear placement's completion is dominated by path
+	// latency rather than load, so the separation needs k large enough for
+	// the full torus's superlinear E_max (~k³/8 for d=2) to bite.
+	tr := torus.New(10, 2)
+	full := Run(Config{Placement: build(t, placement.Full{}, tr), Algorithm: routing.ODR{}, Seed: 8})
+	lin := Run(Config{Placement: build(t, placement.Linear{C: 0}, tr), Algorithm: routing.ODR{}, Seed: 8})
+	// Normalize by processor count: cycles per processor.
+	fullNorm := float64(full.Cycles) / 100
+	linNorm := float64(lin.Cycles) / 10
+	if fullNorm <= linNorm {
+		t.Errorf("full torus %.2f cycles/proc should exceed linear %.2f", fullNorm, linNorm)
+	}
+}
+
+func TestUDRFinishesNoLaterThanODROnAverage(t *testing.T) {
+	// UDR spreads the funneled load, so its completion time should not be
+	// meaningfully worse; allow slack for sampling noise.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	odr := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 9})
+	udr := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 9})
+	if udr.Cycles > odr.Cycles+odr.Cycles/2 {
+		t.Errorf("UDR cycles %d far above ODR %d", udr.Cycles, odr.Cycles)
+	}
+}
+
+func TestThroughputAndString(t *testing.T) {
+	tr := torus.New(4, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 10})
+	if st.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if st.String() == "" {
+		t.Error("String() empty")
+	}
+	var empty Stats
+	if empty.Throughput() != 0 {
+		t.Error("zero-cycle throughput should be 0")
+	}
+}
+
+func TestLatencyAtLeastPathLength(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 11})
+	// Max latency is at least the longest path (a packet needs >= 1 cycle
+	// per hop), and mean latency at least the mean path length.
+	maxLee := 0
+	sumLee := 0
+	for _, src := range p.Nodes() {
+		for _, dst := range p.Nodes() {
+			if src == dst {
+				continue
+			}
+			l := tr.LeeDistance(src, dst)
+			sumLee += l
+			if l > maxLee {
+				maxLee = l
+			}
+		}
+	}
+	if st.MaxLatency < maxLee {
+		t.Errorf("max latency %d below longest path %d", st.MaxLatency, maxLee)
+	}
+	if st.MeanLatency < float64(sumLee)/float64(p.Pairs()) {
+		t.Errorf("mean latency %v below mean path length %v", st.MeanLatency, float64(sumLee)/float64(p.Pairs()))
+	}
+}
+
+func TestQueuePopCompaction(t *testing.T) {
+	var q queue
+	for i := 0; i < 5000; i++ {
+		q.push(int32(i))
+	}
+	for i := 0; i < 5000; i++ {
+		if got := q.pop(); got != int32(i) {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	if !q.empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestBoundedQueuesRespectCapacity(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, capacity := range []int{1, 2, 4} {
+		st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1,
+			QueueCapacity: capacity, MaxCycles: 10000})
+		if st.Deadlocked || st.Aborted {
+			t.Fatalf("cap=%d: linear placement should complete: %s", capacity, st)
+		}
+		if st.MaxQueueLen > capacity {
+			t.Errorf("cap=%d: max queue %d exceeds capacity", capacity, st.MaxQueueLen)
+		}
+		if st.Packets != p.Pairs() {
+			t.Errorf("cap=%d: packets %d", capacity, st.Packets)
+		}
+	}
+}
+
+func TestFullTorusDeadlocksWithTinyBuffers(t *testing.T) {
+	// Classical store-and-forward deadlock: wrap-around rings full of
+	// packets each waiting for the next buffer. The fully populated torus
+	// with burst injection hits it at small capacities; the linear
+	// placement (30× fewer packets) never does.
+	tr := torus.New(6, 2)
+	full := build(t, placement.Full{}, tr)
+	st := Run(Config{Placement: full, Algorithm: routing.ODR{}, Seed: 1,
+		QueueCapacity: 2, MaxCycles: 100000})
+	if !st.Deadlocked {
+		t.Errorf("expected deadlock for full torus with capacity 2: %s", st)
+	}
+	// Large buffers restore completion.
+	ok := Run(Config{Placement: full, Algorithm: routing.ODR{}, Seed: 1,
+		QueueCapacity: 64, MaxCycles: 100000})
+	if ok.Deadlocked || ok.Aborted {
+		t.Errorf("capacity 64 should complete: %s", ok)
+	}
+}
+
+func TestInjectIntervalPacesTraffic(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	burst := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 1})
+	paced := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 1, InjectInterval: 5})
+	if paced.Deadlocked || paced.Aborted {
+		t.Fatalf("paced run failed: %s", paced)
+	}
+	if paced.Cycles <= burst.Cycles {
+		t.Errorf("pacing should stretch completion: paced %d vs burst %d", paced.Cycles, burst.Cycles)
+	}
+	if paced.MaxQueueLen > burst.MaxQueueLen {
+		t.Errorf("pacing should not increase queueing: paced %d vs burst %d",
+			paced.MaxQueueLen, burst.MaxQueueLen)
+	}
+	if paced.Packets != burst.Packets || paced.TotalHops != burst.TotalHops {
+		t.Error("pacing must not change the work done")
+	}
+}
+
+func TestPacedInjectionAvoidsDeadlock(t *testing.T) {
+	tr := torus.New(6, 2)
+	full := build(t, placement.Full{}, tr)
+	blocked := Run(Config{Placement: full, Algorithm: routing.ODR{}, Seed: 1,
+		QueueCapacity: 4, MaxCycles: 100000})
+	if !blocked.Deadlocked {
+		t.Skip("burst run did not deadlock; pacing comparison moot")
+	}
+	paced := Run(Config{Placement: full, Algorithm: routing.ODR{}, Seed: 1,
+		QueueCapacity: 4, InjectInterval: 4, MaxCycles: 100000})
+	if paced.Deadlocked || paced.Aborted {
+		t.Errorf("paced injection should drain the same load: %s", paced)
+	}
+}
+
+func TestPerDimTrafficAndUtilization(t *testing.T) {
+	tr := torus.New(5, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 2})
+	if len(st.PerDimTraffic) != 3 {
+		t.Fatalf("per-dim arity %d", len(st.PerDimTraffic))
+	}
+	maxDim := 0
+	for _, v := range st.PerDimTraffic {
+		if v > maxDim {
+			maxDim = v
+		}
+	}
+	if maxDim != st.MaxLinkTraffic {
+		t.Errorf("per-dim max %d != overall %d", maxDim, st.MaxLinkTraffic)
+	}
+	if st.LinkUtilization <= 0 || st.LinkUtilization > 1 {
+		t.Errorf("utilization %v out of (0,1]", st.LinkUtilization)
+	}
+}
+
+func TestBoundedRunDeterministicAcrossWorkers(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	a := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3, QueueCapacity: 8,
+		InjectInterval: 2, MaxCycles: 50000, Workers: 1})
+	b := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3, QueueCapacity: 8,
+		InjectInterval: 2, MaxCycles: 50000, Workers: 5})
+	if a.Cycles != b.Cycles || a.Deadlocked != b.Deadlocked || a.TotalHops != b.TotalHops ||
+		a.MaxQueueLen != b.MaxQueueLen {
+		t.Errorf("worker counts disagree: %s vs %s", a, b)
+	}
+}
+
+func TestSortByInjection(t *testing.T) {
+	ids := []int32{0, 1, 2, 3, 4}
+	times := []int32{3, 0, 3, 1, 0}
+	sortByInjection(ids, times)
+	want := []int32{1, 4, 3, 0, 2} // stable by (time, id)
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("order %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestAdaptiveDeliversEverything(t *testing.T) {
+	tr := torus.New(6, 2)
+	for _, spec := range []placement.Spec{placement.Linear{C: 0}, placement.Full{}} {
+		p := build(t, spec, tr)
+		st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1, Adaptive: true,
+			MaxCycles: 100000})
+		if st.Aborted || st.Deadlocked {
+			t.Fatalf("%s: adaptive run failed: %s", spec.Name(), st)
+		}
+		if st.Packets != p.Pairs() {
+			t.Errorf("%s: packets %d", spec.Name(), st.Packets)
+		}
+		// Adaptive hops are still minimal: total = Lee sum.
+		if want := int(load.ExpectedTotal(p)); st.TotalHops != want {
+			t.Errorf("%s: hops %d, want Lee sum %d", spec.Name(), st.TotalHops, want)
+		}
+	}
+}
+
+func TestAdaptiveNoSlowerThanODROnFullTorus(t *testing.T) {
+	// Congestion-aware next-hop choice should beat (or match) oblivious
+	// dimension-ordered routing on the heavy full-torus exchange.
+	tr := torus.New(8, 2)
+	p := build(t, placement.Full{}, tr)
+	odr := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 2})
+	adaptive := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 2, Adaptive: true})
+	if adaptive.Cycles > odr.Cycles {
+		t.Errorf("adaptive %d cycles, ODR %d — adaptivity should not lose here",
+			adaptive.Cycles, odr.Cycles)
+	}
+	// Note: adaptive minimizes queueing delay, not global peak traffic —
+	// its MaxLinkTraffic can slightly exceed ODR's even while finishing
+	// sooner, so only completion time is asserted.
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3, Adaptive: true, Workers: 1})
+	b := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3, Adaptive: true, Workers: 6})
+	if a.Cycles != b.Cycles || a.TotalHops != b.TotalHops || a.MaxQueueLen != b.MaxQueueLen {
+		t.Errorf("adaptive runs diverge: %s vs %s", a, b)
+	}
+}
+
+func TestOpenLoopLowRateKeepsUp(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := RunOpenLoop(OpenLoopConfig{Placement: p, Algorithm: routing.UDR{},
+		Rate: 0.1, Warmup: 200, Measure: 800, Seed: 1})
+	if st.Saturated() {
+		t.Errorf("10%% offered load should not saturate a linear placement: %+v", st)
+	}
+	if st.MeanLatency <= 0 {
+		t.Error("no latency measured")
+	}
+	// Delivered tracks injected in steady state (within stochastic slack).
+	if st.Delivered < st.Injected*8/10 {
+		t.Errorf("delivered %d far below injected %d", st.Delivered, st.Injected)
+	}
+}
+
+func TestOpenLoopFullTorusSaturatesBeforeLinear(t *testing.T) {
+	// The §1 throughput statement as a saturation point: uniform traffic
+	// loads the full torus's links at ρ ≈ λ·k/8 per unit injection rate
+	// (mean distance k/2 over 4 links per node), so k=12 saturates below
+	// λ=0.9, while the linear placement with k× fewer injectors runs at
+	// ρ ≈ λ/8 and keeps up easily at the same per-processor rate.
+	tr := torus.New(12, 2)
+	lin := build(t, placement.Linear{C: 0}, tr)
+	full := build(t, placement.Full{}, tr)
+	const rate = 0.9
+	linStats := RunOpenLoop(OpenLoopConfig{Placement: lin, Algorithm: routing.ODR{},
+		Rate: rate, Warmup: 300, Measure: 900, Seed: 2})
+	fullStats := RunOpenLoop(OpenLoopConfig{Placement: full, Algorithm: routing.ODR{},
+		Rate: rate, Warmup: 300, Measure: 900, Seed: 2})
+	if linStats.Saturated() {
+		t.Errorf("linear placement saturated at rate %v: %+v", rate, linStats)
+	}
+	if !fullStats.Saturated() {
+		t.Errorf("full torus should saturate at rate %v: %+v", rate, fullStats)
+	}
+	if fullStats.MeanQueue/float64(full.Size()) <= linStats.MeanQueue/float64(lin.Size()) {
+		t.Errorf("full torus per-proc queue (%v) should dwarf linear's (%v)",
+			fullStats.MeanQueue/float64(full.Size()), linStats.MeanQueue/float64(lin.Size()))
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := RunOpenLoop(OpenLoopConfig{Placement: p, Algorithm: routing.FAR{},
+		Rate: 0.3, Warmup: 50, Measure: 200, Seed: 7})
+	b := RunOpenLoop(OpenLoopConfig{Placement: p, Algorithm: routing.FAR{},
+		Rate: 0.3, Warmup: 50, Measure: 200, Seed: 7})
+	if a.Delivered != b.Delivered || a.MeanLatency != b.MeanLatency {
+		t.Error("same seed must reproduce the run")
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithRate(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	low := RunOpenLoop(OpenLoopConfig{Placement: p, Algorithm: routing.ODR{},
+		Rate: 0.05, Warmup: 200, Measure: 600, Seed: 3})
+	high := RunOpenLoop(OpenLoopConfig{Placement: p, Algorithm: routing.ODR{},
+		Rate: 0.6, Warmup: 200, Measure: 600, Seed: 3})
+	if high.MeanLatency <= low.MeanLatency {
+		t.Errorf("latency should grow with offered load: %v vs %v",
+			low.MeanLatency, high.MeanLatency)
+	}
+}

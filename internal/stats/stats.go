@@ -1,0 +1,170 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness relies on: summaries, percentiles, histograms, and log-log
+// regression for growth-exponent estimation (the tool that turns measured
+// E_max sweeps into "grows like k^{d−1}" vs "grows like k^{d+1}" claims).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	Std         float64
+	Median, P95 float64
+}
+
+// Summarize computes a Summary. It copies the input before sorting.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of an already sorted
+// sample, with linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LinearFit fits y = a + b·x by least squares and returns (a, b).
+func LinearFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return math.NaN(), math.NaN()
+	}
+	b = (n*sxy - sx*sy) / denom
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// GrowthExponent fits y = C·x^e on a positive-valued series by regressing
+// log y on log x, returning the exponent e. It is the estimator used to
+// verify that maximum loads scale as k^{d−1} for optimal placements and as
+// k^{d+1} for the fully populated torus.
+func GrowthExponent(xs, ys []float64) float64 {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	_, e := LinearFit(lx, ly)
+	return e
+}
+
+// Histogram bins a sample into `bins` equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram; values at Max land in the last bin.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, x := range xs {
+		idx := bins - 1
+		if width > 0 {
+			idx = int((x - h.Min) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII art, one row per bin.
+func (h *Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	binWidth := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		lo := h.Min + float64(i)*binWidth
+		fmt.Fprintf(&sb, "%10.2f | %s (%d)\n", lo, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

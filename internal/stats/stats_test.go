@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Std != 0 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 40 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(sorted, 50); got != 25 {
+		t.Errorf("P50 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinearFit(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Errorf("fit (%v, %v), want (1, 2)", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if a, b := LinearFit([]float64{1}, []float64{2}); !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Error("underdetermined fit should be NaN")
+	}
+	if a, b := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Error("vertical fit should be NaN")
+	}
+}
+
+func TestGrowthExponentRecoversPowerLaw(t *testing.T) {
+	fn := func(expRaw uint8) bool {
+		e := float64(expRaw%60)/10 - 3 // exponents in [-3, 3)
+		xs := []float64{2, 4, 8, 16, 32}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 5 * math.Pow(x, e)
+		}
+		got := GrowthExponent(xs, ys)
+		return math.Abs(got-e) < 1e-9
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowthExponentIgnoresNonPositive(t *testing.T) {
+	xs := []float64{1, 2, 4, -1, 0}
+	ys := []float64{3, 6, 12, 100, 100}
+	if got := GrowthExponent(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("exponent = %v, want 1", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total %d, want 10", total)
+	}
+	if h.Counts[4] != 2 { // 8 and 9 in the last bin
+		t.Errorf("last bin %d, want 2", h.Counts[4])
+	}
+	if h.Render(20) == "" {
+		t.Error("Render empty")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 3)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("total %d, want 3", total)
+	}
+	if NewHistogram(nil, 0).Counts == nil {
+		t.Error("empty histogram should still allocate bins")
+	}
+}

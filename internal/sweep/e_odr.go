@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"math"
+
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E6",
+		Title:    "Theorem 2 / §6.1: exact ODR maximum load on linear placements",
+		PaperRef: "Theorem 2, §6.1 closed forms",
+		Run:      runE6,
+	})
+	register(Experiment{
+		ID:       "E7",
+		Title:    "Theorem 3: multiple linear placements under ODR",
+		PaperRef: "Theorem 3, bound t²k^{d−1}",
+		Run:      runE7,
+	})
+}
+
+func runE6(scale Scale) *Table {
+	cases := []kd{{4, 3}, {5, 3}}
+	if scale == Full {
+		cases = []kd{{4, 3}, {6, 3}, {8, 3}, {10, 3}, {12, 3}, {5, 3}, {7, 3}, {9, 3}, {11, 3}, {4, 4}, {5, 4}, {6, 4}, {3, 5}, {4, 5}}
+	}
+	tb := &Table{
+		ID:       "E6",
+		Title:    "Linear placement + restricted ODR: measured vs closed forms",
+		PaperRef: "Theorem 2 / §6.1",
+		Columns: []string{"d", "k", "|P|", "E_max measured", "funneling form k^{d-1}/2*",
+			"interior-dim max", "§6.1 form k^{d-1}/8+…", "E_max/|P|"},
+	}
+	for _, c := range cases {
+		t := torus.New(c.k, c.d)
+		p := mustPlacement(placement.Linear{C: 0}, t)
+		res := load.Compute(p, routing.ODR{}, load.Options{})
+		perDim := res.PerDimensionMax()
+		interior := 0.0
+		for j := 1; j <= c.d-2; j++ {
+			interior = math.Max(interior, perDim[j])
+		}
+		tb.AddRow(c.d, c.k, p.Size(), res.Max, load.ODRLinearMax(c.k, c.d),
+			interior, load.ODRLinearInteriorMax(c.k, c.d), res.Max/float64(p.Size()))
+	}
+	tb.AddNote("Reproduction finding: the paper's §6.1 expression (k^{d-1}/8 + k^{d-2}/4 even / k^{d-1}/8 − k^{d-3}/8 odd) matches the measured maximum over *interior* correction dimensions exactly, but the global maximum sits on first/last-dimension edges where ODR funnels each destination's traffic through 2 in-arcs: k^{d-1}/2 (even) resp. (k^{d-1}−k^{d-2})/2 (odd). Both are linear in |P|, so Theorem 2 holds — with constant 1/2, not 1/8.")
+	return tb
+}
+
+func runE7(scale Scale) *Table {
+	type cse struct{ k, d, t int }
+	cases := []cse{{4, 2, 2}, {4, 3, 2}}
+	if scale == Full {
+		cases = []cse{
+			{6, 2, 1}, {6, 2, 2}, {6, 2, 3}, {8, 2, 2}, {8, 2, 4},
+			{4, 3, 1}, {4, 3, 2}, {6, 3, 2}, {6, 3, 3}, {5, 3, 2},
+		}
+	}
+	tb := &Table{
+		ID:       "E7",
+		Title:    "Multiple linear placements under ODR",
+		PaperRef: "Theorem 3",
+		Columns:  []string{"d", "k", "t", "|P|=t·k^{d-1}", "E_max", "bound t²k^{d-1}", "E_max/bound", "E_max/|P|"},
+	}
+	for _, c := range cases {
+		tr := torus.New(c.k, c.d)
+		p := mustPlacement(placement.MultipleLinear{T: c.t}, tr)
+		res := load.Compute(p, routing.ODR{}, load.Options{})
+		bound := load.MultiODRUpperBound(c.k, c.d, c.t)
+		tb.AddRow(c.d, c.k, c.t, p.Size(), res.Max, bound, res.Max/bound, res.Max/float64(p.Size()))
+	}
+	tb.AddNote("E_max stays below t²k^{d-1} everywhere and E_max/|P| stays bounded (≈ t/2 from funneling), confirming linear load for every fixed t.")
+	return tb
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/schedule"
+	"torusnet/internal/simnet"
+	"torusnet/internal/torus"
+	"torusnet/internal/wormhole"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E20",
+		Title:    "Wormhole switching: virtual channels, datelines, and deadlock",
+		PaperRef: "extension toward refs [7]/[11] (wormhole-routed tori)",
+		Run:      runE20,
+	})
+	register(Experiment{
+		ID:       "E21",
+		Title:    "Offline scheduling: congestion + dilation vs FIFO queueing",
+		PaperRef: "extension: operational meaning of E_max",
+		Run:      runE21,
+	})
+}
+
+func runE20(scale Scale) *Table {
+	ks := []int{6}
+	if scale == Full {
+		ks = []int{4, 6, 8}
+	}
+	tb := &Table{
+		ID:       "E20",
+		Title:    "Flit-level complete exchange (F=4 flits/packet, B=2 buffers/VC)",
+		PaperRef: "extension toward [7]/[11]",
+		Columns: []string{"k", "placement", "routing", "VCs", "cycles", "delivered/flits",
+			"max link flits", "mean packet latency", "outcome"},
+	}
+	type cfg struct {
+		name string
+		spec placement.Spec
+		alg  routing.Algorithm
+		vcs  int
+	}
+	for _, k := range ks {
+		t := torus.New(k, 2)
+		cfgs := []cfg{
+			{"linear", placement.Linear{C: 0}, routing.ODR{}, 1},
+			{"linear", placement.Linear{C: 0}, routing.ODR{}, 2},
+			{"full", placement.Full{}, routing.ODR{}, 1},
+			{"full", placement.Full{}, routing.ODR{}, 2},
+			{"full", placement.Full{}, routing.UDR{}, 2},
+		}
+		for _, c := range cfgs {
+			p := mustPlacement(c.spec, t)
+			st := wormhole.Run(wormhole.Config{
+				Placement: p, Algorithm: c.alg, Seed: 1,
+				VirtualChannels: c.vcs, MaxCycles: 2_000_000,
+			})
+			outcome := "completed"
+			if st.Deadlocked {
+				outcome = "DEADLOCK"
+			} else if st.Aborted {
+				outcome = "aborted"
+			}
+			tb.AddRow(k, c.name, c.alg.Name(), c.vcs, st.Cycles,
+				itoa(st.DeliveredFlits)+"/"+itoa(st.Flits),
+				st.MaxLinkFlits, st.MeanPacketLatency, outcome)
+		}
+	}
+	tb.AddNote("Three textbook phenomena reproduced: (1) single-VC wormhole deadlocks on the fully populated torus (cyclic buffer wait around wrap rings); (2) the two-VC dateline scheme restores completion under dimension-ordered routing; (3) UDR deadlocks even with datelines — per-packet dimension orders reintroduce cross-dimension cycles, which is why adaptive wormhole routing needs escape channels. The sparse linear placement completes in every configuration tried.")
+	return tb
+}
+
+func runE21(scale Scale) *Table {
+	cases := []kd{{6, 2}}
+	if scale == Full {
+		cases = []kd{{4, 2}, {6, 2}, {8, 2}, {10, 2}, {4, 3}, {6, 3}}
+	}
+	tb := &Table{
+		ID:       "E21",
+		Title:    "Greedy conflict-free schedule of one complete exchange (ODR routes)",
+		PaperRef: "extension: E_max as congestion",
+		Columns: []string{"d", "k", "placement", "congestion C (=E_max)", "dilation D",
+			"schedule length", "length/max(C,D)", "FIFO sim cycles"},
+	}
+	for _, c := range cases {
+		t := torus.New(c.k, c.d)
+		for _, spec := range []placement.Spec{placement.Linear{C: 0}, placement.Full{}} {
+			p := mustPlacement(spec, t)
+			res := schedule.CompleteExchange(p, routing.ODR{}, 1, schedule.LongestFirst)
+			exact := load.Compute(p, routing.ODR{}, load.Options{})
+			if float64(res.Congestion) != exact.Max {
+				panic("sweep: schedule congestion disagrees with the load engine")
+			}
+			fifo := simnet.Run(simnet.Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1})
+			tb.AddRow(c.d, c.k, spec.Name(), res.Congestion, res.Dilation, res.Length,
+				float64(res.Length)/float64(res.LowerBound()), fifo.Cycles)
+		}
+	}
+	tb.AddNote("The greedy schedule lands within C + D of the universal max(C, D) floor, usually much closer; the congestion column is exactly the load engine's E_max for deterministic ODR, making the paper's load bounds direct statements about achievable completion time. FIFO online queueing (simnet) pays a modest premium over the offline schedule.")
+	return tb
+}

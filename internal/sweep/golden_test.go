@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden regression tests: pin the headline scientific numbers of the
+// reproduction so an engine change that silently alters a result fails
+// loudly. Values are quick-scale rows; full-scale tables live in results/.
+
+func findRow(t *testing.T, tb *Table, prefix ...string) []string {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if len(row) < len(prefix) {
+			continue
+		}
+		match := true
+		for i, want := range prefix {
+			if row[i] != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			return row
+		}
+	}
+	t.Fatalf("no row with prefix %v in %s:\n%v", prefix, tb.ID, tb.Rows)
+	return nil
+}
+
+func TestGoldenE6ODRNumbers(t *testing.T) {
+	e, _ := ByID("E6")
+	tb := e.Run(Quick)
+	// T^3_4: measured E_max 8 (funneling k^{d-1}/2), interior max 3 (§6.1).
+	row := findRow(t, tb, "3", "4")
+	if row[3] != "8" || row[4] != "8" || row[5] != "3" || row[6] != "3" {
+		t.Errorf("E6 T^3_4 row drifted: %v", row)
+	}
+	// T^3_5 (odd k): measured 10, §6.1 interior 3.
+	row = findRow(t, tb, "3", "5")
+	if row[3] != "10" || row[5] != "3" {
+		t.Errorf("E6 T^3_5 row drifted: %v", row)
+	}
+}
+
+func TestGoldenE2FullTorusNumbers(t *testing.T) {
+	e, _ := ByID("E2")
+	tb := e.Run(Quick)
+	// T^2_8 fully populated: E_max 80 > bound 64.
+	row := findRow(t, tb, "2", "8")
+	if row[3] != "80" || row[4] != "64" {
+		t.Errorf("E2 T^2_8 row drifted: %v", row)
+	}
+}
+
+func TestGoldenE10Figure1Numbers(t *testing.T) {
+	e, _ := ByID("E10")
+	tb := e.Run(Quick)
+	// ODR: 1 path/pair, 12 of 36 links; UDR: 2 paths/pair, 24 links.
+	odr := findRow(t, tb, "ODR")
+	if odr[1] != "1" || odr[2] != "12" || odr[3] != "36" {
+		t.Errorf("E10 ODR row drifted: %v", odr)
+	}
+	udr := findRow(t, tb, "UDR")
+	if udr[1] != "2" || udr[2] != "24" {
+		t.Errorf("E10 UDR row drifted: %v", udr)
+	}
+}
+
+func TestGoldenE13OptimalityRatios(t *testing.T) {
+	e, _ := ByID("E13")
+	tb := e.Run(Quick)
+	// d=2 k=6: ODR ratio exactly 4; UDR exactly 2.
+	odr := findRow(t, tb, "2", "6", "ODR")
+	if odr[5] != "4" {
+		t.Errorf("E13 ODR ratio drifted: %v", odr)
+	}
+	udr := findRow(t, tb, "2", "6", "UDR")
+	if udr[5] != "2" {
+		t.Errorf("E13 UDR ratio drifted: %v", udr)
+	}
+}
+
+func TestGoldenE4Theorem1Width(t *testing.T) {
+	e, _ := ByID("E4")
+	tb := e.Run(Quick)
+	for _, row := range tb.Rows {
+		if row[4] != row[5] {
+			t.Errorf("E4: measured width %s != Theorem 1 value %s in row %v", row[4], row[5], row)
+		}
+	}
+}
+
+func TestGoldenE11UDRZeroCritical(t *testing.T) {
+	e, _ := ByID("E11")
+	tb := e.Run(Quick)
+	for _, row := range tb.Rows {
+		if row[2] == "UDR" && row[4] != "0" {
+			t.Errorf("E11: UDR should have zero vulnerable pairs on linear placements: %v", row)
+		}
+		if row[2] == "ODR" && row[4] != row[5] {
+			t.Errorf("E11: ODR should have every pair vulnerable: %v", row)
+		}
+	}
+}
+
+func TestGoldenE20WormholeOutcomes(t *testing.T) {
+	e, _ := ByID("E20")
+	tb := e.Run(Quick)
+	outcomes := map[string]string{}
+	for _, row := range tb.Rows {
+		key := row[1] + "/" + row[2] + "/V=" + row[3]
+		outcomes[key] = row[8]
+	}
+	want := map[string]string{
+		"full/ODR/V=1":   "DEADLOCK",
+		"full/ODR/V=2":   "completed",
+		"full/UDR/V=2":   "DEADLOCK",
+		"linear/ODR/V=1": "completed",
+		"linear/ODR/V=2": "completed",
+	}
+	for key, outcome := range want {
+		if outcomes[key] != outcome {
+			t.Errorf("E20 %s: outcome %q, want %q", key, outcomes[key], outcome)
+		}
+	}
+}
+
+func TestGoldenNotesMentionKeyFindings(t *testing.T) {
+	// The documented reproduction findings must stay in the experiment
+	// notes (they are what EXPERIMENTS.md cites).
+	e6, _ := ByID("E6")
+	if tb := e6.Run(Quick); !strings.Contains(strings.Join(tb.Notes, " "), "interior") {
+		t.Error("E6 note lost the interior-dimension finding")
+	}
+	e15, _ := ByID("E15")
+	if tb := e15.Run(Quick); !strings.Contains(strings.Join(tb.Notes, " "), "multinomial") {
+		t.Error("E15 note lost the FAR concentration finding")
+	}
+}

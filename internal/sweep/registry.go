@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	// Run executes the experiment. Scale selects parameter ranges:
+	// "quick" for CI-sized runs, "full" for the EXPERIMENTS.md tables.
+	Run func(scale Scale) *Table
+}
+
+// Scale selects experiment parameter ranges.
+type Scale string
+
+const (
+	// Quick keeps every experiment under roughly a second.
+	Quick Scale = "quick"
+	// Full uses the ranges recorded in EXPERIMENTS.md.
+	Full Scale = "full"
+)
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("sweep: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the registered experiments sorted by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

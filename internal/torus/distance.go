@@ -1,0 +1,129 @@
+package torus
+
+// CyclicDistance returns the cyclic distance between residues i and j
+// modulo k (Definition 6): min{ i−j mod k, j−i mod k }.
+func CyclicDistance(i, j, k int) int {
+	diff := (i - j) % k
+	if diff < 0 {
+		diff += k
+	}
+	if other := k - diff; other < diff {
+		return other
+	}
+	return diff
+}
+
+// Delta describes the shortest way(s) to correct one coordinate from p to q
+// on a ring of k nodes.
+type Delta struct {
+	// Dist is the cyclic distance between the coordinates.
+	Dist int
+	// Dir is the direction of a shortest correction. When Tie is true both
+	// directions are shortest and Dir is Plus, the canonical choice used by
+	// the paper's restricted ODR ("pick the path that corrects p_i in the
+	// (+) direction").
+	Dir Direction
+	// Tie reports that both directions give a shortest correction. This
+	// happens exactly when k is even and the coordinates are k/2 apart.
+	Tie bool
+}
+
+// CoordDelta computes the Delta from residue p to residue q modulo k.
+func CoordDelta(p, q, k int) Delta {
+	fwd := (q - p) % k
+	if fwd < 0 {
+		fwd += k
+	}
+	bwd := k - fwd
+	switch {
+	case fwd == 0:
+		return Delta{Dist: 0, Dir: Plus}
+	case fwd < bwd:
+		return Delta{Dist: fwd, Dir: Plus}
+	case bwd < fwd:
+		return Delta{Dist: bwd, Dir: Minus}
+	default: // fwd == bwd == k/2: tie, canonical direction is Plus.
+		return Delta{Dist: fwd, Dir: Plus, Tie: true}
+	}
+}
+
+// LeeDistance returns the Lee distance between nodes u and v: the sum of
+// the cyclic distances of their coordinates. It equals the length of a
+// shortest path between u and v on the torus.
+func (t *Torus) LeeDistance(u, v Node) int {
+	sum := 0
+	ui, vi := int(u), int(v)
+	for j := 0; j < t.d; j++ {
+		sum += CyclicDistance(ui%t.k, vi%t.k, t.k)
+		ui /= t.k
+		vi /= t.k
+	}
+	return sum
+}
+
+// Deltas computes the per-dimension Delta vector from u to v into dst,
+// which must have length D. It returns the number of dimensions in which
+// u and v differ.
+func (t *Torus) Deltas(u, v Node, dst []Delta) int {
+	if len(dst) != t.d {
+		panic("torus: Deltas destination has wrong length")
+	}
+	differing := 0
+	ui, vi := int(u), int(v)
+	for j := 0; j < t.d; j++ {
+		dst[j] = CoordDelta(ui%t.k, vi%t.k, t.k)
+		if dst[j].Dist > 0 {
+			differing++
+		}
+		ui /= t.k
+		vi /= t.k
+	}
+	return differing
+}
+
+// MinimalPathCount returns the number of distinct shortest paths between u
+// and v in the torus, counting every interleaving of unit steps and, for
+// tied dimensions (k even, distance exactly k/2), both directions. The
+// result is exact but can overflow for very long distances; it is intended
+// for the moderate tori used in tests and experiments. It returns the count
+// as a float64 to make the overflow behaviour (loss of precision rather
+// than wraparound) explicit.
+func (t *Torus) MinimalPathCount(u, v Node) float64 {
+	total := 0
+	count := 1.0
+	ui, vi := int(u), int(v)
+	for j := 0; j < t.d; j++ {
+		del := CoordDelta(ui%t.k, vi%t.k, t.k)
+		total += del.Dist
+		if del.Tie {
+			count *= 2
+		}
+		ui /= t.k
+		vi /= t.k
+	}
+	// Multinomial coefficient: total! / prod(dist_j!).
+	ui, vi = int(u), int(v)
+	remaining := total
+	for j := 0; j < t.d; j++ {
+		del := CoordDelta(ui%t.k, vi%t.k, t.k)
+		count *= binomialFloat(remaining, del.Dist)
+		remaining -= del.Dist
+		ui /= t.k
+		vi /= t.k
+	}
+	return count
+}
+
+func binomialFloat(n, r int) float64 {
+	if r < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	out := 1.0
+	for i := 1; i <= r; i++ {
+		out = out * float64(n-r+i) / float64(i)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package torus
+
+import "testing"
+
+// Fuzz targets run their seed corpus under plain `go test` and can be
+// extended with `go test -fuzz=FuzzX ./internal/torus`.
+
+func FuzzCoordDelta(f *testing.F) {
+	f.Add(0, 0, 2)
+	f.Add(3, 1, 5)
+	f.Add(7, 3, 8)
+	f.Add(100, -3, 17)
+	f.Fuzz(func(t *testing.T, p, q, kRaw int) {
+		k := kRaw%64 + 2
+		if k < 2 {
+			k = 2 - k // keep k >= 2 for negative raw values
+		}
+		pp := ((p % k) + k) % k
+		qq := ((q % k) + k) % k
+		del := CoordDelta(pp, qq, k)
+		if del.Dist < 0 || del.Dist > k/2 {
+			t.Fatalf("distance %d out of [0, %d]", del.Dist, k/2)
+		}
+		if del.Dist != CyclicDistance(pp, qq, k) {
+			t.Fatal("delta distance disagrees with CyclicDistance")
+		}
+		// Walking Dist steps in Dir reaches q.
+		c := pp
+		for s := 0; s < del.Dist; s++ {
+			if del.Dir == Plus {
+				c = (c + 1) % k
+			} else {
+				c = (c - 1 + k) % k
+			}
+		}
+		if c != qq {
+			t.Fatalf("walk from %d in %v for %d steps ends at %d, want %d", pp, del.Dir, del.Dist, c, qq)
+		}
+		if del.Tie && (k%2 != 0 || del.Dist != k/2) {
+			t.Fatal("tie flagged away from the antipode")
+		}
+	})
+}
+
+func FuzzNodeRoundTrip(f *testing.F) {
+	f.Add(3, 2, 0)
+	f.Add(5, 3, 77)
+	f.Add(8, 2, 63)
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, nodeRaw int) {
+		k := abs(kRaw)%7 + 2
+		d := abs(dRaw)%4 + 1
+		tr := New(k, d)
+		u := Node(abs(nodeRaw) % tr.Nodes())
+		if got := tr.NodeAt(tr.Coords(u)); got != u {
+			t.Fatalf("round trip %d -> %v -> %d", u, tr.Coords(u), got)
+		}
+		// Lee distance to self is 0 and to a +1 neighbor is 1.
+		if tr.LeeDistance(u, u) != 0 {
+			t.Fatal("self distance nonzero")
+		}
+		if tr.LeeDistance(u, tr.Step(u, 0, Plus)) != 1 && k > 2 {
+			t.Fatal("neighbor distance not 1")
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,50 @@
+package torus
+
+// Subtorus identifies a principal subtorus of T^d_k: the set of nodes whose
+// coordinate in dimension Dim is fixed to Value. It is isomorphic to
+// T^{d-1}_k (Definition 1 remark).
+type Subtorus struct {
+	Dim   int
+	Value int
+}
+
+// SubtorusNodes returns the nodes of the principal subtorus in increasing
+// index order. There are exactly k^{d-1} of them.
+func (t *Torus) SubtorusNodes(s Subtorus) []Node {
+	out := make([]Node, 0, t.nodes/t.k)
+	t.ForEachSubtorusNode(s, func(u Node) { out = append(out, u) })
+	return out
+}
+
+// ForEachSubtorusNode invokes fn for every node of the principal subtorus
+// in increasing index order.
+func (t *Torus) ForEachSubtorusNode(s Subtorus, fn func(Node)) {
+	if s.Dim < 0 || s.Dim >= t.d {
+		panic("torus: subtorus dimension out of range")
+	}
+	v := s.Value % t.k
+	if v < 0 {
+		v += t.k
+	}
+	stride := t.strides[s.Dim]
+	block := stride * t.k
+	for hi := 0; hi < t.nodes; hi += block {
+		base := hi + v*stride
+		for lo := 0; lo < stride; lo++ {
+			fn(Node(base + lo))
+		}
+	}
+}
+
+// CrossingEdges returns the directed edges that cross between the principal
+// subtori at Value and Value+1 (mod k) of dimension Dim, in both directions.
+// There are exactly 2·k^{d-1} of them; removing the edges of two antipodal
+// crossings realizes the Theorem 1 bisection of size 4·k^{d-1}.
+func (t *Torus) CrossingEdges(dim, value int) []Edge {
+	out := make([]Edge, 0, 2*t.nodes/t.k)
+	t.ForEachSubtorusNode(Subtorus{Dim: dim, Value: value}, func(u Node) {
+		out = append(out, t.EdgeFrom(u, dim, Plus))
+		out = append(out, t.EdgeFrom(t.Step(u, dim, Plus), dim, Minus))
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+package torus
+
+import "fmt"
+
+// Automorphism is a graph automorphism of T^d_k from the natural symmetry
+// group: a permutation of the dimensions, a per-dimension reflection, and a
+// translation, applied in that order:
+//
+//	φ(a)_j = offset_j + sign_j · a_{perm_j}   (mod k)
+//
+// These generate the full symmetry group (Z_k ⋊ Z_2) ≀ S_d of the torus.
+// Automorphisms map edges to edges, so any quantity defined purely by the
+// graph structure (distances, path counts, loads of symmetric placements)
+// is invariant under them — the cross-check used by the load tests.
+type Automorphism struct {
+	t      *Torus
+	perm   []int  // image dimension j draws from source dimension perm[j]
+	flip   []bool // reflect coordinate of image dimension j
+	offset []int  // translation added last
+}
+
+// NewAutomorphism validates and builds an automorphism. perm must be a
+// permutation of 0..d-1; flip and offset must have length d (nil means
+// identity / zero).
+func (t *Torus) NewAutomorphism(perm []int, flip []bool, offset []int) (*Automorphism, error) {
+	d := t.d
+	if perm == nil {
+		perm = make([]int, d)
+		for j := range perm {
+			perm[j] = j
+		}
+	}
+	if len(perm) != d {
+		return nil, fmt.Errorf("torus: permutation arity %d, want %d", len(perm), d)
+	}
+	seen := make([]bool, d)
+	for _, src := range perm {
+		if src < 0 || src >= d || seen[src] {
+			return nil, fmt.Errorf("torus: %v is not a permutation of 0..%d", perm, d-1)
+		}
+		seen[src] = true
+	}
+	if flip == nil {
+		flip = make([]bool, d)
+	}
+	if len(flip) != d {
+		return nil, fmt.Errorf("torus: flip arity %d, want %d", len(flip), d)
+	}
+	if offset == nil {
+		offset = make([]int, d)
+	}
+	if len(offset) != d {
+		return nil, fmt.Errorf("torus: offset arity %d, want %d", len(offset), d)
+	}
+	return &Automorphism{
+		t:      t,
+		perm:   append([]int(nil), perm...),
+		flip:   append([]bool(nil), flip...),
+		offset: append([]int(nil), offset...),
+	}, nil
+}
+
+// Node maps a node through the automorphism.
+func (a *Automorphism) Node(u Node) Node {
+	t := a.t
+	idx := 0
+	for j := 0; j < t.d; j++ {
+		c := t.Coord(u, a.perm[j])
+		if a.flip[j] {
+			c = (t.k - c) % t.k
+		}
+		c = (c + a.offset[j]) % t.k
+		if c < 0 {
+			c += t.k
+		}
+		idx += c * t.strides[j]
+	}
+	return Node(idx)
+}
+
+// Edge maps a directed edge through the automorphism: the image edge leaves
+// the image of the source along the permuted dimension, with direction
+// reversed when that dimension is reflected.
+func (a *Automorphism) Edge(e Edge) Edge {
+	t := a.t
+	srcDim := t.EdgeDim(e)
+	// Find the image dimension that draws from srcDim.
+	imgDim := -1
+	for j, s := range a.perm {
+		if s == srcDim {
+			imgDim = j
+			break
+		}
+	}
+	dir := t.EdgeDir(e)
+	if a.flip[imgDim] {
+		dir = dir.Opposite()
+	}
+	return t.EdgeFrom(a.Node(t.EdgeSource(e)), imgDim, dir)
+}
+
+// Verify checks the automorphism property on every edge: adjacency and
+// dimension structure are preserved. Intended for tests.
+func (a *Automorphism) Verify() error {
+	t := a.t
+	var err error
+	t.ForEachEdge(func(e Edge) {
+		if err != nil {
+			return
+		}
+		img := a.Edge(e)
+		if t.EdgeSource(img) != a.Node(t.EdgeSource(e)) {
+			err = fmt.Errorf("torus: automorphism breaks source of edge %d", e)
+			return
+		}
+		if t.EdgeTarget(img) != a.Node(t.EdgeTarget(e)) {
+			err = fmt.Errorf("torus: automorphism breaks target of edge %d", e)
+		}
+	})
+	return err
+}

@@ -1,0 +1,114 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAutomorphismIdentity(t *testing.T) {
+	tr := New(4, 3)
+	a, err := tr.NewAutomorphism(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ForEachNode(func(u Node) {
+		if a.Node(u) != u {
+			t.Fatalf("identity moved node %d", u)
+		}
+	})
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutomorphismValidation(t *testing.T) {
+	tr := New(4, 2)
+	if _, err := tr.NewAutomorphism([]int{0, 0}, nil, nil); err == nil {
+		t.Error("repeated dimension should fail")
+	}
+	if _, err := tr.NewAutomorphism([]int{0, 2}, nil, nil); err == nil {
+		t.Error("out-of-range dimension should fail")
+	}
+	if _, err := tr.NewAutomorphism([]int{0}, nil, nil); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := tr.NewAutomorphism(nil, []bool{true}, nil); err == nil {
+		t.Error("wrong flip arity should fail")
+	}
+	if _, err := tr.NewAutomorphism(nil, nil, []int{1}); err == nil {
+		t.Error("wrong offset arity should fail")
+	}
+}
+
+func TestAutomorphismPreservesAdjacency(t *testing.T) {
+	tr := New(5, 3)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(3)
+		flip := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+		offset := []int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}
+		a, err := tr.NewAutomorphism(perm, flip, offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("perm=%v flip=%v offset=%v: %v", perm, flip, offset, err)
+		}
+	}
+}
+
+func TestAutomorphismIsBijective(t *testing.T) {
+	tr := New(4, 2)
+	a, err := tr.NewAutomorphism([]int{1, 0}, []bool{true, false}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenN := make(map[Node]bool)
+	tr.ForEachNode(func(u Node) {
+		v := a.Node(u)
+		if seenN[v] {
+			t.Fatalf("node image %d repeated", v)
+		}
+		seenN[v] = true
+	})
+	seenE := make(map[Edge]bool)
+	tr.ForEachEdge(func(e Edge) {
+		img := a.Edge(e)
+		if seenE[img] {
+			t.Fatalf("edge image %d repeated", img)
+		}
+		seenE[img] = true
+	})
+}
+
+func TestAutomorphismPreservesLeeDistance(t *testing.T) {
+	tr := New(5, 3)
+	a, err := tr.NewAutomorphism([]int{2, 0, 1}, []bool{false, true, false}, []int{1, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		u := Node(rng.Intn(tr.Nodes()))
+		v := Node(rng.Intn(tr.Nodes()))
+		if tr.LeeDistance(u, v) != tr.LeeDistance(a.Node(u), a.Node(v)) {
+			t.Fatalf("Lee distance not preserved for %d,%d", u, v)
+		}
+	}
+}
+
+func TestReflectionReversesDirections(t *testing.T) {
+	tr := New(5, 1)
+	a, err := tr.NewAutomorphism(nil, []bool{true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tr.EdgeFrom(1, 0, Plus) // 1 -> 2
+	img := a.Edge(e)             // should be 4 -> 3
+	if tr.EdgeSource(img) != 4 || tr.EdgeTarget(img) != 3 {
+		t.Errorf("reflection image: %s", tr.EdgeString(img))
+	}
+	if tr.EdgeDir(img) != Minus {
+		t.Error("reflection should reverse direction")
+	}
+}

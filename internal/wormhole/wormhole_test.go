@@ -1,0 +1,185 @@
+package wormhole
+
+import (
+	"testing"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func build(t *testing.T, spec placement.Spec, tr *torus.Torus) *placement.Placement {
+	t.Helper()
+	p, err := spec.Build(tr)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name(), err)
+	}
+	return p
+}
+
+func TestLinearPlacementCompletes(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1, MaxCycles: 100000})
+	if st.Deadlocked || st.Aborted {
+		t.Fatalf("run failed: %s", st)
+	}
+	if st.DeliveredFlits != st.Flits {
+		t.Errorf("delivered %d of %d flits", st.DeliveredFlits, st.Flits)
+	}
+	if st.Packets != p.Pairs() {
+		t.Errorf("packets %d, want %d", st.Packets, p.Pairs())
+	}
+}
+
+func TestDatelinePreventsDeadlockOnFullTorus(t *testing.T) {
+	// The headline wormhole result: one VC deadlocks on wrap rings, the
+	// two-VC dateline scheme completes under dimension-ordered routing.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	one := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1,
+		VirtualChannels: 1, MaxCycles: 500000})
+	if !one.Deadlocked {
+		t.Errorf("single-VC full-torus exchange should deadlock: %s", one)
+	}
+	two := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1,
+		VirtualChannels: 2, MaxCycles: 500000})
+	if two.Deadlocked || two.Aborted {
+		t.Fatalf("dateline run failed: %s", two)
+	}
+	if two.DeliveredFlits != two.Flits {
+		t.Errorf("dateline delivered %d of %d", two.DeliveredFlits, two.Flits)
+	}
+}
+
+func TestUDRDeadlocksEvenWithDatelines(t *testing.T) {
+	// Datelines only break ring cycles; UDR's per-packet dimension orders
+	// reintroduce cross-dimension cycles — the textbook reason adaptive
+	// wormhole routing needs escape channels.
+	tr := torus.New(6, 2)
+	p := build(t, placement.Full{}, tr)
+	st := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 1,
+		VirtualChannels: 2, MaxCycles: 500000})
+	if !st.Deadlocked {
+		t.Skip("UDR happened to complete for this seed; deadlock is possible, not certain")
+	}
+	if st.DeliveredFlits >= st.Flits {
+		t.Error("deadlocked run cannot have delivered everything")
+	}
+}
+
+func TestSinglePacketLatencyIsPipelineDepth(t *testing.T) {
+	// One uncontended worm of F flits over a path of L hops takes exactly
+	// L + F − 1 cycles after its head enters (plus 0 queueing).
+	tr := torus.New(8, 1)
+	p := build(t, placement.Explicit{Label: "pair", Coords: [][]int{{0}, {3}}}, tr)
+	// Complete exchange has 2 packets in opposite directions — disjoint
+	// rings directions, so both are uncontended.
+	const F = 4
+	st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 1,
+		FlitsPerPacket: F, MaxCycles: 1000})
+	if st.Deadlocked || st.Aborted {
+		t.Fatalf("run failed: %s", st)
+	}
+	want := 3 + F - 1 // L = Lee distance 3
+	if st.MaxPacketLatency != want {
+		t.Errorf("latency %d, want %d", st.MaxPacketLatency, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	a := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 9, MaxCycles: 100000})
+	b := Run(Config{Placement: p, Algorithm: routing.UDR{}, Seed: 9, MaxCycles: 100000})
+	if a.Cycles != b.Cycles || a.MeanPacketLatency != b.MeanPacketLatency ||
+		a.MaxLinkFlits != b.MaxLinkFlits {
+		t.Errorf("runs diverge: %s vs %s", a, b)
+	}
+}
+
+func TestFlitConservation(t *testing.T) {
+	tr := torus.New(4, 3)
+	p := build(t, placement.Linear{C: 0}, tr)
+	for _, f := range []int{1, 2, 8} {
+		st := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 2,
+			FlitsPerPacket: f, MaxCycles: 200000})
+		if st.Deadlocked || st.Aborted {
+			t.Fatalf("F=%d: %s", f, st)
+		}
+		if st.Flits != p.Pairs()*f || st.DeliveredFlits != st.Flits {
+			t.Errorf("F=%d: flits %d delivered %d", f, st.Flits, st.DeliveredFlits)
+		}
+	}
+}
+
+func TestBufferDepthTradesCyclesNotCorrectness(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := build(t, placement.Linear{C: 0}, tr)
+	shallow := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3,
+		BufferDepth: 1, MaxCycles: 100000})
+	deep := Run(Config{Placement: p, Algorithm: routing.ODR{}, Seed: 3,
+		BufferDepth: 16, MaxCycles: 100000})
+	if shallow.Deadlocked || deep.Deadlocked {
+		t.Fatalf("linear exchange should not deadlock: %s / %s", shallow, deep)
+	}
+	if deep.Cycles > shallow.Cycles {
+		t.Errorf("deeper buffers should not slow completion: %d vs %d", deep.Cycles, shallow.Cycles)
+	}
+}
+
+func TestDatelineClasses(t *testing.T) {
+	tr := torus.New(5, 2)
+	// Path from (3,0) to (1,0): 3 ->(+) 4 ->(+wrap) 0 ->(+) 1 in dim 0.
+	p := routing.Path{Start: tr.NodeAt([]int{3, 0})}
+	cur := p.Start
+	for i := 0; i < 3; i++ {
+		e := tr.EdgeFrom(cur, 0, torus.Plus)
+		p.Edges = append(p.Edges, e)
+		cur = tr.EdgeTarget(e)
+	}
+	classes := datelineClasses(tr, p.Edges, 2)
+	want := []int8{0, 1, 1} // wrap is the second hop (4 -> 0)
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("classes %v, want %v", classes, want)
+		}
+	}
+	// Single VC: all class 0.
+	flat := datelineClasses(tr, p.Edges, 1)
+	for _, c := range flat {
+		if c != 0 {
+			t.Fatal("V=1 must use class 0 throughout")
+		}
+	}
+}
+
+func TestDatelineClassResetsAcrossDimensions(t *testing.T) {
+	tr := torus.New(4, 2)
+	// Wrap in dim 0, then hops in dim 1 must restart at class 0.
+	p := routing.Path{Start: tr.NodeAt([]int{3, 0})}
+	cur := p.Start
+	e := tr.EdgeFrom(cur, 0, torus.Plus) // 3 -> 0: wrap
+	p.Edges = append(p.Edges, e)
+	cur = tr.EdgeTarget(e)
+	e = tr.EdgeFrom(cur, 1, torus.Plus)
+	p.Edges = append(p.Edges, e)
+	classes := datelineClasses(tr, p.Edges, 2)
+	if classes[0] != 1 || classes[1] != 0 {
+		t.Errorf("classes %v, want [1 0]", classes)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (&Config{}).withDefaults()
+	if c.FlitsPerPacket != 4 || c.BufferDepth != 2 || c.VirtualChannels != 2 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Deadlocked: true, Aborted: true}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}

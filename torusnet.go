@@ -1,0 +1,362 @@
+package torusnet
+
+import (
+	"torusnet/internal/bisect"
+	"torusnet/internal/bounds"
+	"torusnet/internal/bsp"
+	"torusnet/internal/core"
+	"torusnet/internal/cover"
+	"torusnet/internal/faults"
+	"torusnet/internal/load"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/lee"
+	"torusnet/internal/optimize"
+	"torusnet/internal/schedule"
+	"torusnet/internal/simnet"
+	"torusnet/internal/sweep"
+	"torusnet/internal/torus"
+	"torusnet/internal/wormhole"
+)
+
+// Topology types.
+type (
+	// Torus is the d-dimensional k-torus T^d_k (Definition 1).
+	Torus = torus.Torus
+	// Node indexes a torus vertex.
+	Node = torus.Node
+	// Edge indexes a directed torus link.
+	Edge = torus.Edge
+	// Direction is a travel direction (+/−) along a dimension.
+	Direction = torus.Direction
+	// Subtorus identifies a principal subtorus.
+	Subtorus = torus.Subtorus
+)
+
+// Direction constants.
+const (
+	Plus  = torus.Plus
+	Minus = torus.Minus
+)
+
+// NewTorus constructs T^d_k. It panics for invalid parameters; use
+// CheckTorus to validate first.
+func NewTorus(k, d int) *Torus { return torus.New(k, d) }
+
+// CheckTorus validates torus parameters without constructing.
+func CheckTorus(k, d int) error { return torus.Check(k, d) }
+
+// CyclicDistance is the Definition 6 distance between residues mod k.
+func CyclicDistance(i, j, k int) int { return torus.CyclicDistance(i, j, k) }
+
+// Placement types and specs.
+type (
+	// Placement is a set of processor nodes on one torus (Definition 2).
+	Placement = placement.Placement
+	// PlacementSpec generates P_{d,k} for any torus.
+	PlacementSpec = placement.Spec
+	// Linear is the Definition 10 linear placement Σ c_i·p_i ≡ C (mod k).
+	Linear = placement.Linear
+	// MultipleLinear is the union of t consecutive linear placements (§5).
+	MultipleLinear = placement.MultipleLinear
+	// ShiftedDiagonal is Blaum et al.'s d=3 placement, a linear special case.
+	ShiftedDiagonal = placement.ShiftedDiagonal
+	// Full populates every node (the classical torus).
+	Full = placement.Full
+	// Random places processors uniformly at random.
+	Random = placement.Random
+	// Explicit wraps a fixed coordinate list.
+	Explicit = placement.Explicit
+	// LayerCluster is uniform along exactly one dimension (Theorem 1's
+	// weakest premise), clustered in the others.
+	LayerCluster = placement.LayerCluster
+)
+
+// NewPlacement builds a placement from explicit nodes.
+func NewPlacement(t *Torus, nodes []Node, name string) *Placement {
+	return placement.New(t, nodes, name)
+}
+
+// Routing algorithms.
+type (
+	// RoutingAlgorithm specifies shortest-path sets C^A_{p→q} (Definition 3).
+	RoutingAlgorithm = routing.Algorithm
+	// Path is one shortest path.
+	Path = routing.Path
+	// ODR is restricted Ordered Dimensional Routing (§6).
+	ODR = routing.ODR
+	// ODRMulti is ODR with both directions allowed on ties.
+	ODRMulti = routing.ODRMulti
+	// UDR is Unordered Dimensional Routing (§7).
+	UDR = routing.UDR
+	// UDRMulti is UDR with both directions allowed on ties.
+	UDRMulti = routing.UDRMulti
+	// FAR is fully adaptive minimal routing over all shortest paths.
+	FAR = routing.FAR
+	// ODROrder is ODR with a caller-chosen dimension correction order.
+	ODROrder = routing.ODROrder
+	// MeshODR routes on the embedded array A^d_k, never using wrap links.
+	MeshODR = routing.MeshODR
+)
+
+// Load computation.
+type (
+	// LoadResult holds per-edge expected loads and E_max (Definitions 4/5).
+	LoadResult = load.Result
+	// LoadOptions configures the engine (worker count).
+	LoadOptions = load.Options
+	// ExactLoadResult holds loads as exact rationals.
+	ExactLoadResult = load.ExactResult
+	// MonteCarloResult holds empirical load estimates.
+	MonteCarloResult = load.MonteCarloResult
+)
+
+// ComputeLoad evaluates the exact expected load of every directed edge
+// under one complete exchange.
+func ComputeLoad(p *Placement, a RoutingAlgorithm, opts LoadOptions) *LoadResult {
+	return load.Compute(p, a, opts)
+}
+
+// ComputeLoadExact evaluates loads with big.Rat arithmetic (small tori).
+func ComputeLoadExact(p *Placement, a RoutingAlgorithm) (*ExactLoadResult, error) {
+	return load.ComputeExact(p, a)
+}
+
+// MonteCarloLoad estimates loads empirically over repeated exchanges.
+func MonteCarloLoad(p *Placement, a RoutingAlgorithm, rounds int, seed int64, opts LoadOptions) *MonteCarloResult {
+	return load.MonteCarlo(p, a, rounds, seed, opts)
+}
+
+// Traffic patterns beyond complete exchange.
+type (
+	// TrafficPattern generates a traffic matrix over a placement.
+	TrafficPattern = load.Pattern
+	// PatternCompleteExchange is all-to-all personalized communication.
+	PatternCompleteExchange = load.CompleteExchange
+	// PatternTranspose is coordinate-reversal (matrix transposition, d=2).
+	PatternTranspose = load.Transpose
+	// PatternShift is a fixed-offset cyclic shift.
+	PatternShift = load.Shift
+	// PatternHotSpot funnels every processor into one destination.
+	PatternHotSpot = load.HotSpot
+	// PatternRandomPairs samples an irregular traffic matrix.
+	PatternRandomPairs = load.RandomPairs
+)
+
+// ComputePatternLoad evaluates a traffic pattern's exact expected loads.
+func ComputePatternLoad(p *Placement, pat TrafficPattern, a RoutingAlgorithm, opts LoadOptions) *LoadResult {
+	return load.ComputePattern(p, pat, a, opts)
+}
+
+// Resource-placement metrics (covering/packing).
+type (
+	// CoverReport holds covering radius, packing distance, mean distance.
+	CoverReport = cover.Report
+)
+
+// AnalyzeCoverage computes resource-placement metrics.
+func AnalyzeCoverage(p *Placement) CoverReport { return cover.Analyze(p) }
+
+// Degraded-network load.
+type (
+	// DegradedLoad is the post-failure load picture.
+	DegradedLoad = faults.DegradedResult
+)
+
+// LoadWithFailures recomputes the exchange load on a mutilated torus:
+// traffic redistributes over surviving routes, falling back to BFS detours.
+func LoadWithFailures(p *Placement, a RoutingAlgorithm, failed map[Edge]bool) *DegradedLoad {
+	return faults.LoadWithFailures(p, a, failed)
+}
+
+// RandomFailures draws n distinct failed links deterministically.
+func RandomFailures(t *Torus, n int, seed int64) map[Edge]bool {
+	return faults.RandomFailures(t, n, seed)
+}
+
+// Lower bounds (package bounds).
+var (
+	// BlaumBound is Eq. 1: (|P|−1)/2d.
+	BlaumBound = bounds.Blaum
+	// SeparatorBound is Lemma 1: 2|S|(|P|−|S|)/|∂S|.
+	SeparatorBound = bounds.Separator
+	// BisectionBound is Eq. 8.
+	BisectionBound = bounds.Bisection
+	// ImprovedBound is the §4 bound c²k^{d−1}/8.
+	ImprovedBound = bounds.Improved
+	// MaxPlacementSize is the Eq. 9 ceiling 12·d·c1·k^{d−1}.
+	MaxPlacementSize = bounds.MaxPlacementSize
+)
+
+// Bisection.
+type (
+	// Cut is a partition of the torus with respect to a placement.
+	Cut = bisect.Cut
+)
+
+// DimensionCut is the Theorem 1 construction (width 4k^{d−1}).
+func DimensionCut(p *Placement, dim int) *Cut { return bisect.DimensionCut(p, dim) }
+
+// SweepBisect is the appendix hyperplane-sweep construction (balanced for
+// any placement, width ≤ 6dk^{d−1}).
+func SweepBisect(p *Placement) *Cut { return bisect.Sweep(p) }
+
+// BestSweepBisect scans every balanced hyperplane position and returns the
+// minimum-width sweep cut.
+func BestSweepBisect(p *Placement) *Cut { return bisect.BestSweep(p) }
+
+// Analysis.
+type (
+	// Report is the full optimality analysis of a placement + algorithm.
+	Report = core.Report
+	// FaultReport aggregates §7 fault-tolerance metrics.
+	FaultReport = faults.Report
+)
+
+// Analyze runs loads, bounds, bisections, and optimality ratios in one call.
+func Analyze(p *Placement, a RoutingAlgorithm, workers int) *Report {
+	return core.Analyze(p, a, workers)
+}
+
+// FullReport bundles load/bounds with faults, coverage, and scheduling.
+type FullReport = core.FullReport
+
+// AnalyzeFull runs every analysis pipeline on one placement.
+func AnalyzeFull(p *Placement, a RoutingAlgorithm, workers int) *FullReport {
+	return core.AnalyzeFull(p, a, workers)
+}
+
+// ComputeValiantLoad evaluates Valiant two-phase randomized routing.
+func ComputeValiantLoad(p *Placement, pat TrafficPattern, a RoutingAlgorithm, opts LoadOptions) *LoadResult {
+	return load.ComputeValiant(p, pat, a, opts)
+}
+
+// AnalyzeFaults computes route multiplicity and critical-link statistics.
+func AnalyzeFaults(p *Placement, a RoutingAlgorithm, workers int) *FaultReport {
+	return faults.Analyze(p, a, workers)
+}
+
+// EdgeDisjointRoutes greedily selects pairwise edge-disjoint paths from
+// C^A_{p→q}; with r routes the pair tolerates any r−1 link failures.
+func EdgeDisjointRoutes(a RoutingAlgorithm, t *Torus, p, q Node, maxPaths int) []Path {
+	return routing.EdgeDisjointRoutes(a, t, p, q, maxPaths)
+}
+
+// RandomFailureBrokenPairs fails `failures` random links and counts the
+// ordered processor pairs left without any route under the algorithm.
+func RandomFailureBrokenPairs(p *Placement, a RoutingAlgorithm, failures int, seed int64) int {
+	return faults.RandomFailureTrial(p, a, failures, seed)
+}
+
+// Simulation.
+type (
+	// SimConfig parameterizes a cycle-accurate simulation run.
+	SimConfig = simnet.Config
+	// SimStats reports a completed complete exchange.
+	SimStats = simnet.Stats
+)
+
+// Simulate runs one complete exchange on the store-and-forward simulator.
+func Simulate(cfg SimConfig) *SimStats { return simnet.Run(cfg) }
+
+// Open-loop (rate-driven) simulation.
+type (
+	// OpenLoopConfig parameterizes a rate-driven traffic run.
+	OpenLoopConfig = simnet.OpenLoopConfig
+	// OpenLoopStats is the steady-state measurement.
+	OpenLoopStats = simnet.OpenLoopStats
+)
+
+// SimulateOpenLoop measures throughput and latency under Bernoulli
+// injection at a fixed per-processor rate (the load-latency curve).
+func SimulateOpenLoop(cfg OpenLoopConfig) *OpenLoopStats { return simnet.RunOpenLoop(cfg) }
+
+// Wormhole switching (flit-level, virtual channels, dateline scheme).
+type (
+	// WormholeConfig parameterizes a flit-level simulation run.
+	WormholeConfig = wormhole.Config
+	// WormholeStats reports a wormhole complete exchange.
+	WormholeStats = wormhole.Stats
+)
+
+// SimulateWormhole runs one complete exchange under wormhole switching.
+func SimulateWormhole(cfg WormholeConfig) *WormholeStats { return wormhole.Run(cfg) }
+
+// Offline conflict-free scheduling.
+type (
+	// Schedule is a conflict-free time assignment for routed messages.
+	Schedule = schedule.Result
+	// ScheduleOrder selects the greedy insertion order.
+	ScheduleOrder = schedule.Order
+)
+
+// Schedule insertion orders.
+const (
+	ScheduleByIndex      = schedule.ByIndex
+	ScheduleLongestFirst = schedule.LongestFirst
+)
+
+// ScheduleExchange builds and greedily schedules one complete exchange.
+func ScheduleExchange(p *Placement, a RoutingAlgorithm, seed int64, order ScheduleOrder) *Schedule {
+	return schedule.CompleteExchange(p, a, seed, order)
+}
+
+// BSP cost model.
+type (
+	// BSPParams are the fitted gap/latency of a placement.
+	BSPParams = bsp.Params
+	// BSPSample is one measured superstep.
+	BSPSample = bsp.Sample
+)
+
+// EstimateBSP fits cycles(h) = g·h + L over simulated h-relations.
+func EstimateBSP(p *Placement, a RoutingAlgorithm, hmax int, seed int64) (BSPParams, []BSPSample) {
+	return bsp.Estimate(p, a, hmax, seed)
+}
+
+// Placement search.
+type (
+	// AnnealConfig parameterizes the simulated-annealing placement search.
+	AnnealConfig = optimize.Config
+	// AnnealResult reports the search outcome.
+	AnnealResult = optimize.Result
+)
+
+// AnnealPlacement searches for a low-E_max placement of fixed size.
+func AnnealPlacement(t *Torus, a RoutingAlgorithm, cfg AnnealConfig) *AnnealResult {
+	return optimize.Anneal(t, a, cfg)
+}
+
+// Lee-distance analytics (closed forms used as analytic anchors).
+var (
+	// TorusMeanDistance is the mean Lee distance of T^d_k.
+	TorusMeanDistance = lee.TorusMeanDistance
+	// TorusDiameter is d·⌊k/2⌋.
+	TorusDiameter = lee.Diameter
+	// LeeSphereSize is the surface size of a Lee sphere.
+	LeeSphereSize = lee.SphereSize
+	// LinearExchangeTotal is Σ Lee(p,q) over a linear placement's pairs.
+	LinearExchangeTotal = lee.LinearExchangeTotal
+)
+
+// Experiments.
+type (
+	// Experiment is one registered reproduction experiment (E1–E19).
+	Experiment = sweep.Experiment
+	// ExperimentTable is an experiment's rendered output.
+	ExperimentTable = sweep.Table
+	// ExperimentScale selects quick or full parameter ranges.
+	ExperimentScale = sweep.Scale
+)
+
+// Experiment scales.
+const (
+	QuickScale = sweep.Quick
+	FullScale  = sweep.Full
+)
+
+// Experiments returns the registered E1–E19 experiments in order.
+func Experiments() []Experiment { return sweep.All() }
+
+// ExperimentByID finds one experiment by its "E<n>" id.
+func ExperimentByID(id string) (Experiment, bool) { return sweep.ByID(id) }
