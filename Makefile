@@ -1,0 +1,34 @@
+GO ?= go
+FUZZTIME ?= 5s
+FUZZ_TARGETS := FuzzCoordDelta FuzzNodeRoundTrip FuzzLeeDistance FuzzWrapCoord
+
+.PHONY: all build test race vet lint fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repository's own static-analysis suite (cmd/toruslint);
+# it exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/toruslint ./...
+
+# fuzz-smoke gives each torus fuzz target a short budget; failures persist
+# a crasher under internal/torus/testdata/fuzz for replay with plain go test.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/torus -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+ci: build vet test race lint

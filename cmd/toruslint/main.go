@@ -1,0 +1,123 @@
+// Command toruslint runs the repository's static-analysis suite (package
+// internal/lintcheck) over the module and exits nonzero on findings.
+//
+//	go run ./cmd/toruslint ./...          # whole module, all analyzers
+//	go run ./cmd/toruslint -json ./...    # machine-readable output
+//	go run ./cmd/toruslint -list          # describe the analyzer suite
+//	go run ./cmd/toruslint -disable=facade-complete ./internal/torus
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"torusnet/internal/lintcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("toruslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	root := fs.String("root", ".", "module root to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lintcheck.All() {
+			emit(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lintcheck.Select(*enable, *disable)
+	if err != nil {
+		emit(stderr, "toruslint: %v\n", err)
+		return 2
+	}
+
+	unit, err := lintcheck.Load(*root)
+	if err != nil {
+		emit(stderr, "toruslint: %v\n", err)
+		return 2
+	}
+	for _, p := range unit.Pkgs {
+		for _, terr := range p.TypeErrors {
+			emit(stderr, "toruslint: %s: type error: %v\n", p.Path, terr)
+		}
+	}
+
+	match := packageMatcher(unit, fs.Args())
+	findings := lintcheck.Run(unit, analyzers, match)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lintcheck.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			emit(stderr, "toruslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			emit(stdout, "%s\n", f)
+		}
+		emit(stdout, "toruslint: %d finding(s) across %d package(s)\n", len(findings), len(unit.Pkgs))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// packageMatcher turns CLI patterns into a package filter. "./..." (or no
+// pattern) selects everything; other patterns select packages whose import
+// path or root-relative directory matches, with a trailing /... selecting
+// the whole subtree.
+func packageMatcher(u *lintcheck.Unit, patterns []string) func(*lintcheck.Package) bool {
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/...")
+		if pat == "" || pat == "." || pat == "..." {
+			return nil // matches everything
+		}
+		if !strings.HasPrefix(pat, u.ModulePath) {
+			pat = u.ModulePath + "/" + pat
+		}
+		prefixes = append(prefixes, pat)
+	}
+	if len(prefixes) == 0 {
+		return nil
+	}
+	return func(p *lintcheck.Package) bool {
+		for _, pre := range prefixes {
+			if p.Path == pre || strings.HasPrefix(p.Path, pre+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// emit writes best-effort CLI output; a broken stdout pipe is not a lint
+// failure.
+func emit(w io.Writer, format string, args ...any) {
+	//lint:ignore errcheck-lite best-effort CLI output
+	_, _ = fmt.Fprintf(w, format, args...)
+}

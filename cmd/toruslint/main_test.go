@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(tree string) string {
+	return filepath.Join("..", "..", "internal", "lintcheck", "testdata", "src", tree)
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"modmath", "overflowvol", "errcheck-lite", "syncmisuse", "facade-complete"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFindingsExitNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", fixture("modmath"), "-enable", "modmath"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run on seeded-bad fixture = %d, want 1; stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[modmath]") {
+		t.Errorf("output missing modmath findings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s) across") {
+		t.Errorf("output missing summary line:\n%s", out.String())
+	}
+}
+
+func TestDisableSilencesAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", fixture("modmath"), "-disable", "modmath"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run with sole offending analyzer disabled = %d, want 0\nstdout %q stderr %q",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestJSONOutputOnCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", fixture("facade-good"), "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run on clean fixture = %d, stderr %q", code, errb.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean fixture produced %d findings: %s", len(findings), out.String())
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-enable", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-enable=nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %q", errb.String())
+	}
+}
+
+func TestPackagePatternRestricts(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The modmath tree has findings only under bad/; restricting the run to
+	// good/ must come back clean.
+	code := run([]string{"-root", fixture("modmath"), "-enable", "modmath", "good"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run restricted to good/ = %d, want 0\nstdout %q", code, out.String())
+	}
+	code = run([]string{"-root", fixture("modmath"), "-enable", "modmath", "bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run restricted to bad/ = %d, want 1", code)
+	}
+}

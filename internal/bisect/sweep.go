@@ -120,11 +120,9 @@ func sweepKeys(t *torus.Torus) []*big.Int {
 // SweepCeiling returns the Corollary 1 ceiling 6·d·k^{d−1} on the directed
 // crossing count of a sweep cut.
 func SweepCeiling(t *torus.Torus) int {
-	width := 6 * t.D()
-	for i := 0; i < t.D()-1; i++ {
-		width *= t.K()
-	}
-	return width
+	// k^{d-1} is a slab of the already-validated torus, so read it off the
+	// node count instead of re-multiplying (torus.New bounds it by MaxNodes).
+	return 6 * t.D() * (t.Nodes() / t.K())
 }
 
 // ArraySlabCrossings counts, for a sweep threshold placed immediately after

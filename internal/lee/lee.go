@@ -110,8 +110,6 @@ func LinearExchangeTotal(k, d int) float64 {
 	// linear constraint appears k times over (p anchored anywhere), handled
 	// by dividing at the end: pairs of P correspond to difference vectors
 	// with Σδ ≡ 0, each realized |P| = k^{d−1} times.
-	half := k / 2
-	_ = half
 	// dist[s][δ]: number of δ ∈ Z_k with cyclicDistance(0, δ) = s is implied;
 	// we only need, per dimension, the pair (distance contributed, δ).
 	type cell struct{ count float64 }

@@ -1,0 +1,175 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runErrcheck flags discarded error returns outside test files: bare call
+// statements (including defer/go) whose callee returns an error, and
+// assignments that send an error result to the blank identifier.
+//
+// A small allowlist keeps the check signal-dense: fmt printing to
+// stdout/stderr and writes to in-memory buffers (strings.Builder,
+// bytes.Buffer) are documented never to fail meaningfully.
+func runErrcheck(u *Unit, p *Package) []Finding {
+	var out []Finding
+	const name = "errcheck-lite"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					out = append(out, checkDiscardedCall(u, p, call, name)...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, checkDiscardedCall(u, p, n.Call, name)...)
+			case *ast.GoStmt:
+				out = append(out, checkDiscardedCall(u, p, n.Call, name)...)
+			case *ast.AssignStmt:
+				out = append(out, checkBlankErrorAssign(u, p, n, name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDiscardedCall flags a call statement whose results include an error.
+func checkDiscardedCall(u *Unit, p *Package, call *ast.CallExpr, name string) []Finding {
+	if !callReturnsError(p, call) || allowedCallee(p, call) {
+		return nil
+	}
+	return []Finding{u.finding(name, call.Pos(),
+		"discarded error result from "+calleeLabel(p, call),
+		"handle or explicitly propagate the error")}
+}
+
+// checkBlankErrorAssign flags `_` positions that receive an error.
+func checkBlankErrorAssign(u *Unit, p *Package, as *ast.AssignStmt, name string) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr) {
+		if !allowedCallee(p, call) {
+			out = append(out, u.finding(name, as.Pos(),
+				"error result from "+calleeLabel(p, call)+" assigned to _",
+				"handle or explicitly propagate the error"))
+		}
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment: v1, _, ... := f()
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := p.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				report(call)
+				break
+			}
+		}
+		return out
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+		if ok && isErrorType(p.Info.TypeOf(call)) {
+			report(call)
+		}
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether any result of the call is of type error.
+func callReturnsError(p *Package, call *ast.CallExpr) bool {
+	switch t := p.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// calleeLabel renders the callee for a finding message, e.g. "os.WriteFile"
+// or "(*bufio.Writer).Flush".
+func calleeLabel(p *Package, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			return "(" + sel.Recv().String() + ")." + fun.Sel.Name
+		}
+		if x, ok := unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// allowedCallee implements the default allowlist.
+func allowedCallee(p *Package, call *ast.CallExpr) bool {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method calls: writes to in-memory sinks never fail.
+	if sel, ok := p.Info.Selections[fun]; ok {
+		recv := sel.Recv().String()
+		return strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer")
+	}
+	// Package-level calls.
+	obj := p.Info.Uses[fun.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch obj.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && allowedSink(p, call.Args[0])
+	}
+	return false
+}
+
+// allowedSink matches writer arguments that cannot meaningfully fail:
+// os.Stdout / os.Stderr and the in-memory strings.Builder / bytes.Buffer.
+func allowedSink(p *Package, e ast.Expr) bool {
+	e = unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if x, ok := unparen(sel.X).(*ast.Ident); ok &&
+			x.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+			return true
+		}
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer") ||
+		strings.HasSuffix(s, "*strings.Builder") || strings.HasSuffix(s, "*bytes.Buffer")
+}

@@ -1,0 +1,102 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// runFacade cross-checks the public facade: every exported symbol of every
+// internal/* package must either be referenced from the module's root
+// package (torusnet.go re-exports types, functions, and variables by
+// selector) or appear in the facade allowlist. The allowlist codifies
+// deliberate non-exports — engine plumbing, experiment internals — so the
+// facade can only drift with an explicit, reviewed edit.
+//
+// Allowlist format (facade_allowlist.txt next to this file, or at the unit
+// root for fixture trees): one entry per line, # comments. An entry is
+// either a full package path ("torusnet/internal/graph", excusing the whole
+// package) or path.Symbol ("torusnet/internal/lee.BallSize").
+func runFacade(u *Unit) []Finding {
+	root := u.Package(u.ModulePath)
+	if root == nil {
+		return nil // no facade package in this unit (plain fixture tree)
+	}
+	allow, allowFile := loadAllowlist(u)
+	if rel, err := filepath.Rel(u.Root, allowFile); err == nil {
+		allowFile = filepath.ToSlash(rel)
+	}
+
+	// Collect every internal symbol the facade references: selector
+	// expressions whose base resolves to an imported internal package.
+	referenced := make(map[string]bool)
+	for _, f := range root.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := root.Info.Uses[id].(*types.PkgName); ok {
+				referenced[pn.Imported().Path()+"."+sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+
+	prefix := u.ModulePath + "/internal/"
+	var out []Finding
+	for _, p := range u.Pkgs {
+		if !strings.HasPrefix(p.Path, prefix) || p.Types == nil {
+			continue
+		}
+		if allow[p.Path] {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			key := p.Path + "." + name
+			if referenced[key] || allow[key] {
+				continue
+			}
+			out = append(out, u.finding("facade-complete", obj.Pos(),
+				key+" is exported but neither re-exported by the facade nor allowlisted",
+				"re-export it in torusnet.go or add it to "+allowFile))
+		}
+	}
+	return out
+}
+
+// loadAllowlist reads the facade allowlist, preferring the in-tree
+// internal/lintcheck location and falling back to the unit root.
+func loadAllowlist(u *Unit) (map[string]bool, string) {
+	allow := make(map[string]bool)
+	candidates := []string{
+		filepath.Join(u.Root, "internal", "lintcheck", "facade_allowlist.txt"),
+		filepath.Join(u.Root, "facade_allowlist.txt"),
+	}
+	for _, path := range candidates {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			allow[line] = true
+		}
+		return allow, path
+	}
+	return allow, candidates[0]
+}

@@ -1,0 +1,196 @@
+// Package lintcheck is a repository-specific static-analysis suite built
+// only on the standard library's go/parser, go/ast, and go/types. It loads
+// every package of the module and runs analyzers that enforce invariants the
+// paper reproduction depends on: normalized modular arithmetic on wrap
+// paths, overflow-guarded volume computations, no silently discarded errors,
+// sound sync primitive usage, and a facade that re-exports (or explicitly
+// allowlists) every exported internal symbol.
+//
+// Findings can be silenced per line with a //lint:ignore <analyzer> <reason>
+// directive; the facade analyzer additionally honors the allowlist file
+// facade_allowlist.txt (see that file for format).
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	if f.Suggestion != "" {
+		s += " (" + f.Suggestion + ")"
+	}
+	return s
+}
+
+// Analyzer is one registered check. Exactly one of Package or Unitwide is
+// set: Package runs once per loaded package, Unitwide once per unit (used by
+// cross-package checks like facade-complete).
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Package  func(u *Unit, p *Package) []Finding
+	Unitwide func(u *Unit) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		{
+			Name:    "modmath",
+			Doc:     "flags raw % on possibly-negative values and manual mod normalization; wrap coordinates with torus.Mod",
+			Package: runModmath,
+		},
+		{
+			Name:    "overflowvol",
+			Doc:     "flags unguarded k^d-style volume computations (loop products, 1<<n, int(math.Pow)); use torus.Volume or a MaxNodes guard",
+			Package: runOverflowvol,
+		},
+		{
+			Name:    "errcheck-lite",
+			Doc:     "flags discarded error returns (bare calls and _ assignments) outside test files",
+			Package: runErrcheck,
+		},
+		{
+			Name:    "syncmisuse",
+			Doc:     "flags sync.Mutex/WaitGroup values copied by value and goroutines without a visible join in the same function",
+			Package: runSyncmisuse,
+		},
+		{
+			Name:     "facade-complete",
+			Doc:      "cross-checks that every exported internal symbol is re-exported by the facade package or allowlisted",
+			Unitwide: runFacade,
+		},
+	}
+}
+
+// Select resolves comma-separated -enable/-disable lists against the full
+// suite. Empty enable means "all".
+func Select(enable, disable string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	picked := make(map[string]bool)
+	if enable == "" {
+		for name := range byName {
+			picked[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lintcheck: unknown analyzer %q", name)
+			}
+			picked[name] = true
+		}
+	}
+	if disable != "" {
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lintcheck: unknown analyzer %q", name)
+			}
+			delete(picked, name)
+		}
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if picked[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the unit. A non-nil match restricts
+// per-package analyzers to matching packages. Suppressed findings are
+// dropped; the rest are sorted by position.
+func Run(u *Unit, analyzers []*Analyzer, match func(*Package) bool) []Finding {
+	var all []Finding
+	for _, a := range analyzers {
+		switch {
+		case a.Unitwide != nil:
+			all = append(all, a.Unitwide(u)...)
+		case a.Package != nil:
+			for _, p := range u.Pkgs {
+				if match != nil && !match(p) {
+					continue
+				}
+				all = append(all, a.Package(u, p)...)
+			}
+		}
+	}
+	kept := all[:0]
+	for _, f := range all {
+		if !u.Suppressed(f.Analyzer, token.Position{Filename: f.File, Line: f.Line}) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// finding builds a Finding at the given position.
+func (u *Unit) finding(analyzer string, pos token.Pos, message, suggestion string) Finding {
+	p := u.Fset.Position(pos)
+	return Finding{
+		Analyzer:   analyzer,
+		File:       p.Filename,
+		Line:       p.Line,
+		Col:        p.Column,
+		Message:    message,
+		Suggestion: suggestion,
+	}
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// mentionsIdent reports whether the subtree contains an identifier with the
+// given name.
+func mentionsIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

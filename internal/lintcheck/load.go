@@ -1,0 +1,279 @@
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the unit.
+// Test files (*_test.go) are excluded: the analyzers target production code,
+// and several (errcheck-lite in particular) are defined to skip tests.
+type Package struct {
+	// Path is the package import path, e.g. "torusnet/internal/torus".
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the go/types fact tables for the files.
+	Info *types.Info
+	// TypeErrors collects type-checking problems that did not prevent
+	// loading. Analyzers still run; the driver surfaces these separately.
+	TypeErrors []error
+}
+
+// Unit is a whole loaded module (or fixture tree): every package reachable
+// under Root, plus the shared FileSet and the suppression table.
+type Unit struct {
+	// Root is the absolute directory the unit was loaded from.
+	Root string
+	// ModulePath is the module path from go.mod, or "fixture" when the root
+	// carries no go.mod (the layout used by the analyzer test corpus).
+	ModulePath string
+	Fset       *token.FileSet
+	// Pkgs lists the loaded packages sorted by import path.
+	Pkgs []*Package
+
+	byPath   map[string]*Package
+	dirFor   map[string]string // import path -> dir, from discovery
+	loading  map[string]bool   // cycle guard
+	fallback types.Importer    // source importer for non-module imports
+	// suppress maps file name -> line -> analyzer names silenced there
+	// (the //lint:ignore mechanism; see Suppressed).
+	suppress map[string]map[int]map[string]bool
+}
+
+// Load discovers, parses, and type-checks every package under root. A go.mod
+// in root names the module; without one the unit is treated as a fixture
+// tree with module path "fixture" and one package per directory. Directories
+// named testdata or vendor, hidden directories, and _-prefixed directories
+// are skipped, as are *_test.go files.
+func Load(root string) (*Unit, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("lintcheck: %s is not a directory", root)
+	}
+	fset := token.NewFileSet()
+	u := &Unit{
+		Root:       abs,
+		ModulePath: readModulePath(filepath.Join(abs, "go.mod")),
+		Fset:       fset,
+		byPath:     make(map[string]*Package),
+		dirFor:     make(map[string]string),
+		loading:    make(map[string]bool),
+		fallback:   importer.ForCompiler(fset, "source", nil),
+		suppress:   make(map[string]map[int]map[string]bool),
+	}
+	if err := u.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(u.dirFor))
+	for p := range u.dirFor {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := u.ensure(p); err != nil {
+			return nil, fmt.Errorf("lintcheck: loading %s: %w", p, err)
+		}
+	}
+	sort.Slice(u.Pkgs, func(i, j int) bool { return u.Pkgs[i].Path < u.Pkgs[j].Path })
+	return u, nil
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (u *Unit) Package(path string) *Package { return u.byPath[path] }
+
+// readModulePath extracts the module path from a go.mod file; it returns
+// "fixture" when the file is absent or carries no module directive.
+func readModulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "fixture"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "fixture"
+}
+
+// discover maps import paths to directories for every package under Root.
+func (u *Unit) discover() error {
+	return filepath.WalkDir(u.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != u.Root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(u.Root, path)
+			if err != nil {
+				return err
+			}
+			ip := u.ModulePath
+			if rel != "." {
+				ip = u.ModulePath + "/" + filepath.ToSlash(rel)
+			}
+			u.dirFor[ip] = path
+			break
+		}
+		return nil
+	})
+}
+
+// ensure parses and type-checks the package at the given import path,
+// memoized; module-internal imports recurse through the same table.
+func (u *Unit) ensure(path string) (*Package, error) {
+	if pkg, ok := u.byPath[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := u.dirFor[path]
+	if !ok {
+		return nil, fmt.Errorf("no package found for import path %q under %s", path, u.Root)
+	}
+	if u.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	u.loading[path] = true
+	defer delete(u.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(u.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		u.recordSuppressions(f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir}
+	conf := types.Config{
+		Importer: (*unitImporter)(u),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	//lint:ignore errcheck-lite type errors are collected via conf.Error above
+	tpkg, _ := conf.Check(path, u.Fset, files, info)
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	u.byPath[path] = pkg
+	u.Pkgs = append(u.Pkgs, pkg)
+	return pkg, nil
+}
+
+// unitImporter resolves module-internal imports through the unit's own
+// loader and delegates everything else (the standard library) to the
+// compiler source importer.
+type unitImporter Unit
+
+func (im *unitImporter) Import(path string) (*types.Package, error) {
+	u := (*Unit)(im)
+	if path == u.ModulePath || strings.HasPrefix(path, u.ModulePath+"/") {
+		pkg, err := u.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("package %q failed to type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return u.fallback.Import(path)
+}
+
+// recordSuppressions scans a file's comments for //lint:ignore directives.
+// A directive names one analyzer (or "all") and silences findings on its own
+// line and the line directly below, so it can sit inline or above the code:
+//
+//	x := a % k //lint:ignore modmath reason
+//	//lint:ignore errcheck-lite best-effort output
+//	fmt.Fprintln(w, msg)
+func (u *Unit) recordSuppressions(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := u.Fset.Position(c.Pos())
+			m := u.suppress[pos.Filename]
+			if m == nil {
+				m = make(map[int]map[string]bool)
+				u.suppress[pos.Filename] = m
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if m[line] == nil {
+					m[line] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					m[line][name] = true
+				}
+			}
+		}
+	}
+}
+
+// Suppressed reports whether a finding by the named analyzer at the given
+// position was silenced with a //lint:ignore directive.
+func (u *Unit) Suppressed(analyzer string, pos token.Position) bool {
+	m := u.suppress[pos.Filename]
+	if m == nil {
+		return false
+	}
+	names := m[pos.Line]
+	return names != nil && (names[analyzer] || names["all"])
+}

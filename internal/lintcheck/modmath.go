@@ -1,0 +1,185 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// runModmath flags modular arithmetic that goes wrong on negative operands.
+// Go's % truncates toward zero, so (i-j) % k is negative whenever i < j —
+// a silent corruption on every torus wrap path. Two rules:
+//
+//  1. a % b where a is a signed integer expression that can be negative
+//     (it contains a subtraction, a unary minus, or a negative constant).
+//  2. The manual normalization idiom
+//     v := x % k; if v < 0 { v += k }
+//     which is correct but must be centralized in the canonical helper
+//     torus.Mod so that rule 1 has a single blessed implementation.
+func runModmath(u *Unit, p *Package) []Finding {
+	var out []Finding
+	const name = "modmath"
+	flagged := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.REM || flagged[n] {
+					return true
+				}
+				if tv, ok := p.Info.Types[n]; ok && tv.Value != nil {
+					return true // constant expression, evaluated at compile time
+				}
+				if !signedInt(p.Info.TypeOf(n.X)) {
+					return true
+				}
+				if maybeNegative(p.Info, n.X) {
+					flagged[n] = true
+					out = append(out, u.finding(name, n.OpPos,
+						"raw % on a possibly negative value truncates toward zero",
+						"wrap with the canonical normalized-mod helper torus.Mod(a, k)"))
+				}
+			case *ast.BlockStmt:
+				out = append(out, modNormalizePattern(u, p, n.List, flagged)...)
+			case *ast.CaseClause:
+				out = append(out, modNormalizePattern(u, p, n.Body, flagged)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// modNormalizePattern matches consecutive statements of the form
+// "v %= k" or "v := x % k" followed by "if v < 0 { v += k }".
+func modNormalizePattern(u *Unit, p *Package, stmts []ast.Stmt, flagged map[ast.Node]bool) []Finding {
+	var out []Finding
+	for i := 0; i+1 < len(stmts); i++ {
+		name, rem := modAssignTarget(stmts[i])
+		if name == "" {
+			continue
+		}
+		ifs, ok := stmts[i+1].(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || !isNegFixup(ifs, name) {
+			continue
+		}
+		if rem != nil && flagged[rem] {
+			continue // rule 1 already reported this site
+		}
+		if rem != nil {
+			flagged[rem] = true
+		}
+		out = append(out, u.finding("modmath", stmts[i].Pos(),
+			"manual mod normalization (% then negative fixup)",
+			"use the canonical helper torus.Mod(a, k) instead"))
+	}
+	return out
+}
+
+// modAssignTarget returns the assigned identifier when the statement is a
+// single-variable %= or an assignment whose RHS is a % expression, plus the
+// REM node itself (nil for %=).
+func modAssignTarget(s ast.Stmt) (string, *ast.BinaryExpr) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	switch as.Tok {
+	case token.REM_ASSIGN:
+		return id.Name, nil
+	case token.ASSIGN, token.DEFINE:
+		if be, ok := unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && be.Op == token.REM {
+			return id.Name, be
+		}
+	}
+	return "", nil
+}
+
+// isNegFixup matches "if v < 0 { v += k }" (or v = v + k).
+func isNegFixup(ifs *ast.IfStmt, v string) bool {
+	cond, ok := unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return false
+	}
+	if id, ok := unparen(cond.X).(*ast.Ident); !ok || id.Name != v {
+		return false
+	}
+	if lit, ok := unparen(cond.Y).(*ast.BasicLit); !ok || lit.Value != "0" {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	as, ok := ifs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name != v {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		return true
+	case token.ASSIGN:
+		be, ok := unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || be.Op != token.ADD {
+			return false
+		}
+		x, ok := unparen(be.X).(*ast.Ident)
+		return ok && x.Name == v
+	}
+	return false
+}
+
+// signedInt reports whether t is a signed integer basic type.
+func signedInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUnsigned == 0
+}
+
+// maybeNegative conservatively decides whether an integer expression can be
+// negative. Identifiers, selectors, and ordinary calls are assumed
+// non-negative (torus indices and radices are invariantly >= 0); what the
+// rule hunts is arithmetic that manufactures negativity: subtraction, unary
+// minus, and negative constants, propagated through +, *, /, %, and
+// conversions.
+func maybeNegative(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if tv.Value.Kind() == constant.Int || tv.Value.Kind() == constant.Float {
+			return constant.Sign(tv.Value) < 0
+		}
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return true
+		case token.ADD, token.MUL, token.QUO, token.REM:
+			return maybeNegative(info, e.X) || maybeNegative(info, e.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return false
+		}
+		// A conversion is as negative as its operand.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return maybeNegative(info, e.Args[0])
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// runOverflowvol flags k^d-style volume and edge-count computations that are
+// not guarded against int overflow. Three shapes are recognized:
+//
+//  1. An integer accumulator multiplied inside a loop (n *= k) with no bound
+//     check on the accumulator in the loop and no MaxNodes/Check/Volume
+//     guard in the function.
+//  2. A variable-amount power-of-two shift 1 << e whose amount is not
+//     bounded by a comparison in the same function (bitmask operands of
+//     &, |, ^, &^ are exempt — those cannot silently inflate a count).
+//  3. An integer conversion of a math.Pow result, which silently truncates
+//     and saturates long before int overflows.
+//
+// The canonical fix is torus.Volume(k, d), which refuses anything beyond
+// MaxNodes.
+func runOverflowvol(u *Unit, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var fnNode ast.Node
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, fnNode = fn.Body, fn
+			case *ast.FuncLit:
+				body, fnNode = fn.Body, fn
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			guarded := fnHasVolumeGuard(body)
+			masked := bitmaskShiftOperands(body)
+			ast.Inspect(body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok && m != fnNode {
+					return false // analyzed as its own function
+				}
+				switch m := m.(type) {
+				case *ast.ForStmt:
+					out = append(out, loopProductFindings(u, p, m.Body, guarded)...)
+				case *ast.RangeStmt:
+					out = append(out, loopProductFindings(u, p, m.Body, guarded)...)
+				case *ast.BinaryExpr:
+					if m.Op == token.SHL && !masked[m] && !guarded {
+						out = append(out, shiftFindings(u, p, body, m)...)
+					}
+				case *ast.CallExpr:
+					out = append(out, powCastFindings(u, p, m)...)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// fnHasVolumeGuard reports whether the function body references MaxNodes or
+// calls a checked-volume helper (Check, CheckTorus, Volume).
+func fnHasVolumeGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "MaxNodes" {
+				found = true
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name == "Check" || name == "CheckTorus" || name == "Volume" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopProductFindings flags integer accumulators multiplied in a loop body
+// with no comparison mentioning the accumulator inside the loop.
+func loopProductFindings(u *Unit, p *Package, body *ast.BlockStmt, guarded bool) []Finding {
+	if guarded {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops are analyzed on their own visit
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || !signedInt(p.Info.TypeOf(as.Lhs[0])) {
+			return true
+		}
+		isProduct := as.Tok == token.MUL_ASSIGN
+		if !isProduct && as.Tok == token.ASSIGN && len(as.Rhs) == 1 {
+			if be, ok := unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && be.Op == token.MUL {
+				if x, ok := unparen(be.X).(*ast.Ident); ok && x.Name == id.Name {
+					isProduct = true
+				}
+			}
+		}
+		if !isProduct {
+			return true
+		}
+		if loopBoundsIdent(body, id.Name) {
+			return true
+		}
+		out = append(out, u.finding("overflowvol", as.Pos(),
+			"integer accumulator "+id.Name+" multiplied in a loop without an overflow bound",
+			"use the checked helper torus.Volume(k, d) or compare against torus.MaxNodes"))
+		return true
+	})
+	return out
+}
+
+// loopBoundsIdent reports whether the loop body contains a comparison
+// mentioning the identifier (the usual "if n > limit" overflow guard).
+func loopBoundsIdent(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return !found
+		}
+		switch be.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ:
+			if mentionsIdent(be, name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bitmaskShiftOperands collects SHL expressions used directly as operands of
+// bitwise mask operators; those are single-bit tests, not volume math.
+func bitmaskShiftOperands(body *ast.BlockStmt) map[*ast.BinaryExpr]bool {
+	masked := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.AND, token.OR, token.XOR, token.AND_NOT:
+				if s, ok := unparen(n.X).(*ast.BinaryExpr); ok && s.Op == token.SHL {
+					masked[s] = true
+				}
+				if s, ok := unparen(n.Y).(*ast.BinaryExpr); ok && s.Op == token.SHL {
+					masked[s] = true
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+				for _, r := range n.Rhs {
+					if s, ok := unparen(r).(*ast.BinaryExpr); ok && s.Op == token.SHL {
+						masked[s] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return masked
+}
+
+// shiftFindings flags 1 << e with a non-constant, in-function-unbounded e.
+func shiftFindings(u *Unit, p *Package, body *ast.BlockStmt, sh *ast.BinaryExpr) []Finding {
+	base := unparen(sh.X)
+	if conv, ok := base.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if tv, ok := p.Info.Types[conv.Fun]; ok && tv.IsType() {
+			base = unparen(conv.Args[0])
+		}
+	}
+	tv, ok := p.Info.Types[base]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil
+	}
+	if v, ok := constant.Int64Val(tv.Value); !ok || v != 1 {
+		return nil
+	}
+	if amt, ok := p.Info.Types[sh.Y]; ok && amt.Value != nil {
+		return nil // constant shift amount
+	}
+	// Any comparison in the function mentioning an identifier of the shift
+	// amount counts as a bound (e.g. "if n > BruteForceLimit { ... }").
+	bounded := false
+	ast.Inspect(sh.Y, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || bounded {
+			return !bounded
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			be, ok := m.(*ast.BinaryExpr)
+			if !ok || be == sh {
+				return !bounded
+			}
+			switch be.Op {
+			case token.GTR, token.GEQ, token.LSS, token.LEQ:
+				if mentionsIdent(be, id.Name) {
+					bounded = true
+				}
+			}
+			return !bounded
+		})
+		return !bounded
+	})
+	if bounded {
+		return nil
+	}
+	return []Finding{u.finding("overflowvol", sh.OpPos,
+		"1 << n with an unbounded shift amount can overflow int",
+		"bound the amount with a comparison or use torus.Volume for k^d counts")}
+}
+
+// powCastFindings flags integer conversions of math.Pow results.
+func powCastFindings(u *Unit, p *Package, call *ast.CallExpr) []Finding {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	hasPow := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Pow" {
+			if id, ok := unparen(sel.X).(*ast.Ident); ok && id.Name == "math" {
+				hasPow = true
+			}
+		}
+		return !hasPow
+	})
+	if !hasPow {
+		return nil
+	}
+	return []Finding{u.finding("overflowvol", call.Pos(),
+		"integer conversion of math.Pow truncates and overflows silently for large k^d",
+		"use the checked helper torus.Volume(k, d)")}
+}

@@ -1,0 +1,169 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runSyncmisuse flags two hazard classes in concurrent code:
+//
+//  1. Copied synchronization primitives: a sync.Mutex, RWMutex, WaitGroup,
+//     Once, or Cond (or any struct/array containing one) passed, returned,
+//     received, or assigned by value. A copied lock guards nothing.
+//  2. Fire-and-forget goroutines: a `go` statement inside a function with no
+//     visible join — no Wait call, channel receive, channel range, or select
+//     — anywhere in the same function body. The engine packages (load,
+//     simnet, faults) fan out workers per request; a missing join there
+//     leaks goroutines under production traffic.
+func runSyncmisuse(u *Unit, p *Package) []Finding {
+	var out []Finding
+	const name = "syncmisuse"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, checkLockSignature(u, p, n.Recv, n.Type, name)...)
+				if n.Body != nil {
+					out = append(out, checkGoroutineJoins(u, p, n.Body, name)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, checkLockSignature(u, p, nil, n.Type, name)...)
+			case *ast.AssignStmt:
+				out = append(out, checkLockCopyAssign(u, p, n, name)...)
+			case *ast.RangeStmt:
+				if n.Value != nil && containsLock(p.Info.TypeOf(n.Value)) {
+					out = append(out, u.finding(name, n.Value.Pos(),
+						"range copies a value containing a sync primitive",
+						"range over indices or use a slice of pointers"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkLockSignature flags by-value sync primitives in receivers, params,
+// and results.
+func checkLockSignature(u *Unit, p *Package, recv *ast.FieldList, ft *ast.FuncType, name string) []Finding {
+	var out []Finding
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				out = append(out, u.finding(name, field.Pos(),
+					what+" copies a value containing a sync primitive",
+					"pass a pointer instead"))
+			}
+		}
+	}
+	flag(recv, "value receiver")
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+	return out
+}
+
+// checkLockCopyAssign flags assignments that copy an existing lock-bearing
+// value (fresh composite literals and zero values are fine).
+func checkLockCopyAssign(u *Unit, p *Package, as *ast.AssignStmt, name string) []Finding {
+	var out []Finding
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || isBlank(as.Lhs[i]) {
+			continue
+		}
+		e := unparen(rhs)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // literals, calls, &x — not copies of an existing value
+		}
+		if containsLock(p.Info.TypeOf(e)) {
+			out = append(out, u.finding(name, as.Pos(),
+				"assignment copies a value containing a sync primitive",
+				"share it through a pointer"))
+		}
+	}
+	return out
+}
+
+// checkGoroutineJoins flags go statements in functions with no visible join.
+func checkGoroutineJoins(u *Unit, p *Package, body *ast.BlockStmt, name string) []Finding {
+	var gos []*ast.GoStmt
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			gos = append(gos, n)
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joined = true
+			}
+		}
+		return true
+	})
+	if joined || len(gos) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, g := range gos {
+		out = append(out, u.finding(name, g.Pos(),
+			"goroutine launched without a visible join (Wait/receive/select) in this function",
+			"join with sync.WaitGroup.Wait or a channel before returning"))
+	}
+	return out
+}
+
+// lockNames are the sync types that must never be copied.
+var lockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether the type holds a sync primitive by value.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockNames[obj.Name()] {
+			return true
+		}
+	}
+	switch ut := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < ut.NumFields(); i++ {
+			if containsLockSeen(ut.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(ut.Elem(), seen)
+	}
+	return false
+}

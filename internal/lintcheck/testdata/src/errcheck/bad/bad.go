@@ -1,0 +1,30 @@
+// Package bad seeds errcheck-lite violations: bare calls, deferred calls,
+// and blank assignments that discard error results.
+package bad
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func bareCall(path string) {
+	os.Remove(path) // want "discarded error result from os.Remove"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "discarded error result from"
+}
+
+func blankTuple(s string) int {
+	n, _ := strconv.Atoi(s) // want "assigned to _"
+	return n
+}
+
+func blankSingle(f *os.File) {
+	_ = f.Sync() // want "assigned to _"
+}
+
+func printToFile(f *os.File) {
+	fmt.Fprintln(f, "hello") // want "discarded error result from"
+}

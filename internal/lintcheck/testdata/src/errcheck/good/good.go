@@ -1,0 +1,36 @@
+// Package good handles or legitimately ignores errors in every way the
+// errcheck-lite analyzer accepts.
+package good
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func propagated(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+func printing(v int) {
+	fmt.Println(v)
+	fmt.Fprintf(os.Stderr, "v=%d\n", v)
+}
+
+func inMemorySinks() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "head")
+	sb.WriteString("-tail")
+	var buf bytes.Buffer
+	buf.WriteByte('!')
+	return sb.String() + buf.String()
+}

@@ -1,0 +1,8 @@
+// Package facadebad is a facade that re-exports only part of its internal
+// package and has no allowlist, so facade-complete must flag the rest.
+package facadebad
+
+import "fixture/internal/geom"
+
+// Area re-exports geom.Area.
+func Area(w, h int) int { return geom.Area(w, h) }

@@ -1,0 +1,8 @@
+// Package geom is internal plumbing behind the fixture facade.
+package geom
+
+// Area returns w*h.
+func Area(w, h int) int { return w * h }
+
+// Perimeter returns 2*(w+h). Allowlisted, not re-exported.
+func Perimeter(w, h int) int { return 2 * (w + h) }

@@ -1,0 +1,31 @@
+// Package bad seeds modmath violations: raw % on expressions that can be
+// negative, and the manual normalization idiom outside the canonical helper.
+package bad
+
+func wrapDelta(i, j, k int) int {
+	return (i - j) % k // want "raw % on a possibly negative value"
+}
+
+func negated(a, k int) int {
+	return -a % k // want "raw % on a possibly negative value"
+}
+
+func converted(a, k int) int64 {
+	return int64(a-1) % int64(k) // want "raw % on a possibly negative value"
+}
+
+func manual(x, k int) int {
+	v := x % k // want "manual mod normalization"
+	if v < 0 {
+		v += k
+	}
+	return v
+}
+
+func manualRemAssign(v, k int) int {
+	v %= k // want "manual mod normalization"
+	if v < 0 {
+		v = v + k
+	}
+	return v
+}

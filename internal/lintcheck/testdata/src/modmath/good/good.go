@@ -1,0 +1,31 @@
+// Package good holds modular arithmetic the modmath analyzer must accept:
+// % on values that cannot be negative, and the canonical helper pattern
+// silenced with a //lint:ignore directive.
+package good
+
+// mod mirrors torus.Mod; the normalization idiom is allowed exactly once,
+// behind an explicit suppression.
+func mod(a, k int) int {
+	//lint:ignore modmath canonical normalized-mod helper for this fixture
+	a %= k
+	if a < 0 {
+		a += k
+	}
+	return a
+}
+
+func wrapDelta(i, j, k int) int {
+	return mod(i-j, k)
+}
+
+func plainIndex(a, k int) int {
+	return a % k // identifiers are assumed non-negative
+}
+
+func lengthBucket(s []int, k int) int {
+	return len(s) % k
+}
+
+func constantFold(k int) int {
+	return 7 % 3 // constant expression, evaluated at compile time
+}

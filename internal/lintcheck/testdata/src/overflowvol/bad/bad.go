@@ -1,0 +1,29 @@
+// Package bad seeds overflowvol violations: unguarded k^d loop products,
+// unbounded power-of-two shifts, and integer casts of math.Pow.
+package bad
+
+import "math"
+
+func volume(k, d int) int {
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= k // want "integer accumulator n multiplied in a loop"
+	}
+	return n
+}
+
+func volumeExplicit(k, d int) int {
+	n := 1
+	for i := 0; i < d; i++ {
+		n = n * k // want "integer accumulator n multiplied in a loop"
+	}
+	return n
+}
+
+func subsets(n int) int {
+	return 1 << n // want "1 << n with an unbounded shift amount"
+}
+
+func powVolume(k, d int) int {
+	return int(math.Pow(float64(k), float64(d))) // want "integer conversion of math.Pow"
+}

@@ -1,0 +1,37 @@
+// Package good computes volumes in the ways the overflowvol analyzer
+// accepts: guarded accumulators, bounded or constant shifts, and bitmask
+// shifts.
+package good
+
+import "errors"
+
+// MaxNodes bounds every volume computed in this fixture.
+const MaxNodes = 1 << 28
+
+var errTooBig = errors.New("volume exceeds MaxNodes")
+
+func volume(k, d int) (int, error) {
+	n := 1
+	for i := 0; i < d; i++ {
+		if n > MaxNodes/k {
+			return 0, errTooBig
+		}
+		n *= k
+	}
+	return n, nil
+}
+
+func boundedShift(n int) int {
+	if n > 30 {
+		n = 30
+	}
+	return 1 << n
+}
+
+func bitTest(flags, bit int) bool {
+	return flags&(1<<bit) != 0
+}
+
+func constShift() int {
+	return 1 << 10
+}

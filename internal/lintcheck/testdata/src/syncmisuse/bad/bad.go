@@ -1,0 +1,35 @@
+// Package bad seeds syncmisuse violations: sync primitives copied by value
+// and goroutines with no visible join.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(c counter) int { // want "parameter copies a value containing a sync primitive"
+	return c.n
+}
+
+func (c counter) get() int { // want "value receiver copies a value containing a sync primitive"
+	return c.n
+}
+
+func copyAssign(src *counter) int {
+	c := *src // want "assignment copies a value containing a sync primitive"
+	return c.n
+}
+
+func fireAndForget(f func()) {
+	go f() // want "goroutine launched without a visible join"
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range copies a value containing a sync primitive"
+		total += c.n
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+// Package good uses sync primitives in the ways the syncmisuse analyzer
+// accepts: pointer receivers, WaitGroup joins, and channel joins.
+package good
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+func viaChannel(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}

@@ -25,9 +25,11 @@ func (s LayerCluster) Build(t *torus.Torus) (*Placement, error) {
 	if s.Dim < 0 || s.Dim >= t.D() {
 		return nil, fmt.Errorf("placement: layer cluster dimension %d out of range [0,%d)", s.Dim, t.D())
 	}
+	// k^{d-2} processors per layer, read off the validated node count
+	// (k^d / k^2) rather than re-multiplied without an overflow guard.
 	perLayer := 1
-	for i := 0; i < t.D()-2; i++ {
-		perLayer *= t.K()
+	if t.D() >= 2 {
+		perLayer = t.Nodes() / (t.K() * t.K())
 	}
 	nodes := make([]torus.Node, 0, t.K()*perLayer)
 	for v := 0; v < t.K(); v++ {

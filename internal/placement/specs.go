@@ -39,7 +39,7 @@ func (s Linear) Build(t *torus.Torus) (*Placement, error) {
 	if !hasUnit(coeffs, t.K()) {
 		return nil, fmt.Errorf("placement: no coefficient of %v is a unit mod %d", coeffs, t.K())
 	}
-	nodes := selectByResidue(t, coeffs, func(r int) bool { return r == mod(s.C, t.K()) })
+	nodes := selectByResidue(t, coeffs, func(r int) bool { return r == torus.Mod(s.C, t.K()) })
 	return New(t, nodes, s.Name()), nil
 }
 
@@ -75,7 +75,7 @@ func (s MultipleLinear) Build(t *torus.Torus) (*Placement, error) {
 	if !hasUnit(coeffs, t.K()) {
 		return nil, fmt.Errorf("placement: no coefficient of %v is a unit mod %d", coeffs, t.K())
 	}
-	start := mod(s.Start, t.K())
+	start := torus.Mod(s.Start, t.K())
 	in := make([]bool, t.K())
 	for i := 0; i < s.T; i++ {
 		in[(start+i)%t.K()] = true
@@ -175,17 +175,9 @@ func ones(d int) []int {
 	return out
 }
 
-func mod(a, k int) int {
-	a %= k
-	if a < 0 {
-		a += k
-	}
-	return a
-}
-
 func hasUnit(coeffs []int, k int) bool {
 	for _, c := range coeffs {
-		if gcd(mod(c, k), k) == 1 {
+		if gcd(torus.Mod(c, k), k) == 1 {
 			return true
 		}
 	}
@@ -205,7 +197,7 @@ func selectByResidue(t *torus.Torus, coeffs []int, accept func(int) bool) []toru
 	k := t.K()
 	cs := make([]int, len(coeffs))
 	for i, c := range coeffs {
-		cs[i] = mod(c, k)
+		cs[i] = torus.Mod(c, k)
 	}
 	nodes := make([]torus.Node, 0, t.Nodes()/k)
 	coords := make([]int, t.D())

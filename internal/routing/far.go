@@ -136,10 +136,15 @@ func (FAR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, 
 	totalPaths := multinomial(pr.dists)
 	variantProb := 1.0 / float64(int(1)<<len(pr.tied))
 
-	// Enumerate lattice states once; reuse across variants.
+	// Enumerate lattice states once; reuse across variants. The product is
+	// at most ∏(dist+1) ≤ k^d = t.Nodes() ≤ torus.MaxNodes, so overflow is
+	// impossible for a validated torus; assert the invariant anyway.
 	states := 1
 	for _, dist := range pr.dists {
 		states *= dist + 1
+		if states > torus.MaxNodes {
+			panic("routing: FAR state lattice exceeds torus.MaxNodes")
+		}
 	}
 	progress := make([]int, s)
 	coords := make([]int, t.D())
@@ -162,9 +167,9 @@ func (FAR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, 
 			for i := 0; i < s; i++ {
 				j := pr.dims[i]
 				if dirs[i] == torus.Plus {
-					coords[j] = (pCoords[j] + progress[i]) % t.K()
+					coords[j] = torus.Mod(pCoords[j]+progress[i], t.K())
 				} else {
-					coords[j] = (pCoords[j] - progress[i] + t.K()) % t.K()
+					coords[j] = torus.Mod(pCoords[j]-progress[i], t.K())
 				}
 			}
 			cur := t.NodeAt(coords)
@@ -193,6 +198,7 @@ func (FAR) AccumulatePair(t *torus.Torus, p, q torus.Node, add func(torus.Edge, 
 func (FAR) SamplePath(t *torus.Torus, p, q torus.Node, rng *rand.Rand) Path {
 	pr := newFARProblem(t, p, q)
 	s := len(pr.dims)
+	//lint:ignore overflowvol len(pr.tied) ≤ d ≤ 28 for a validated torus, far below the int bit width.
 	dirs := pr.variantDirs(rng.Intn(1 << len(pr.tied)))
 	remaining := append([]int(nil), pr.dists...)
 	left := pr.total

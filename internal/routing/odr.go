@@ -81,8 +81,7 @@ func (ODRMulti) ForEachPath(t *torus.Torus, p, q torus.Node, visit func(Path) bo
 			tied = append(tied, j)
 		}
 	}
-	n := 1 << len(tied)
-	for mask := 0; mask < n; mask++ {
+	for mask := 0; mask < 1<<len(tied); mask++ {
 		dirs := make([]torus.Direction, t.D())
 		for j, del := range deltas {
 			dirs[j] = del.Dir

@@ -75,9 +75,9 @@ func runE5(scale Scale) *Table {
 		Columns:  []string{"d", "k", "|P|=k^{d-1}", "Blaum=(|P|-1)/2d", "improved=k^{d-1}/8", "improved/Blaum"},
 	}
 	for _, c := range cases {
-		sizeP := 1
-		for i := 0; i < c.d-1; i++ {
-			sizeP *= c.k
+		sizeP, err := torus.Volume(c.k, c.d-1)
+		if err != nil {
+			panic("sweep: E5 case exceeds torus.MaxNodes: " + err.Error())
 		}
 		blaum := bounds.Blaum(sizeP, c.d)
 		improved := bounds.Improved(1, c.k, c.d)

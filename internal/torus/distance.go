@@ -3,10 +3,7 @@ package torus
 // CyclicDistance returns the cyclic distance between residues i and j
 // modulo k (Definition 6): min{ i−j mod k, j−i mod k }.
 func CyclicDistance(i, j, k int) int {
-	diff := (i - j) % k
-	if diff < 0 {
-		diff += k
-	}
+	diff := Mod(i-j, k)
 	if other := k - diff; other < diff {
 		return other
 	}
@@ -30,10 +27,7 @@ type Delta struct {
 
 // CoordDelta computes the Delta from residue p to residue q modulo k.
 func CoordDelta(p, q, k int) Delta {
-	fwd := (q - p) % k
-	if fwd < 0 {
-		fwd += k
-	}
+	fwd := Mod(q-p, k)
 	bwd := k - fwd
 	switch {
 	case fwd == 0:

@@ -64,6 +64,85 @@ func FuzzNodeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzLeeDistance checks the metric axioms of the Lee distance for arbitrary
+// (including negative) raw node material: symmetry, identity, the triangle
+// inequality, and the per-dimension bound 0 <= cyclic distance <= k/2.
+func FuzzLeeDistance(f *testing.F) {
+	f.Add(4, 2, 0, 1, 2)
+	f.Add(5, 3, 7, 100, -3)
+	f.Add(8, 1, -6, 63, 12)
+	f.Add(2, 4, 1, -1, 15)
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, uRaw, vRaw, wRaw int) {
+		k := abs(kRaw)%8 + 2
+		d := abs(dRaw)%4 + 1
+		tr := New(k, d)
+		u := Node(Mod(uRaw, tr.Nodes()))
+		v := Node(Mod(vRaw, tr.Nodes()))
+		w := Node(Mod(wRaw, tr.Nodes()))
+
+		duv := tr.LeeDistance(u, v)
+		if duv != tr.LeeDistance(v, u) {
+			t.Fatalf("asymmetric: Lee(%d,%d)=%d, Lee(%d,%d)=%d", u, v, duv, v, u, tr.LeeDistance(v, u))
+		}
+		if duv < 0 || duv > d*(k/2) {
+			t.Fatalf("Lee(%d,%d)=%d out of [0,%d]", u, v, duv, d*(k/2))
+		}
+		if (duv == 0) != (u == v) {
+			t.Fatalf("Lee(%d,%d)=%d violates identity of indiscernibles", u, v, duv)
+		}
+		if tr.LeeDistance(u, w) > duv+tr.LeeDistance(v, w) {
+			t.Fatalf("triangle violated: Lee(%d,%d)=%d > %d+%d",
+				u, w, tr.LeeDistance(u, w), duv, tr.LeeDistance(v, w))
+		}
+		// Per-dimension contributions stay in [0, k/2] and sum to the total,
+		// even when coordinates are fed in unnormalized.
+		sum := 0
+		for j := 0; j < d; j++ {
+			cd := CyclicDistance(tr.Coord(u, j)-7*k, tr.Coord(v, j)+3*k, k)
+			if cd < 0 || cd > k/2 {
+				t.Fatalf("cyclic distance %d out of [0,%d]", cd, k/2)
+			}
+			sum += cd
+		}
+		if sum != duv {
+			t.Fatalf("per-dimension sum %d != Lee distance %d", sum, duv)
+		}
+	})
+}
+
+// FuzzWrapCoord checks that Mod/WrapCoord produce canonical residues for any
+// integer input and that NodeAt agrees with them.
+func FuzzWrapCoord(f *testing.F) {
+	f.Add(0, 2)
+	f.Add(-1, 5)
+	f.Add(17, 4)
+	f.Add(-1000000, 9)
+	f.Fuzz(func(t *testing.T, a, kRaw int) {
+		k := abs(kRaw)%64 + 2
+		m := Mod(a, k)
+		if m < 0 || m >= k {
+			t.Fatalf("Mod(%d,%d)=%d out of [0,%d)", a, k, m, k)
+		}
+		if (a-m)%k != 0 {
+			t.Fatalf("Mod(%d,%d)=%d not congruent to input", a, k, m)
+		}
+		if Mod(m, k) != m {
+			t.Fatalf("Mod not idempotent at %d mod %d", a, k)
+		}
+		if Mod(a+k, k) != m || Mod(a-k, k) != m {
+			t.Fatalf("Mod(%d,%d) not periodic", a, k)
+		}
+		tr := New(k, 2)
+		if tr.WrapCoord(a) != m {
+			t.Fatalf("WrapCoord(%d)=%d, Mod=%d", a, tr.WrapCoord(a), m)
+		}
+		u := tr.NodeAt([]int{a, a})
+		if tr.Coord(u, 0) != m || tr.Coord(u, 1) != m {
+			t.Fatalf("NodeAt wraps %d to (%d,%d), want %d", a, tr.Coord(u, 0), tr.Coord(u, 1), m)
+		}
+	})
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

@@ -1,0 +1,50 @@
+package torus
+
+import "fmt"
+
+// Mod returns a reduced into the canonical residue range [0, k). Unlike Go's
+// built-in %, which truncates toward zero and can return negative values for
+// negative a, Mod always returns the mathematical residue. Every coordinate
+// wrap in this repository must route through Mod (or a helper built on it);
+// the toruslint modmath analyzer enforces this.
+//
+// Mod panics if k <= 0.
+func Mod(a, k int) int {
+	if k <= 0 {
+		panic(fmt.Sprintf("torus: Mod modulus must be positive, got %d", k))
+	}
+	//lint:ignore modmath this is the canonical normalized-mod helper.
+	a %= k
+	if a < 0 {
+		a += k
+	}
+	return a
+}
+
+// WrapCoord normalizes a single (possibly negative, possibly >= k) coordinate
+// onto the ring Z_k of this torus.
+func (t *Torus) WrapCoord(c int) int { return Mod(c, t.k) }
+
+// Volume returns k^d, the node count of T^d_k, guarded against int overflow
+// and against exceeding MaxNodes. It is the canonical checked way to compute
+// torus volumes and k^j edge/slab counts; the toruslint overflowvol analyzer
+// flags unguarded repeated-multiplication volume computations.
+func Volume(k, d int) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("torus: volume radix must be positive, got %d", k)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("torus: volume dimension must be nonnegative, got %d", d)
+	}
+	n := 1
+	for j := 0; j < d; j++ {
+		if n > MaxNodes/k {
+			return 0, fmt.Errorf("torus: %d^%d exceeds the %d node limit", k, d, MaxNodes)
+		}
+		n *= k
+	}
+	if n > MaxNodes {
+		return 0, fmt.Errorf("torus: %d^%d exceeds the %d node limit", k, d, MaxNodes)
+	}
+	return n, nil
+}

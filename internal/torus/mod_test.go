@@ -1,0 +1,111 @@
+package torus
+
+import "testing"
+
+func TestMod(t *testing.T) {
+	cases := []struct{ a, k, want int }{
+		{0, 5, 0},
+		{4, 5, 4},
+		{5, 5, 0},
+		{7, 5, 2},
+		{-1, 5, 4},
+		{-5, 5, 0},
+		{-7, 5, 3},
+		{-13, 4, 3},
+		{13, 4, 1},
+		{-1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := Mod(c.a, c.k); got != c.want {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.a, c.k, got, c.want)
+		}
+	}
+}
+
+func TestModPanicsOnNonPositiveModulus(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mod(1, %d) did not panic", k)
+				}
+			}()
+			Mod(1, k)
+		}()
+	}
+}
+
+func TestWrapCoordMatchesNodeAt(t *testing.T) {
+	tr := New(5, 2)
+	for _, c := range []int{-11, -5, -1, 0, 4, 5, 23} {
+		u := tr.NodeAt([]int{c, 0})
+		if got, want := tr.Coord(u, 0), tr.WrapCoord(c); got != want {
+			t.Errorf("NodeAt wraps %d to %d, WrapCoord gives %d", c, got, want)
+		}
+	}
+}
+
+func TestTranslateNegativeOffset(t *testing.T) {
+	tr := New(4, 3)
+	u := tr.NodeAt([]int{1, 2, 3})
+	got := tr.Translate(u, []int{-3, -7, 5})
+	want := tr.NodeAt([]int{1 - 3, 2 - 7, 3 + 5})
+	if got != want {
+		t.Errorf("Translate with negative offset: got %v, want %v", tr.Coords(got), tr.Coords(want))
+	}
+}
+
+func TestSubtorusNegativeValue(t *testing.T) {
+	tr := New(5, 2)
+	neg := tr.SubtorusNodes(Subtorus{Dim: 0, Value: -2})
+	pos := tr.SubtorusNodes(Subtorus{Dim: 0, Value: 3})
+	if len(neg) != len(pos) {
+		t.Fatalf("subtorus sizes differ: %d vs %d", len(neg), len(pos))
+	}
+	for i := range neg {
+		if neg[i] != pos[i] {
+			t.Fatalf("subtorus value -2 and 3 disagree at %d: %v vs %v", i, neg[i], pos[i])
+		}
+	}
+}
+
+func TestAutomorphismNegativeOffset(t *testing.T) {
+	tr := New(5, 2)
+	a, err := tr.NewAutomorphism(nil, nil, []int{-1, -7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	u := tr.NodeAt([]int{0, 0})
+	if got, want := a.Node(u), tr.NodeAt([]int{-1, -7}); got != want {
+		t.Errorf("negative-offset automorphism maps origin to %v, want %v", tr.Coords(got), tr.Coords(want))
+	}
+}
+
+func TestVolume(t *testing.T) {
+	cases := []struct {
+		k, d, want int
+		ok         bool
+	}{
+		{2, 1, 2, true},
+		{5, 3, 125, true},
+		{2, 28, 1 << 28, true},
+		{2, 29, 0, false},
+		{1 << 14, 2, 1 << 28, true},
+		{100000, 3, 0, false},
+		{3, 0, 1, true},
+		{0, 2, 0, false},
+		{5, -1, 0, false},
+	}
+	for _, c := range cases {
+		got, err := Volume(c.k, c.d)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Volume(%d, %d) = %d, %v; want %d", c.k, c.d, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Volume(%d, %d) = %d, want overflow error", c.k, c.d, got)
+		}
+	}
+}

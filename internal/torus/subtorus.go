@@ -22,10 +22,7 @@ func (t *Torus) ForEachSubtorusNode(s Subtorus, fn func(Node)) {
 	if s.Dim < 0 || s.Dim >= t.d {
 		panic("torus: subtorus dimension out of range")
 	}
-	v := s.Value % t.k
-	if v < 0 {
-		v += t.k
-	}
+	v := t.WrapCoord(s.Value)
 	stride := t.strides[s.Dim]
 	block := stride * t.k
 	for hi := 0; hi < t.nodes; hi += block {

@@ -67,12 +67,9 @@ func (a *Automorphism) Node(u Node) Node {
 	for j := 0; j < t.d; j++ {
 		c := t.Coord(u, a.perm[j])
 		if a.flip[j] {
-			c = (t.k - c) % t.k
+			c = Mod(t.k-c, t.k)
 		}
-		c = (c + a.offset[j]) % t.k
-		if c < 0 {
-			c += t.k
-		}
+		c = Mod(c+a.offset[j], t.k)
 		idx += c * t.strides[j]
 	}
 	return Node(idx)

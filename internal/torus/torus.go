@@ -8,10 +8,7 @@
 // n = k^d nodes there are exactly 2·d·n directed edges.
 package torus
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Direction of travel along a dimension.
 type Direction int
@@ -85,17 +82,8 @@ func Check(k, d int) error {
 	if d < 1 {
 		return fmt.Errorf("torus: d must be at least 1, got %d", d)
 	}
-	if float64(d)*math.Log(float64(k)) > math.Log(float64(MaxNodes)) {
-		return fmt.Errorf("torus: %d^%d exceeds the %d node limit", k, d, MaxNodes)
-	}
-	n := 1
-	for j := 0; j < d; j++ {
-		n *= k
-		if n > MaxNodes {
-			return fmt.Errorf("torus: %d^%d exceeds the %d node limit", k, d, MaxNodes)
-		}
-	}
-	return nil
+	_, err := Volume(k, d)
+	return err
 }
 
 // K returns the radix (nodes per dimension).
@@ -124,11 +112,7 @@ func (t *Torus) NodeAt(coords []int) Node {
 	}
 	idx := 0
 	for j, c := range coords {
-		c %= t.k
-		if c < 0 {
-			c += t.k
-		}
-		idx += c * t.strides[j]
+		idx += t.WrapCoord(c) * t.strides[j]
 	}
 	return Node(idx)
 }
@@ -236,11 +220,7 @@ func (t *Torus) Translate(u Node, offset []int) Node {
 	}
 	idx := 0
 	for j := 0; j < t.d; j++ {
-		c := (t.Coord(u, j) + offset[j]) % t.k
-		if c < 0 {
-			c += t.k
-		}
-		idx += c * t.strides[j]
+		idx += t.WrapCoord(t.Coord(u, j)+offset[j]) * t.strides[j]
 	}
 	return Node(idx)
 }

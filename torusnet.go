@@ -49,6 +49,17 @@ func CheckTorus(k, d int) error { return torus.Check(k, d) }
 // CyclicDistance is the Definition 6 distance between residues mod k.
 func CyclicDistance(i, j, k int) int { return torus.CyclicDistance(i, j, k) }
 
+// MaxNodes bounds the node count of any torus this package will build.
+const MaxNodes = torus.MaxNodes
+
+// Mod returns a normalized to [0, k): the canonical residue helper for
+// torus coordinates, correct for negative a (unlike Go's % operator).
+func Mod(a, k int) int { return torus.Mod(a, k) }
+
+// Volume returns k^d, refusing values beyond MaxNodes instead of silently
+// overflowing int.
+func Volume(k, d int) (int, error) { return torus.Volume(k, d) }
+
 // Placement types and specs.
 type (
 	// Placement is a set of processor nodes on one torus (Definition 2).
