@@ -1,8 +1,14 @@
 GO ?= go
 FUZZTIME ?= 5s
-FUZZ_TARGETS := FuzzCoordDelta FuzzNodeRoundTrip FuzzLeeDistance FuzzWrapCoord
+# fuzz targets as <package>:<FuzzName> pairs, one short budget each.
+FUZZ_TARGETS := \
+	./internal/torus:FuzzCoordDelta \
+	./internal/torus:FuzzNodeRoundTrip \
+	./internal/torus:FuzzLeeDistance \
+	./internal/torus:FuzzWrapCoord \
+	./internal/service:FuzzDecodeAnalyzeRequest
 
-.PHONY: all build test race vet lint fuzz-smoke ci
+.PHONY: all build test race vet lint fuzz-smoke serve bench-service smoke-torusd ci
 
 all: build
 
@@ -23,12 +29,27 @@ vet:
 lint:
 	$(GO) run ./cmd/toruslint ./...
 
-# fuzz-smoke gives each torus fuzz target a short budget; failures persist
-# a crasher under internal/torus/testdata/fuzz for replay with plain go test.
+# fuzz-smoke gives each fuzz target a short budget; failures persist a
+# crasher under <package>/testdata/fuzz for replay with plain go test.
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t"; \
-		$(GO) test ./internal/torus -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+
+# serve runs the torusd analysis service in the foreground (ctrl-c stops it).
+serve:
+	$(GO) run ./cmd/torusd -addr :8080
+
+# bench-service regenerates results/BENCH_service.json (cached vs uncached
+# /v1/analyze latency and throughput on T^2_8).
+bench-service:
+	$(GO) run ./cmd/torusd -selfbench results/BENCH_service.json
+
+# smoke-torusd builds the real binary, boots it, and drives one analyze
+# request through /healthz + /v1/analyze + /debug/vars (CI gate).
+smoke-torusd:
+	./scripts/ci_torusd_smoke.sh
 
 ci: build vet test race lint

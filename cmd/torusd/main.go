@@ -1,0 +1,106 @@
+// Command torusd serves the torusnet analyses over HTTP: exact E_max loads
+// (POST /v1/analyze), the paper's lower bounds (POST /v1/bounds), bisection
+// constructions (POST /v1/bisect), and the E1–E30 experiment registry
+// (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz and
+// expvar metrics at /debug/vars. Identical requests are cached (LRU + TTL)
+// and concurrent identical requests are coalesced into one computation.
+//
+// Usage:
+//
+//	torusd -addr :8080
+//	torusd -addr 127.0.0.1:8080 -workers 8 -queue 32 -cache 1024 -ttl 10m
+//	torusd -selfbench results/BENCH_service.json   # micro-benchmark, then exit
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop intake and drain in-flight
+// analyses before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"torusnet/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "analysis pool goroutines (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "pending-request queue depth (0 = 2×workers)")
+		analysisW  = flag.Int("analysis-workers", 0, "load-engine workers per analysis (0 = 1)")
+		cacheSize  = flag.Int("cache", 0, "result cache capacity in entries (0 = 512)")
+		cacheTTL   = flag.Duration("ttl", 0, "result cache TTL (0 = 10m, negative = no expiry)")
+		timeout    = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
+		maxNodes   = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
+		selfbench  = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
+		selfbenchN = flag.Int("selfbench-n", 200, "requests per selfbench series")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		AnalysisWorkers: *analysisW,
+		CacheSize:       *cacheSize,
+		CacheTTL:        *cacheTTL,
+		RequestTimeout:  *timeout,
+		MaxNodes:        *maxNodes,
+		AccessLog:       os.Stderr,
+	}
+
+	var err error
+	if *selfbench != "" {
+		err = runSelfBench(cfg, *selfbench, *selfbenchN)
+	} else {
+		err = run(cfg, *addr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torusd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains gracefully.
+func run(cfg service.Config, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := service.New(cfg)
+	expvar.Publish("torusd", srv.ExpvarMap())
+	fmt.Fprintf(os.Stderr, "torusd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "torusd: draining")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "torusd: stopped")
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"torusnet/internal/service"
+)
+
+// TestRunSelfBench drives the selfbench harness end to end with a tiny
+// request count and checks the emitted BENCH_service.json is well formed.
+func TestRunSelfBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	if err := runSelfBench(service.Config{Workers: 2}, out, 3); err != nil {
+		t.Fatalf("runSelfBench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Benchmark == "" || rep.Torus != "T^2_8" {
+		t.Errorf("unexpected header: benchmark=%q torus=%q", rep.Benchmark, rep.Torus)
+	}
+	for name, s := range map[string]benchSeries{"uncached": rep.Uncached, "cached": rep.Cached} {
+		if s.Requests != 3 {
+			t.Errorf("%s: requests = %d, want 3", name, s.Requests)
+		}
+		if s.RequestsPerS <= 0 || s.P50MS <= 0 || s.P99MS <= 0 || s.MeanMS <= 0 {
+			t.Errorf("%s: non-positive stats: %+v", name, s)
+		}
+		if s.P99MS < s.P50MS {
+			t.Errorf("%s: p99 %.3fms < p50 %.3fms", name, s.P99MS, s.P50MS)
+		}
+	}
+	if rep.Uncached.CacheHitShare != 0 {
+		t.Errorf("uncached series reported cache hits: %+v", rep.Uncached)
+	}
+	if rep.Cached.CacheHitShare != 1 {
+		t.Errorf("cached series hit share = %v, want 1 (primed)", rep.Cached.CacheHitShare)
+	}
+}
+
+// TestRunSelfBenchBadPath checks write failures surface as errors.
+func TestRunSelfBenchBadPath(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "no-such-dir", "bench.json")
+	if err := runSelfBench(service.Config{Workers: 1}, out, 1); err == nil {
+		t.Fatal("expected an error writing to a missing directory")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := make([]time.Duration, 10)
+	for i := range sorted {
+		sorted[i] = time.Duration(i + 1)
+	}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {99, 10}, {1, 1}, {100, 10}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(p=%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+}

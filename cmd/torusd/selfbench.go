@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"torusnet/internal/service"
+)
+
+// benchSeries is one measured request series of the selfbench harness.
+type benchSeries struct {
+	Requests      int     `json:"requests"`
+	RequestsPerS  float64 `json:"requests_per_s"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	CacheHitShare float64 `json:"cache_hit_share"`
+}
+
+// benchReport is the BENCH_service.json schema: the serving-layer
+// micro-benchmark for /v1/analyze on T²₈, cached vs uncached.
+type benchReport struct {
+	Benchmark string      `json:"benchmark"`
+	Torus     string      `json:"torus"`
+	Placement string      `json:"placement"`
+	Routing   string      `json:"routing"`
+	Uncached  benchSeries `json:"uncached"`
+	Cached    benchSeries `json:"cached"`
+}
+
+// runSelfBench boots an in-process torusd on an ephemeral port, drives one
+// uncached and one cached /v1/analyze series against it over real HTTP,
+// and writes the latency/throughput report to outPath.
+func runSelfBench(cfg service.Config, outPath string, n int) error {
+	if n <= 0 {
+		n = 1
+	}
+	cfg.AccessLog = nil // keep the benchmark loop free of log I/O
+	if cfg.CacheSize < 2*n {
+		cfg.CacheSize = 2 * n // the uncached series must not evict itself into re-misses
+	}
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(shutCtx); serr != nil {
+			fmt.Fprintln(os.Stderr, "torusd: selfbench shutdown:", serr)
+		}
+		<-errCh // Serve has returned; the listener is closed
+	}()
+
+	client := service.NewClient("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// Uncached: every request is a distinct key (random placements with
+	// distinct seeds on T²₈), so each one runs the full analysis.
+	uncached, err := measure(ctx, client, n, func(i int) service.AnalyzeRequest {
+		return service.AnalyzeRequest{
+			K: 8, D: 2,
+			Placement: fmt.Sprintf("random:8:%d", i+1),
+			Routing:   "odr",
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Cached: one fixed request repeated; after the priming miss every
+	// request is a cache hit.
+	fixed := service.AnalyzeRequest{K: 8, D: 2, Placement: "linear:0", Routing: "odr"}
+	if _, err := client.Analyze(ctx, fixed); err != nil {
+		return err
+	}
+	cached, err := measure(ctx, client, n, func(int) service.AnalyzeRequest { return fixed })
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Benchmark: "torusd /v1/analyze",
+		Torus:     "T^2_8",
+		Placement: "linear:0 (cached) / random:8:<seed> (uncached)",
+		Routing:   "odr",
+		Uncached:  uncached,
+		Cached:    cached,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "torusd: selfbench wrote %s (uncached %.0f req/s p99 %.2fms, cached %.0f req/s p99 %.2fms)\n",
+		outPath, report.Uncached.RequestsPerS, report.Uncached.P99MS,
+		report.Cached.RequestsPerS, report.Cached.P99MS)
+	return nil
+}
+
+// measure issues n sequential requests and summarizes their latencies.
+func measure(ctx context.Context, client *service.Client, n int, req func(i int) service.AnalyzeRequest) (benchSeries, error) {
+	durs := make([]time.Duration, 0, n)
+	hits := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		resp, err := client.Analyze(ctx, req(i))
+		if err != nil {
+			return benchSeries{}, err
+		}
+		durs = append(durs, time.Since(t0))
+		if resp.Cached {
+			hits++
+		}
+	}
+	total := time.Since(start)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return benchSeries{
+		Requests:      n,
+		RequestsPerS:  float64(n) / total.Seconds(),
+		P50MS:         ms(percentile(durs, 50)),
+		P99MS:         ms(percentile(durs, 99)),
+		MeanMS:        ms(sum / time.Duration(n)),
+		CacheHitShare: float64(hits) / float64(n),
+	}, nil
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer boots an in-process torusd over real HTTP with logging off,
+// sized so the uncached benchmark never evicts its own working set.
+func benchServer(b *testing.B) (*Server, *Client) {
+	b.Helper()
+	s := New(Config{CacheSize: 1 << 16})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, NewClient(ts.URL)
+}
+
+// BenchmarkAnalyzeCached measures the steady-state hot path of torusd: one
+// fixed T²₈ request answered from the LRU cache on every iteration.
+func BenchmarkAnalyzeCached(b *testing.B) {
+	_, client := benchServer(b)
+	ctx := context.Background()
+	req := AnalyzeRequest{K: 8, D: 2, Placement: "linear:0", Routing: "odr"}
+	if _, err := client.Analyze(ctx, req); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Analyze(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a cache hit after priming")
+		}
+	}
+}
+
+// BenchmarkAnalyzeUncached measures the cold path: every iteration is a
+// distinct cache key (random placement seeds on T²₈) and runs the full
+// analysis pipeline.
+func BenchmarkAnalyzeUncached(b *testing.B) {
+	_, client := benchServer(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := AnalyzeRequest{
+			K: 8, D: 2,
+			Placement: fmt.Sprintf("random:8:%d", i+1),
+			Routing:   "odr",
+		}
+		resp, err := client.Analyze(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("uncached benchmark hit the cache; keys are not distinct")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// lruCache is a mutex-guarded LRU with per-entry TTL. Values must be
+// treated as immutable once stored: readers receive the stored value
+// itself, so handlers copy before mutating response-only fields (Cached).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration // <= 0 means entries never expire
+	ll       *list.List    // front = most recently used
+	items    map[string]*list.Element
+	now      func() time.Time // injected in TTL tests
+}
+
+type cacheEntry struct {
+	key     string
+	val     any
+	expires time.Time // zero means never
+}
+
+func newLRUCache(capacity int, ttl time.Duration) *lruCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ttl:      ttl,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		now:      time.Now,
+	}
+}
+
+// get returns the live value for key, refreshing its recency. Expired
+// entries are evicted on access.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is at capacity.
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.val, ent.expires = val, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+}
+
+// len reports the number of resident entries (expired-but-unaccessed
+// entries included).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// APIError is a non-200 response surfaced by Client, carrying the HTTP
+// status and the server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Client is a typed HTTP client for a torusd server. The zero HTTP client
+// has no overall timeout; per-call deadlines come from the caller's
+// context.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// do runs one JSON round trip. in == nil sends no body; out == nil
+// discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) (err error) {
+	var body io.Reader
+	if in != nil {
+		data, merr := json.Marshal(in)
+		if merr != nil {
+			return fmt.Errorf("service: encoding request: %w", merr)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorResponse
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Analyze runs POST /v1/analyze.
+func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	var out AnalyzeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Bounds runs POST /v1/bounds.
+func (c *Client) Bounds(ctx context.Context, req BoundsRequest) (*BoundsResponse, error) {
+	var out BoundsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/bounds", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Bisect runs POST /v1/bisect.
+func (c *Client) Bisect(ctx context.Context, req BisectRequest) (*BisectResponse, error) {
+	var out BisectResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/bisect", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiments runs GET /v1/experiments.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunExperiment runs POST /v1/experiments/{id}.
+func (c *Client) RunExperiment(ctx context.Context, id string, req ExperimentRequest) (*ExperimentRunResponse, error) {
+	var out ExperimentRunResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/experiments/"+id, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health runs GET /healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Vars fetches the server's metric counters from GET /debug/vars.
+func (c *Client) Vars(ctx context.Context) (map[string]any, error) {
+	var out struct {
+		Torusd map[string]any `json:"torusd"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/debug/vars", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Torusd, nil
+}

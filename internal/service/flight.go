@@ -1,0 +1,46 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key: the first
+// caller (leader) runs fn, later callers block until the leader finishes
+// and share its result. It is the stdlib-only equivalent of
+// golang.org/x/sync/singleflight, reduced to what the service needs.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn once per key among concurrent callers. shared reports
+// whether this caller received another caller's result. Followers inherit
+// the leader's error; the leader's per-request deadline therefore bounds
+// every waiter.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"torusnet/internal/cliutil"
+	"torusnet/internal/torus"
+)
+
+// FuzzDecodeAnalyzeRequest hammers the wire decoder/canonicalizer: it must
+// never panic, accepted requests must satisfy every validity invariant the
+// service relies on (torus within limits, placement/routing parseable),
+// and canonicalization must be idempotent so cache keys are stable.
+func FuzzDecodeAnalyzeRequest(f *testing.F) {
+	seeds := []string{
+		`{"k":8,"d":2,"placement":"linear","routing":"odr"}`,
+		`{"k":8,"d":3,"placement":"linear:-1","routing":"ODR-MULTI"}`,
+		`{"k":6,"d":2,"placement":"multi:2:5","routing":"udr"}`,
+		`{"k":6,"d":2,"placement":"diagonal:7","routing":"udr-multi"}`,
+		`{"k":4,"d":3,"placement":"full","routing":"far"}`,
+		`{"k":8,"d":2,"placement":"random:12:9","routing":"odr"}`,
+		`{"k":1,"d":0,"placement":"","routing":""}`,
+		`{"k":1000000,"d":9,"placement":"linear","routing":"odr"}`,
+		`{"k":8,"d":2,"placement":"linear","routing":"odr","x":1}`,
+		`{"k":8,"d":2,"placement":"linear","routing":"odr"}{}`,
+		`null`, `[]`, `{`, ``, `{"k":-8,"d":-2,"placement":"linear","routing":"odr"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeAnalyzeRequest(data)
+		if err != nil {
+			return // rejected input: only the no-panic guarantee applies
+		}
+
+		// Accepted ⇒ the torus is valid and inside the serving ceiling.
+		if cerr := torus.Check(req.K, req.D); cerr != nil {
+			t.Fatalf("accepted invalid torus k=%d d=%d: %v", req.K, req.D, cerr)
+		}
+		if n, verr := torus.Volume(req.K, req.D); verr != nil || n > DefaultMaxNodes {
+			t.Fatalf("accepted torus with %d nodes (err=%v) past limit %d", n, verr, DefaultMaxNodes)
+		}
+
+		// Accepted ⇒ the canonical placement builds and routing parses.
+		spec, perr := cliutil.ParsePlacement(req.Placement)
+		if perr != nil {
+			t.Fatalf("canonical placement %q does not re-parse: %v", req.Placement, perr)
+		}
+		if _, berr := spec.Build(torus.New(req.K, req.D)); berr != nil {
+			t.Fatalf("canonical placement %q does not build: %v", req.Placement, berr)
+		}
+		if _, rerr := cliutil.ParseRouting(req.Routing); rerr != nil {
+			t.Fatalf("canonical routing %q does not re-parse: %v", req.Routing, rerr)
+		}
+		if req.Routing != strings.ToLower(req.Routing) {
+			t.Fatalf("canonical routing %q is not lower-case", req.Routing)
+		}
+
+		// Canonicalization is idempotent, through both the in-place API and
+		// a full re-encode/decode round trip.
+		again := *req
+		if err := again.Canonicalize(DefaultMaxNodes); err != nil {
+			t.Fatalf("re-canonicalize %+v: %v", *req, err)
+		}
+		if again != *req {
+			t.Fatalf("canonicalization not idempotent: %+v -> %+v", *req, again)
+		}
+		encoded, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("canonical request does not marshal: %v", merr)
+		}
+		roundTrip, rerr := DecodeAnalyzeRequest(encoded)
+		if rerr != nil {
+			t.Fatalf("canonical request %s rejected on round trip: %v", encoded, rerr)
+		}
+		if *roundTrip != *req {
+			t.Fatalf("round trip drifted: %+v -> %+v", *req, *roundTrip)
+		}
+		if roundTrip.CacheKey() != req.CacheKey() {
+			t.Fatalf("cache key drifted: %q vs %q", roundTrip.CacheKey(), req.CacheKey())
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package service
+
+import "expvar"
+
+// metrics is the server's expvar surface. The map is per-Server (not
+// globally published) so tests can boot many servers in one process;
+// /debug/vars serves it under the "torusd" key. cmd/torusd additionally
+// publishes it into the process-global expvar namespace.
+type metrics struct {
+	vars       *expvar.Map
+	byEndpoint *expvar.Map
+}
+
+// Counter names. Pre-seeded to zero so /debug/vars always shows the full
+// schema.
+const (
+	mRequests       = "requests"
+	mErrors         = "errors"
+	mPanics         = "panics"
+	mQueueFull      = "queue_full"
+	mTimeouts       = "timeouts"
+	mCacheHits      = "cache_hits"
+	mCacheMisses    = "cache_misses"
+	mCoalesced      = "coalesced"
+	mInFlight       = "in_flight"
+	mWriteErrors    = "write_errors"
+	mLatencyMSTotal = "latency_ms_total"
+)
+
+func newMetrics() *metrics {
+	m := &metrics{vars: new(expvar.Map).Init(), byEndpoint: new(expvar.Map).Init()}
+	for _, name := range []string{
+		mRequests, mErrors, mPanics, mQueueFull, mTimeouts,
+		mCacheHits, mCacheMisses, mCoalesced, mInFlight,
+		mWriteErrors, mLatencyMSTotal,
+	} {
+		m.vars.Set(name, new(expvar.Int))
+	}
+	m.vars.Set("requests_by_endpoint", m.byEndpoint)
+	return m
+}
+
+// add increments a top-level counter.
+func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// endpoint counts one request against its route pattern.
+func (m *metrics) endpoint(pattern string) { m.byEndpoint.Add(pattern, 1) }
+
+// get reads a top-level integer counter (test helper; 0 when absent).
+func (m *metrics) get(name string) int64 {
+	if v, ok := m.vars.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// errQueueFull is returned by submit when the pending-job queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var errQueueFull = errors.New("service: worker queue full")
+
+// errPoolClosed is returned by submit after close; it can only surface on
+// a request that raced graceful shutdown.
+var errPoolClosed = errors.New("service: worker pool closed")
+
+// panicError wraps a panic recovered inside a pooled computation so one
+// poisoned request cannot take the process down; the HTTP layer maps it
+// to 500.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("service: analysis panicked: %v", e.value)
+}
+
+// workerPool runs computations on a fixed set of goroutines with a bounded
+// pending queue — the service's backpressure point. Each job's result
+// travels over a per-job buffered channel so a worker never blocks on a
+// caller that has already timed out.
+type workerPool struct {
+	mu     sync.Mutex
+	closed bool
+	jobs   chan poolJob
+	wg     sync.WaitGroup
+}
+
+type poolJob struct {
+	ctx context.Context
+	fn  func() (any, error)
+	res chan poolResult // buffered, capacity 1
+}
+
+type poolResult struct {
+	val any
+	err error
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &workerPool{jobs: make(chan poolJob, queue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		//lint:ignore syncmisuse workers are joined in (*workerPool).close via wg.Wait
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		if err := j.ctx.Err(); err != nil {
+			// The caller gave up while the job sat in the queue; skip the
+			// work instead of computing for nobody.
+			j.res <- poolResult{err: err}
+			continue
+		}
+		j.res <- runShielded(j.fn)
+	}
+}
+
+// runShielded executes fn, converting a panic into a *panicError.
+func runShielded(fn func() (any, error)) (res poolResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = poolResult{err: &panicError{value: r, stack: debug.Stack()}}
+		}
+	}()
+	v, err := fn()
+	return poolResult{val: v, err: err}
+}
+
+// submit enqueues fn and waits for its result or the context. It never
+// blocks on a full queue: callers get errQueueFull immediately so the HTTP
+// layer can shed load.
+func (p *workerPool) submit(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := poolJob{ctx: ctx, fn: fn, res: make(chan poolResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, errQueueFull
+	}
+	select {
+	case r := <-j.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// close stops intake and waits for the workers to drain the queue.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,254 @@
+// Package service implements torusd, the long-running HTTP analysis
+// service over the reproduction's capabilities: exact E_max loads
+// (core.Analyze), the paper's lower bounds, the Theorem 1 / appendix
+// bisection constructions, and the E1–E30 experiment registry.
+//
+// The serving pipeline is, per request:
+//
+//	decode (strict JSON) → validate + canonicalize → cache key
+//	  → LRU/TTL result cache
+//	  → singleflight coalescing (identical concurrent requests share one run)
+//	  → bounded worker pool (queue backpressure → 429, per-request
+//	    deadline → 504, panic isolation → 500)
+//	  → compute → cache fill → JSON response
+//
+// Requests are canonicalized before hashing so that syntactic variants of
+// the same analysis — "linear" vs "linear:0" vs "linear:-8" on k=8, "ODR"
+// vs "odr" — map to one cache entry. Observability is pure stdlib expvar:
+// every counter lives in a per-server expvar.Map served at /debug/vars,
+// and access logs are structured JSON lines (log/slog).
+//
+// Everything is standard library only, matching the repo's no-dependency
+// constraint.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"torusnet/internal/cliutil"
+	"torusnet/internal/placement"
+	"torusnet/internal/torus"
+)
+
+// DefaultMaxNodes caps k^d for a served analysis. The paper's tori are
+// small (T²₈, T³₈ = 512 nodes); the complete-exchange engine is O(|P|²)
+// pair work, so the service refuses tori past this ceiling rather than
+// letting one request monopolize the pool. Configurable via Config.
+const DefaultMaxNodes = 4096
+
+// AnalyzeRequest asks for the full optimality analysis of one
+// (torus, placement, routing) triple — the core.Analyze pipeline.
+// Placement uses the cliutil spec grammar (linear[:C], multi:T[:S],
+// diagonal[:S], full, random:N[:SEED]); Routing is one of odr, odr-multi,
+// udr, udr-multi, far (case-insensitive).
+type AnalyzeRequest struct {
+	K         int    `json:"k"`
+	D         int    `json:"d"`
+	Placement string `json:"placement"`
+	Routing   string `json:"routing"`
+}
+
+// Canonicalize validates the request and rewrites Placement and Routing to
+// their canonical spellings, so equal analyses produce equal cache keys.
+// It is idempotent: canonicalizing an already-canonical request is a no-op.
+func (r *AnalyzeRequest) Canonicalize(maxNodes int) error {
+	if err := checkTorus(r.K, r.D, maxNodes); err != nil {
+		return err
+	}
+	p, err := canonicalPlacement(r.Placement, r.K, r.D)
+	if err != nil {
+		return err
+	}
+	a, err := canonicalRouting(r.Routing)
+	if err != nil {
+		return err
+	}
+	r.Placement, r.Routing = p, a
+	return nil
+}
+
+// CacheKey returns the stable cache identity of the canonicalized request.
+func (r *AnalyzeRequest) CacheKey() string {
+	return fmt.Sprintf("analyze|k=%d|d=%d|p=%s|a=%s", r.K, r.D, r.Placement, r.Routing)
+}
+
+// BoundsRequest asks for every lower bound of the paper on one placement
+// (no load computation, so it is much cheaper than a full analysis).
+type BoundsRequest struct {
+	K         int    `json:"k"`
+	D         int    `json:"d"`
+	Placement string `json:"placement"`
+}
+
+// Canonicalize validates and canonicalizes in place (idempotent).
+func (r *BoundsRequest) Canonicalize(maxNodes int) error {
+	if err := checkTorus(r.K, r.D, maxNodes); err != nil {
+		return err
+	}
+	p, err := canonicalPlacement(r.Placement, r.K, r.D)
+	if err != nil {
+		return err
+	}
+	r.Placement = p
+	return nil
+}
+
+// CacheKey returns the stable cache identity of the canonicalized request.
+func (r *BoundsRequest) CacheKey() string {
+	return fmt.Sprintf("bounds|k=%d|d=%d|p=%s", r.K, r.D, r.Placement)
+}
+
+// BisectRequest asks for one bisection construction with respect to a
+// placement. Method is sweep (default), best-sweep, or dimension.
+type BisectRequest struct {
+	K         int    `json:"k"`
+	D         int    `json:"d"`
+	Placement string `json:"placement"`
+	Method    string `json:"method,omitempty"`
+}
+
+// Canonicalize validates and canonicalizes in place (idempotent).
+func (r *BisectRequest) Canonicalize(maxNodes int) error {
+	if err := checkTorus(r.K, r.D, maxNodes); err != nil {
+		return err
+	}
+	p, err := canonicalPlacement(r.Placement, r.K, r.D)
+	if err != nil {
+		return err
+	}
+	switch m := strings.ToLower(strings.TrimSpace(r.Method)); m {
+	case "":
+		r.Method = "sweep"
+	case "sweep", "best-sweep", "dimension":
+		r.Method = m
+	default:
+		return fmt.Errorf("service: unknown bisection method %q (want sweep|best-sweep|dimension)", r.Method)
+	}
+	r.Placement = p
+	return nil
+}
+
+// CacheKey returns the stable cache identity of the canonicalized request.
+func (r *BisectRequest) CacheKey() string {
+	return fmt.Sprintf("bisect|k=%d|d=%d|p=%s|m=%s", r.K, r.D, r.Placement, r.Method)
+}
+
+// ExperimentRequest selects the scale of one registered experiment run.
+// An empty body (or empty scale) means quick.
+type ExperimentRequest struct {
+	Scale string `json:"scale,omitempty"`
+}
+
+// Canonicalize validates the scale (idempotent).
+func (r *ExperimentRequest) Canonicalize() error {
+	switch s := strings.ToLower(strings.TrimSpace(r.Scale)); s {
+	case "":
+		r.Scale = "quick"
+	case "quick", "full":
+		r.Scale = s
+	default:
+		return fmt.Errorf("service: unknown experiment scale %q (want quick|full)", r.Scale)
+	}
+	return nil
+}
+
+// DecodeAnalyzeRequest decodes and canonicalizes one /v1/analyze body under
+// the default node ceiling. It is the entry point fuzzed by
+// FuzzDecodeAnalyzeRequest; the HTTP handler uses the same strict decoding.
+func DecodeAnalyzeRequest(data []byte) (*AnalyzeRequest, error) {
+	var req AnalyzeRequest
+	if err := decodeStrict(bytes.NewReader(data), &req); err != nil {
+		return nil, err
+	}
+	if err := req.Canonicalize(DefaultMaxNodes); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeStrict decodes exactly one JSON value, rejecting unknown fields and
+// trailing data — the wire discipline of every POST endpoint.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("service: trailing data after JSON body")
+	}
+	return nil
+}
+
+// checkTorus validates torus parameters against both the package-level
+// representation limits and the service's own serving ceiling.
+func checkTorus(k, d, maxNodes int) error {
+	if err := torus.Check(k, d); err != nil {
+		return err
+	}
+	n, err := torus.Volume(k, d)
+	if err != nil {
+		return err
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	if n > maxNodes {
+		return fmt.Errorf("service: torus T^%d_%d has %d nodes, exceeding the service limit of %d", d, k, n, maxNodes)
+	}
+	return nil
+}
+
+// canonicalPlacement parses a placement spec, verifies it builds on T^d_k,
+// and returns its canonical spelling: residues reduced with torus.Mod,
+// defaulted fields made explicit (multi:T → multi:T:0, random:N →
+// random:N:1). Canonical spellings re-parse to themselves.
+func canonicalPlacement(spec string, k, d int) (string, error) {
+	s, err := cliutil.ParsePlacement(strings.TrimSpace(spec))
+	if err != nil {
+		return "", err
+	}
+	var canon string
+	switch v := s.(type) {
+	case placement.Linear:
+		canon = fmt.Sprintf("linear:%d", torus.Mod(v.C, k))
+	case placement.MultipleLinear:
+		canon = fmt.Sprintf("multi:%d:%d", v.T, torus.Mod(v.Start, k))
+	case placement.ShiftedDiagonal:
+		canon = fmt.Sprintf("diagonal:%d", torus.Mod(v.Shift, k))
+	case placement.Full:
+		canon = "full"
+	case placement.Random:
+		canon = fmt.Sprintf("random:%d:%d", v.Count, v.Seed)
+	default:
+		return "", fmt.Errorf("service: placement spec %q has no canonical form", spec)
+	}
+	// Building validates spec-vs-torus constraints (multi:T with T > k,
+	// random counts past k^d, …). checkTorus has already capped k^d, so
+	// this is cheap.
+	if _, err := s.Build(torus.New(k, d)); err != nil {
+		return "", err
+	}
+	return canon, nil
+}
+
+// canonicalRouting maps any accepted routing spelling to its canonical
+// lower-case token.
+func canonicalRouting(name string) (string, error) {
+	if _, err := cliutil.ParseRouting(strings.TrimSpace(name)); err != nil {
+		return "", err
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "odrmulti":
+		return "odr-multi", nil
+	case "udrmulti":
+		return "udr-multi", nil
+	default:
+		return strings.ToLower(strings.TrimSpace(name)), nil
+	}
+}

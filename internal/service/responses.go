@@ -1,0 +1,267 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"torusnet/internal/bisect"
+	"torusnet/internal/bounds"
+	"torusnet/internal/cliutil"
+	"torusnet/internal/core"
+	"torusnet/internal/placement"
+	"torusnet/internal/sweep"
+	"torusnet/internal/torus"
+)
+
+// CutSummary is the wire form of one bisection cut.
+type CutSummary struct {
+	Method   string `json:"method"`
+	Width    int    `json:"width"`
+	ProcsA   int    `json:"procs_a"`
+	ProcsB   int    `json:"procs_b"`
+	Balanced bool   `json:"balanced"`
+}
+
+func cutSummary(c *bisect.Cut) CutSummary {
+	return CutSummary{
+		Method:   c.Method,
+		Width:    c.Width(),
+		ProcsA:   c.ProcsA,
+		ProcsB:   c.ProcsB,
+		Balanced: c.Balanced(),
+	}
+}
+
+// AnalyzeResponse is the wire form of a core.Report. The echoed request
+// fields are canonical, so a client can replay the exact cache key.
+type AnalyzeResponse struct {
+	K                int        `json:"k"`
+	D                int        `json:"d"`
+	Placement        string     `json:"placement"`
+	Routing          string     `json:"routing"`
+	PlacementName    string     `json:"placement_name"`
+	Processors       int        `json:"processors"`
+	Uniform          bool       `json:"uniform"`
+	DensityC         float64    `json:"density_c"`
+	EMax             float64    `json:"e_max"`
+	MaxEdge          string     `json:"max_edge"`
+	LoadPerProcessor float64    `json:"load_per_processor"`
+	TotalLoad        float64    `json:"total_load"`
+	BlaumBound       float64    `json:"blaum_bound"`
+	BisectionBound   float64    `json:"bisection_bound"`
+	ImprovedBound    float64    `json:"improved_bound"`
+	BestLowerBound   float64    `json:"best_lower_bound"`
+	OptimalityRatio  float64    `json:"optimality_ratio"`
+	SweepCut         CutSummary `json:"sweep_cut"`
+	DimensionCut     CutSummary `json:"dimension_cut"`
+	Cached           bool       `json:"cached"`
+}
+
+// BoundsResponse reports every lower bound of the paper for a placement.
+type BoundsResponse struct {
+	K                int     `json:"k"`
+	D                int     `json:"d"`
+	Placement        string  `json:"placement"`
+	PlacementName    string  `json:"placement_name"`
+	Processors       int     `json:"processors"`
+	Uniform          bool    `json:"uniform"`
+	DensityC         float64 `json:"density_c"`
+	BlaumBound       float64 `json:"blaum_bound"`
+	BisectionBound   float64 `json:"bisection_bound"`
+	ImprovedBound    float64 `json:"improved_bound"`
+	BestLowerBound   float64 `json:"best_lower_bound"`
+	Theorem1Width    float64 `json:"theorem1_width"`
+	CorollaryCeiling float64 `json:"corollary_ceiling"`
+	Cached           bool    `json:"cached"`
+}
+
+// BisectResponse reports one bisection construction and its Eq. 8 bound.
+type BisectResponse struct {
+	K              int        `json:"k"`
+	D              int        `json:"d"`
+	Placement      string     `json:"placement"`
+	PlacementName  string     `json:"placement_name"`
+	Processors     int        `json:"processors"`
+	Method         string     `json:"method"`
+	Cut            CutSummary `json:"cut"`
+	SeparatorBound float64    `json:"separator_bound"`
+	Cached         bool       `json:"cached"`
+}
+
+// ExperimentInfo is one registry entry of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref,omitempty"`
+}
+
+// ExperimentRunResponse carries one experiment's rendered table.
+type ExperimentRunResponse struct {
+	ID     string          `json:"id"`
+	Scale  string          `json:"scale"`
+	Table  json.RawMessage `json:"table"`
+	Cached bool            `json:"cached"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	Experiments   int     `json:"experiments"`
+}
+
+// ErrorResponse is the uniform error body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// jsonSafe clamps non-finite bound values (e.g. a separator bound over an
+// empty boundary) to representable JSON numbers.
+func jsonSafe(v float64) float64 {
+	switch {
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsNaN(v):
+		return 0
+	}
+	return v
+}
+
+// buildPlacement instantiates the canonical placement spec on T^d_k. The
+// request was canonicalized, so failures here are internal errors, not
+// user errors.
+func buildPlacement(spec string, k, d int) (*placement.Placement, error) {
+	s, err := cliutil.ParsePlacement(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: canonical placement failed to re-parse: %w", err)
+	}
+	return s.Build(torus.New(k, d))
+}
+
+// computeAnalyze runs the full core pipeline for a canonical request.
+func computeAnalyze(req AnalyzeRequest, workers int) (AnalyzeResponse, error) {
+	p, err := buildPlacement(req.Placement, req.K, req.D)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	alg, err := cliutil.ParseRouting(req.Routing)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	rep := core.Analyze(p, alg, workers)
+	return AnalyzeResponse{
+		K:                req.K,
+		D:                req.D,
+		Placement:        req.Placement,
+		Routing:          req.Routing,
+		PlacementName:    p.Name(),
+		Processors:       p.Size(),
+		Uniform:          rep.Uniform,
+		DensityC:         rep.DensityC,
+		EMax:             rep.Load.Max,
+		MaxEdge:          p.Torus().EdgeString(rep.Load.MaxEdge),
+		LoadPerProcessor: rep.LoadPerProcessor,
+		TotalLoad:        rep.Load.Total,
+		BlaumBound:       jsonSafe(rep.BlaumBound),
+		BisectionBound:   jsonSafe(rep.BisectionBound),
+		ImprovedBound:    jsonSafe(rep.ImprovedBound),
+		BestLowerBound:   jsonSafe(rep.BestLowerBound()),
+		OptimalityRatio:  jsonSafe(rep.OptimalityRatio),
+		SweepCut:         cutSummary(rep.SweepCut),
+		DimensionCut:     cutSummary(rep.DimensionCut),
+	}, nil
+}
+
+// computeBounds evaluates the bound suite without the O(|P|²) load run —
+// the cheap half of core.Analyze.
+func computeBounds(req BoundsRequest) (BoundsResponse, error) {
+	p, err := buildPlacement(req.Placement, req.K, req.D)
+	if err != nil {
+		return BoundsResponse{}, err
+	}
+	t := p.Torus()
+	uniform := p.IsUniform()
+	kd1 := 1.0
+	for i := 0; i < t.D()-1; i++ {
+		kd1 *= float64(t.K())
+	}
+	densityC := 0.0
+	if kd1 > 0 {
+		densityC = float64(p.Size()) / kd1
+	}
+	blaum := bounds.Blaum(p.Size(), t.D())
+	sweepCut := bisect.Sweep(p)
+	dimCut := bisect.BestDimensionCut(p)
+	bisection := bounds.Bisection(p.Size(), sweepCut.Width())
+	if dimCut.Balanced() {
+		if b := bounds.Bisection(p.Size(), dimCut.Width()); b > bisection {
+			bisection = b
+		}
+	}
+	improved := 0.0
+	if uniform {
+		improved = bounds.Improved(densityC, t.K(), t.D())
+	}
+	best := math.Max(blaum, math.Max(bisection, improved))
+	return BoundsResponse{
+		K:                req.K,
+		D:                req.D,
+		Placement:        req.Placement,
+		PlacementName:    p.Name(),
+		Processors:       p.Size(),
+		Uniform:          uniform,
+		DensityC:         densityC,
+		BlaumBound:       jsonSafe(blaum),
+		BisectionBound:   jsonSafe(bisection),
+		ImprovedBound:    jsonSafe(improved),
+		BestLowerBound:   jsonSafe(best),
+		Theorem1Width:    bounds.Theorem1Width(t.K(), t.D()),
+		CorollaryCeiling: bounds.CorollaryBisectionCeiling(t.K(), t.D()),
+	}, nil
+}
+
+// computeBisect runs the requested bisection construction.
+func computeBisect(req BisectRequest) (BisectResponse, error) {
+	p, err := buildPlacement(req.Placement, req.K, req.D)
+	if err != nil {
+		return BisectResponse{}, err
+	}
+	var cut *bisect.Cut
+	switch req.Method {
+	case "sweep":
+		cut = bisect.Sweep(p)
+	case "best-sweep":
+		cut = bisect.BestSweep(p)
+	case "dimension":
+		cut = bisect.BestDimensionCut(p)
+	default:
+		return BisectResponse{}, fmt.Errorf("service: unknown bisection method %q", req.Method)
+	}
+	return BisectResponse{
+		K:              req.K,
+		D:              req.D,
+		Placement:      req.Placement,
+		PlacementName:  p.Name(),
+		Processors:     p.Size(),
+		Method:         req.Method,
+		Cut:            cutSummary(cut),
+		SeparatorBound: jsonSafe(bounds.Bisection(p.Size(), cut.Width())),
+	}, nil
+}
+
+// computeExperiment runs one registered experiment at the given scale.
+func computeExperiment(e sweep.Experiment, scale string) (ExperimentRunResponse, error) {
+	s := sweep.Quick
+	if scale == "full" {
+		s = sweep.Full
+	}
+	tb := e.Run(s)
+	raw, err := tb.JSON()
+	if err != nil {
+		return ExperimentRunResponse{}, fmt.Errorf("service: rendering experiment %s: %w", e.ID, err)
+	}
+	return ExperimentRunResponse{ID: e.ID, Scale: scale, Table: raw}, nil
+}

@@ -1,0 +1,450 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"torusnet/internal/sweep"
+)
+
+// Config parameterizes a Server. The zero value is serviceable: every
+// field has a production default.
+type Config struct {
+	// Workers is the number of pool goroutines executing analyses
+	// concurrently; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; a full queue sheds load
+	// with 429. 0 means 2×Workers.
+	QueueDepth int
+	// AnalysisWorkers is the load-engine worker count per analysis. The
+	// engine is deterministic for a fixed worker count, and this value is
+	// not part of the cache key, so the server pins it: 0 means 1 (each
+	// pool worker runs one single-threaded analysis; scale concurrency
+	// with Workers, not with per-analysis fan-out).
+	AnalysisWorkers int
+	// CacheSize is the LRU capacity in entries; 0 means 512.
+	CacheSize int
+	// CacheTTL expires cache entries; 0 means 10 minutes, negative
+	// disables expiry.
+	CacheTTL time.Duration
+	// RequestTimeout is the per-request compute deadline; 0 means 60s.
+	RequestTimeout time.Duration
+	// MaxNodes caps k^d per request; 0 means DefaultMaxNodes.
+	MaxNodes int
+	// MaxBodyBytes caps request bodies; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// AccessLog receives one structured JSON line per request; nil
+	// disables access logging.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.AnalysisWorkers <= 0 {
+		c.AnalysisWorkers = 1
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 512
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = DefaultMaxNodes
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the torusd HTTP service: validation and canonicalization in
+// front, then cache → coalescing → bounded pool around the analysis
+// engines. See the package comment for the pipeline.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	flight  *flightGroup
+	pool    *workerPool
+	metrics *metrics
+	logger  *slog.Logger
+	httpSrv *http.Server
+	started time.Time
+
+	// onCompute, when set, is invoked inside the pooled computation before
+	// any work runs. It exists for tests (coalescing and panic-isolation
+	// need a deterministic hook); production leaves it nil.
+	onCompute func(key string)
+}
+
+// New builds a Server from cfg (see Config for defaults). Call Shutdown
+// (or Close) when done to stop the worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ttl := cfg.CacheTTL
+	if ttl < 0 {
+		ttl = 0 // negative disables expiry
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(cfg.CacheSize, ttl),
+		flight:  newFlightGroup(),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(),
+		started: time.Now(),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
+	s.mux.HandleFunc("POST /v1/bisect", s.handleBisect)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the full middleware-wrapped handler, suitable for
+// httptest servers and embedding.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.add(mRequests, 1)
+		s.metrics.add(mInFlight, 1)
+		defer s.metrics.add(mInFlight, -1)
+		s.metrics.endpoint(r.Method + " " + r.URL.Path)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+
+		elapsed := time.Since(start)
+		s.metrics.add(mLatencyMSTotal, elapsed.Milliseconds())
+		if rec.status >= 400 {
+			s.metrics.add(mErrors, 1)
+		}
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("dur_us", elapsed.Microseconds()),
+				slog.Int("bytes", rec.bytes),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown gracefully drains in-flight requests (bounded by ctx), then
+// stops the worker pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.pool.close()
+	return err
+}
+
+// Close releases the worker pool without HTTP draining — for tests and
+// embedders that never called Serve.
+func (s *Server) Close() {
+	s.pool.close()
+}
+
+// statusRecorder captures the status code and body size for metrics and
+// access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// execute is the shared cache → coalesce → pool path of every POST
+// endpoint. compute must return an immutable value; cached reports whether
+// this caller was served from the result cache.
+func (s *Server) execute(ctx context.Context, key string, compute func() (any, error)) (val any, cached bool, err error) {
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.add(mCacheHits, 1)
+		return v, true, nil
+	}
+	s.metrics.add(mCacheMisses, 1)
+	v, err, shared := s.flight.do(key, func() (any, error) {
+		// Double-check under the flight: a caller that lost the
+		// cache-check/flight race to a just-finished leader finds the
+		// fresh entry here instead of recomputing.
+		if v, ok := s.cache.get(key); ok {
+			s.metrics.add(mCacheHits, 1)
+			return v, nil
+		}
+		v, err := s.pool.submit(ctx, func() (any, error) {
+			if s.onCompute != nil {
+				s.onCompute(key)
+			}
+			return compute()
+		})
+		if err == nil {
+			s.cache.put(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		s.metrics.add(mCoalesced, 1)
+	}
+	return v, false, err
+}
+
+// readRequest enforces the body cap and strict JSON decoding; on failure
+// it writes the 400 and reports false.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := decodeStrict(body, v); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// failCompute maps a compute-path error to its HTTP status and writes it.
+func (s *Server) failCompute(w http.ResponseWriter, err error) {
+	var pe *panicError
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.add(mQueueFull, 1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.add(mTimeouts, 1)
+		s.writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("service: analysis exceeded the %s request deadline", s.cfg.RequestTimeout))
+	case errors.As(err, &pe):
+		s.metrics.add(mPanics, 1)
+		s.writeError(w, http.StatusInternalServerError, pe)
+	case errors.Is(err, errPoolClosed):
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// writeJSON writes v with the given status; marshal failures degrade to a
+// plain 500.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"service: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.metrics.add(mWriteErrors, 1)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// requestContext attaches the per-request compute deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
+		resp, err := computeAnalyze(req, s.cfg.AnalysisWorkers)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.failCompute(w, err)
+		return
+	}
+	resp := v.(AnalyzeResponse) // value copy; safe to stamp per-caller fields
+	resp.Cached = cached
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	var req BoundsRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
+		resp, err := computeBounds(req)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.failCompute(w, err)
+		return
+	}
+	resp := v.(BoundsResponse)
+	resp.Cached = cached
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
+	var req BisectRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
+		resp, err := computeBisect(req)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.failCompute(w, err)
+		return
+	}
+	resp := v.(BisectResponse)
+	resp.Cached = cached
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	all := sweep.All()
+	infos := make([]ExperimentInfo, 0, len(all))
+	for _, e := range all {
+		infos = append(infos, ExperimentInfo{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef})
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := sweep.ByID(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown experiment %q", id))
+		return
+	}
+	var req ExperimentRequest
+	// An empty body selects the quick scale; anything present must decode.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(bytes.TrimSpace(data)) > 0 {
+		if err := decodeStrict(bytes.NewReader(data), &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := req.Canonicalize(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	key := fmt.Sprintf("experiment|%s|%s", e.ID, req.Scale)
+	v, cached, err := s.execute(ctx, key, func() (any, error) {
+		resp, err := computeExperiment(e, req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.failCompute(w, err)
+		return
+	}
+	resp := v.(ExperimentRunResponse)
+	resp.Cached = cached
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Experiments:   len(sweep.All()),
+	})
+}
+
+// handleDebugVars serves the server's own expvar map under the "torusd"
+// key. Unlike expvar.Handler it does not touch the process-global
+// namespace, so every Server instance reports only its own counters.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	buf.WriteString("{\"torusd\": ")
+	buf.WriteString(s.metrics.vars.String())
+	buf.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.metrics.add(mWriteErrors, 1)
+	}
+}
+
+// ExpvarMap exposes the server's metrics map, letting cmd/torusd publish
+// it into the process-global expvar namespace.
+func (s *Server) ExpvarMap() *expvar.Map { return s.metrics.vars }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# ci_torusd_smoke.sh — black-box smoke test of the torusd binary.
+#
+# Builds cmd/torusd, boots it on a local port, polls /healthz until ready,
+# issues one POST /v1/analyze, and asserts a 200 with well-formed JSON
+# before shutting the server down. Run from the repository root; CI runs
+# it via `make smoke-torusd`.
+set -euo pipefail
+
+PORT="${TORUSD_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/torusd"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "smoke: building cmd/torusd"
+go build -o "$BIN" ./cmd/torusd
+
+"$BIN" -addr "127.0.0.1:${PORT}" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "smoke: waiting for /healthz"
+ready=""
+for _ in $(seq 1 60); do
+    if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.5
+done
+if [ -z "$ready" ]; then
+    echo "smoke: FAIL — torusd never became healthy on ${BASE}" >&2
+    exit 1
+fi
+
+echo "smoke: POST /v1/analyze"
+body='{"k":8,"d":2,"placement":"linear","routing":"odr"}'
+status=$(curl -sS -o /tmp/torusd_smoke_analyze.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$body" "${BASE}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke: FAIL — /v1/analyze returned ${status}:" >&2
+    cat /tmp/torusd_smoke_analyze.json >&2
+    exit 1
+fi
+
+echo "smoke: validating response JSON"
+jq -e '.e_max > 0 and .processors == 8 and .k == 8 and .d == 2' \
+    /tmp/torusd_smoke_analyze.json >/dev/null || {
+    echo "smoke: FAIL — malformed analyze response:" >&2
+    cat /tmp/torusd_smoke_analyze.json >&2
+    exit 1
+}
+
+echo "smoke: checking /debug/vars counters"
+curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1' >/dev/null || {
+    echo "smoke: FAIL — /debug/vars missing expected torusd counters" >&2
+    exit 1
+}
+
+echo "smoke: graceful shutdown"
+kill -TERM "$PID"
+wait "$PID"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+echo "smoke: OK"

@@ -13,6 +13,7 @@ import (
 	"torusnet/internal/lee"
 	"torusnet/internal/optimize"
 	"torusnet/internal/schedule"
+	"torusnet/internal/service"
 	"torusnet/internal/simnet"
 	"torusnet/internal/sweep"
 	"torusnet/internal/torus"
@@ -371,3 +372,51 @@ func Experiments() []Experiment { return sweep.All() }
 
 // ExperimentByID finds one experiment by its "E<n>" id.
 func ExperimentByID(id string) (Experiment, bool) { return sweep.ByID(id) }
+
+// Analysis service (torusd): a concurrent HTTP JSON front end over Analyze,
+// the bounds/bisect packages, and the experiment registry, with result
+// caching, request coalescing, and expvar metrics.
+type (
+	// Service is the torusd HTTP server (cache + coalescing + worker pool).
+	Service = service.Server
+	// ServiceConfig sizes the service (workers, queue, cache, deadlines).
+	ServiceConfig = service.Config
+	// ServiceClient is the typed HTTP client for a running torusd.
+	ServiceClient = service.Client
+	// ServiceAPIError is a non-2xx torusd reply surfaced by ServiceClient.
+	ServiceAPIError = service.APIError
+	// AnalyzeRequest is the POST /v1/analyze body.
+	AnalyzeRequest = service.AnalyzeRequest
+	// BoundsRequest is the POST /v1/bounds body.
+	BoundsRequest = service.BoundsRequest
+	// BisectRequest is the POST /v1/bisect body.
+	BisectRequest = service.BisectRequest
+	// ExperimentRequest is the POST /v1/experiments/{id} body.
+	ExperimentRequest = service.ExperimentRequest
+	// AnalyzeResponse is the /v1/analyze reply (Report over the wire).
+	AnalyzeResponse = service.AnalyzeResponse
+	// BoundsResponse is the /v1/bounds reply.
+	BoundsResponse = service.BoundsResponse
+	// BisectResponse is the /v1/bisect reply.
+	BisectResponse = service.BisectResponse
+	// CutSummary is the wire form of a bisection cut.
+	CutSummary = service.CutSummary
+	// ExperimentInfo is one GET /v1/experiments entry.
+	ExperimentInfo = service.ExperimentInfo
+	// ExperimentRunResponse is the /v1/experiments/{id} reply.
+	ExperimentRunResponse = service.ExperimentRunResponse
+	// HealthResponse is the GET /healthz reply.
+	HealthResponse = service.HealthResponse
+	// ErrorResponse is the error envelope every non-2xx reply uses.
+	ErrorResponse = service.ErrorResponse
+)
+
+// ServiceMaxNodes is the default per-request torus size ceiling of torusd.
+const ServiceMaxNodes = service.DefaultMaxNodes
+
+// NewService constructs a torusd server; serve it with Service.Serve or
+// mount Service.Handler on an existing mux.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceClient returns a typed client for a torusd base URL.
+func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
