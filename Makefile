@@ -6,9 +6,10 @@ FUZZ_TARGETS := \
 	./internal/torus:FuzzNodeRoundTrip \
 	./internal/torus:FuzzLeeDistance \
 	./internal/torus:FuzzWrapCoord \
+	./internal/torus:FuzzTranslateEdge \
 	./internal/service:FuzzDecodeAnalyzeRequest
 
-.PHONY: all build test race vet lint fuzz-smoke serve bench-service smoke-torusd ci
+.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd ci
 
 all: build
 
@@ -41,6 +42,18 @@ fuzz-smoke:
 # serve runs the torusd analysis service in the foreground (ctrl-c stops it).
 serve:
 	$(GO) run ./cmd/torusd -addr :8080
+
+# bench regenerates results/BENCH_load.json: load-engine micro-benchmarks
+# (best of BENCH_COUNT runs) compared against the committed pre-fast-path
+# baseline in results/BENCH_load_baseline.json.
+bench:
+	./scripts/bench_load.sh
+
+# bench-smoke is the CI performance gate: fails on a >30% regression in
+# allocs/op or in the generic/fast speed ratio (machine-independent checks
+# only; see scripts/ci_bench_smoke.sh).
+bench-smoke:
+	./scripts/ci_bench_smoke.sh
 
 # bench-service regenerates results/BENCH_service.json (cached vs uncached
 # /v1/analyze latency and throughput on T^2_8).

@@ -46,7 +46,7 @@ func BenchmarkE19FlowControl(b *testing.B)    { benchExperiment(b, "E19") }
 // Micro-benchmarks of the hot engines, for performance tracking.
 
 func BenchmarkLoadComputeODR(b *testing.B) {
-	t := NewTorus(8, 3)
+	t := NewTorus(16, 3)
 	p, err := (Linear{C: 0}).Build(t)
 	if err != nil {
 		b.Fatal(err)
@@ -74,6 +74,51 @@ func BenchmarkLoadComputeODRSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkLoadComputeODRGeneric pins the generic O(|P|²) pair loop on the
+// same workload as BenchmarkLoadComputeODR; the ratio of the two is the
+// machine-independent speedup that scripts/ci_bench_smoke.sh gates on.
+func BenchmarkLoadComputeODRGeneric(b *testing.B) {
+	t := NewTorus(16, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ComputeLoad(p, ODR{}, LoadOptions{FastPath: FastPathOff})
+		if res.Max <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkLoadComputeODRMulti(b *testing.B) {
+	t := NewTorus(16, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, ODRMulti{}, LoadOptions{})
+	}
+}
+
+func BenchmarkLoadComputeODRMultiGeneric(b *testing.B) {
+	t := NewTorus(16, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, ODRMulti{}, LoadOptions{FastPath: FastPathOff})
+	}
+}
+
 func BenchmarkLoadComputeUDR(b *testing.B) {
 	t := NewTorus(6, 3)
 	p, err := (Linear{C: 0}).Build(t)
@@ -84,6 +129,19 @@ func BenchmarkLoadComputeUDR(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ComputeLoad(p, UDR{}, LoadOptions{})
+	}
+}
+
+func BenchmarkLoadComputeUDRGeneric(b *testing.B) {
+	t := NewTorus(6, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLoad(p, UDR{}, LoadOptions{FastPath: FastPathOff})
 	}
 }
 
@@ -189,3 +247,4 @@ func BenchmarkE27MeshVsTorus(b *testing.B) { benchExperiment(b, "E27") }
 func BenchmarkE28Annealing(b *testing.B)   { benchExperiment(b, "E28") }
 func BenchmarkE29Adaptive(b *testing.B)    { benchExperiment(b, "E29") }
 func BenchmarkE30OpenLoop(b *testing.B)    { benchExperiment(b, "E30") }
+func BenchmarkE31FastPath(b *testing.B)    { benchExperiment(b, "E31") }

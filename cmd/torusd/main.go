@@ -1,6 +1,6 @@
 // Command torusd serves the torusnet analyses over HTTP: exact E_max loads
 // (POST /v1/analyze), the paper's lower bounds (POST /v1/bounds), bisection
-// constructions (POST /v1/bisect), and the E1–E30 experiment registry
+// constructions (POST /v1/bisect), and the E1–E31 experiment registry
 // (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz and
 // expvar metrics at /debug/vars. Identical requests are cached (LRU + TTL)
 // and concurrent identical requests are coalesced into one computation.
@@ -9,7 +9,9 @@
 //
 //	torusd -addr :8080
 //	torusd -addr 127.0.0.1:8080 -workers 8 -queue 32 -cache 1024 -ttl 10m
-//	torusd -selfbench results/BENCH_service.json   # micro-benchmark, then exit
+//	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # net/http/pprof sidecar
+//	torusd -addr :8080 -no-fastpath                 # force the generic load engine
+//	torusd -selfbench results/BENCH_service.json    # micro-benchmark, then exit
 //
 // Shutdown is graceful: SIGINT/SIGTERM stop intake and drain in-flight
 // analyses before the process exits.
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +44,8 @@ func main() {
 		cacheTTL   = flag.Duration("ttl", 0, "result cache TTL (0 = 10m, negative = no expiry)")
 		timeout    = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
 		maxNodes   = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
+		noFastPath = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		selfbench  = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
 		selfbenchN = flag.Int("selfbench-n", 200, "requests per selfbench series")
 	)
@@ -54,6 +59,7 @@ func main() {
 		CacheTTL:        *cacheTTL,
 		RequestTimeout:  *timeout,
 		MaxNodes:        *maxNodes,
+		DisableFastPath: *noFastPath,
 		AccessLog:       os.Stderr,
 	}
 
@@ -61,7 +67,7 @@ func main() {
 	if *selfbench != "" {
 		err = runSelfBench(cfg, *selfbench, *selfbenchN)
 	} else {
-		err = run(cfg, *addr)
+		err = run(cfg, *addr, *debugAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "torusd:", err)
@@ -69,8 +75,10 @@ func main() {
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then drains gracefully.
-func run(cfg service.Config, addr string) error {
+// run serves until SIGINT/SIGTERM, then drains gracefully. When debugAddr
+// is non-empty a second listener serves net/http/pprof on its own mux, so
+// profiling endpoints never leak onto the public API address.
+func run(cfg service.Config, addr, debugAddr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -78,6 +86,30 @@ func run(cfg service.Config, addr string) error {
 	srv := service.New(cfg)
 	expvar.Publish("torusd", srv.ExpvarMap())
 	fmt.Fprintf(os.Stderr, "torusd: listening on %s\n", ln.Addr())
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			if cerr := ln.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "torusd: closing api listener:", cerr)
+			}
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: mux}
+		fmt.Fprintf(os.Stderr, "torusd: pprof on %s\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "torusd: pprof server:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -95,6 +127,11 @@ func run(cfg service.Config, addr string) error {
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "torusd: pprof shutdown:", err)
+		}
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}

@@ -18,10 +18,11 @@
 //   - fault-tolerance analysis (§7) anchored by a max-flow substrate;
 //   - a cycle-accurate store-and-forward simulator that executes complete
 //     exchanges on partially populated tori;
-//   - the E1–E30 experiment registry: E1–E14 regenerate every claim of the
-//     paper as a measured-vs-predicted table, E15–E30 are extension
+//   - the E1–E31 experiment registry: E1–E14 regenerate every claim of the
+//     paper as a measured-vs-predicted table, E15–E31 are extension
 //     ablations (routing matrix, wormhole switching, scheduling, BSP,
-//     Valiant randomization, coverage, annealing).
+//     Valiant randomization, coverage, annealing, and the load engine's
+//     translation-symmetry fast path).
 //
 // The root package is a facade over the internal packages; see the
 // examples/ directory for end-to-end usage and EXPERIMENTS.md for the

@@ -49,13 +49,21 @@ type Report struct {
 	LoadPerProcessor float64
 }
 
-// Analyze runs the full pipeline. Workers configures the load engine.
+// Analyze runs the full pipeline. Workers configures the load engine; the
+// translation fast path stays on auto-detect.
 func Analyze(p *placement.Placement, alg routing.Algorithm, workers int) *Report {
+	return AnalyzeWithLoadOptions(p, alg, load.Options{Workers: workers})
+}
+
+// AnalyzeWithLoadOptions runs the full pipeline with explicit load-engine
+// options (worker count, fast-path mode, cross-check), for callers like the
+// analysis service that expose engine toggles.
+func AnalyzeWithLoadOptions(p *placement.Placement, alg routing.Algorithm, opts load.Options) *Report {
 	t := p.Torus()
 	rep := &Report{
 		Placement: p,
 		Algorithm: alg.Name(),
-		Load:      load.Compute(p, alg, load.Options{Workers: workers}),
+		Load:      load.Compute(p, alg, opts),
 	}
 	rep.BlaumBound = bounds.Blaum(p.Size(), t.D())
 	rep.Uniform = p.IsUniform()

@@ -27,3 +27,16 @@ func subsets(n int) int {
 func powVolume(k, d int) int {
 	return int(math.Pow(float64(k), float64(d))) // want "integer conversion of math.Pow"
 }
+
+// strideTable mimics a naive translation-table stride precomputation: the
+// running stride k^j is accumulated through a plain identifier with no
+// volume guard, so the k^d product can overflow silently.
+func strideTable(k, d int) []int {
+	strides := make([]int, d)
+	stride := 1
+	for j := 0; j < d; j++ {
+		strides[j] = stride
+		stride *= k // want "integer accumulator stride multiplied in a loop"
+	}
+	return strides
+}

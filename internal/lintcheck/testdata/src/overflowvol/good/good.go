@@ -35,3 +35,27 @@ func bitTest(flags, bit int) bool {
 func constShift() int {
 	return 1 << 10
 }
+
+// strideTable precomputes translation-table strides the accepted way: the
+// total volume is validated by the guarded accumulator first, and each
+// stride k^j is then derived element-to-element inside the slice, never
+// through an unguarded scalar accumulator.
+func strideTable(k, d int) ([]int, error) {
+	if _, err := volume(k, d); err != nil {
+		return nil, err
+	}
+	strides := make([]int, d)
+	strides[0] = 1
+	for j := 1; j < d; j++ {
+		strides[j] = strides[j-1] * k
+	}
+	return strides, nil
+}
+
+// maskSweep enumerates routing-order subsets with the shift bounded by the
+// loop comparison, the shape used by the UDR accumulation kernels.
+func maskSweep(s int, visit func(int)) {
+	for mask := 0; mask < 1<<(s-1); mask++ {
+		visit(mask)
+	}
+}

@@ -33,3 +33,20 @@ func rangeCopy(cs []counter) int {
 	}
 	return total
 }
+
+// tableCache mirrors a lazily built translation table guarded by sync.Once;
+// copying the cache forks the Once and lets the table build twice.
+type tableCache struct {
+	once sync.Once
+	tab  []int
+}
+
+func snapshotTable(tc tableCache) []int { // want "parameter copies a value containing a sync primitive"
+	return tc.tab
+}
+
+func scatterNoJoin(jobs []int, apply func(int)) {
+	for _, j := range jobs {
+		go apply(j) // want "goroutine launched without a visible join"
+	}
+}

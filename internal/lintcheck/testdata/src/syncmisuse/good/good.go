@@ -32,3 +32,29 @@ func viaChannel(f func() int) int {
 	go func() { ch <- f() }()
 	return <-ch
 }
+
+// tableCache holds a lazily built translation table; the Once is reached
+// only through a pointer receiver, so it is never copied.
+type tableCache struct {
+	once sync.Once
+	tab  []int
+}
+
+func (tc *tableCache) table(build func() []int) []int {
+	tc.once.Do(func() { tc.tab = build() })
+	return tc.tab
+}
+
+// scatterWorkers fans translation jobs out to goroutines and joins them
+// all before returning, the shape of the fast path's scatter stage.
+func scatterWorkers(jobs []int, apply func(int)) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			apply(j)
+		}(j)
+	}
+	wg.Wait()
+}

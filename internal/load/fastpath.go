@@ -1,0 +1,190 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+// The translation-symmetry fast path (Theorem 2's mechanism, generalized).
+//
+// When the placement is closed under a translation subgroup G and the
+// routing algorithm is translation-equivariant, the per-edge load pattern
+// contributed by source p ⊕ t is exactly the pattern of source p with every
+// edge index translated by t. So instead of walking routes for all
+// |P|·(|P|−1) ordered pairs, the engine
+//
+//  1. partitions the sources into G-orbits,
+//  2. walks routes for ONE canonical source per orbit against all
+//     destinations (O(|P|/|G| · |P| · d · k) routing work), and
+//  3. replicates each orbit's base pattern to its other members by
+//     translating edge indices through a precomputed node-translation
+//     table (O(|P|·|E|) index arithmetic, no routing).
+//
+// For a linear placement |G| = k^{d−1} = |P|, so step 2 collapses to a
+// single source: a ~k^{d−1}× reduction in routing walks.
+
+// nnzEntry is one nonzero of an orbit's base load vector with the edge
+// index pre-split into source node and (dimension, direction) slot, so the
+// scatter loop translates with one table lookup and no division.
+type nnzEntry struct {
+	u    int32 // edge source node
+	slot int32 // edge index mod 2d: dimension and direction
+	w    float64
+}
+
+// scatterJob replicates one orbit's base pattern to one source.
+type scatterJob struct {
+	orbit  int   // index into bases
+	offset []int // stabilizer offset with src = rep ⊕ offset
+}
+
+// computeSymmetry runs the fast path, reporting ok=false when it does not
+// apply: non-equivariant algorithm, fewer than two processors, or (unless
+// force) a trivial stabilizer that would make it a slower generic engine.
+func computeSymmetry(p *placement.Placement, alg routing.Algorithm, workers int, force bool) (*Result, bool) {
+	if !routing.IsTranslationEquivariant(alg) {
+		return nil, false
+	}
+	t := p.Torus()
+	procs := p.Nodes()
+	if len(procs) < 2 {
+		return nil, false
+	}
+	stab := p.TranslationStabilizer()
+	if len(stab) == 1 && !force {
+		return nil, false
+	}
+
+	// Orbit partition. Translations act freely on nodes, so each orbit has
+	// exactly |stab| distinct members, all inside P by closure; iterating
+	// processors in index order and stabilizers in their fixed order makes
+	// reps and jobs deterministic.
+	seen := make([]bool, t.Nodes())
+	reps := make([]torus.Node, 0, len(procs)/len(stab)+1)
+	jobs := make([]scatterJob, 0, len(procs))
+	for _, src := range procs {
+		if seen[src] {
+			continue
+		}
+		orbit := len(reps)
+		reps = append(reps, src)
+		for _, off := range stab {
+			img := t.Translate(src, off)
+			seen[img] = true
+			jobs = append(jobs, scatterJob{orbit: orbit, offset: off})
+		}
+	}
+
+	// Base vectors: one canonical source per orbit against every
+	// destination, serial with a fixed destination order so the summation
+	// order never depends on the worker count.
+	ia, hasInto := alg.(routing.InplaceAccumulator)
+	var sc *routing.PairScratch
+	if hasInto {
+		sc = routing.NewPairScratch(t)
+	}
+	baseBuf := make([]float64, t.Edges())
+	addBase := func(e torus.Edge, weight float64) { baseBuf[e] += weight }
+	bases := make([][]nnzEntry, len(reps))
+	for oi, rep := range reps {
+		for i := range baseBuf {
+			baseBuf[i] = 0
+		}
+		for _, dst := range procs {
+			if dst == rep {
+				continue
+			}
+			if hasInto {
+				ia.AccumulatePairInto(t, rep, dst, baseBuf, sc)
+			} else {
+				alg.AccumulatePair(t, rep, dst, addBase)
+			}
+		}
+		nnz := make([]nnzEntry, 0, len(procs)*t.D()*t.K()/2)
+		td2 := 2 * t.D()
+		for e, w := range baseBuf {
+			if w != 0 {
+				nnz = append(nnz, nnzEntry{u: int32(e / td2), slot: int32(e % td2), w: w})
+			}
+		}
+		bases[oi] = nnz
+	}
+
+	// Replication: every job translates its orbit's nonzeros through a
+	// per-worker node-translation table. Same striped partition + worker-
+	// order merge as the generic engine, so determinism semantics match.
+	if workers > len(jobs) {
+		workers = maxInt(1, len(jobs))
+	}
+	td2 := 2 * t.D()
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, t.Edges())
+			table := make([]torus.Node, t.Nodes())
+			for ji := w; ji < len(jobs); ji += workers {
+				job := jobs[ji]
+				t.TranslationTableInto(job.offset, table)
+				for _, ent := range bases[job.orbit] {
+					local[int(table[ent.u])*td2+int(ent.slot)] += ent.w
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	loads := make([]float64, t.Edges())
+	for _, local := range partials {
+		for e, v := range local {
+			loads[e] += v
+		}
+	}
+	res := newResult(t, p, alg.Name(), loads)
+	res.Engine = EngineSymmetry
+	return res, true
+}
+
+// crossCheckTolerance bounds the relative divergence the two engines may
+// accumulate from their different floating-point summation orders.
+const crossCheckTolerance = 1e-9
+
+// crossCheck panics if the fast-path result diverges from the generic
+// reference beyond summation-order tolerance. A failure means a soundness
+// bug (a placement or algorithm wrongly admitted to the fast path), which
+// must never be papered over.
+func crossCheck(fast, generic *Result) {
+	for e := range fast.Loads {
+		a, b := fast.Loads[e], generic.Loads[e]
+		scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		if math.Abs(a-b) > crossCheckTolerance*scale {
+			panic(fmt.Sprintf(
+				"load: symmetry fast path diverges from generic engine on %s with %s: edge %d has %g vs %g",
+				fast.Placement, fast.Algorithm, e, a, b))
+		}
+	}
+}
+
+// MaxEngineDivergence computes the maximum absolute per-edge difference
+// between two results on the same torus — the cross-check statistic the E31
+// experiment reports. It panics if the edge sets differ in size.
+func MaxEngineDivergence(a, b *Result) float64 {
+	if len(a.Loads) != len(b.Loads) {
+		panic(fmt.Sprintf("load: comparing results with %d and %d edges", len(a.Loads), len(b.Loads)))
+	}
+	worst := 0.0
+	for e := range a.Loads {
+		if d := math.Abs(a.Loads[e] - b.Loads[e]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

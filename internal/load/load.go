@@ -26,6 +26,10 @@ type Result struct {
 	Torus     *torus.Torus
 	Placement *placement.Placement
 	Algorithm string
+	// Engine records which engine produced the loads: EngineGeneric for the
+	// pair loop, EngineSymmetry for the translation fast path. Empty for
+	// results wrapped via NewResultFromLoads.
+	Engine string
 	// Loads[e] is the expected number of messages crossing directed edge e.
 	Loads []float64
 	// Max is the maximum load E_max and MaxEdge attains it.
@@ -37,24 +41,94 @@ type Result struct {
 	Total float64
 }
 
+// Engine names recorded in Result.Engine.
+const (
+	EngineGeneric  = "generic"
+	EngineSymmetry = "symmetry"
+)
+
+// FastPathMode selects how Compute uses the translation-symmetry engine.
+type FastPathMode int
+
+const (
+	// FastPathAuto (the zero value) uses the symmetry engine whenever it is
+	// sound (translation-equivariant algorithm) and profitable (non-trivial
+	// placement stabilizer), falling back to the generic pair loop otherwise.
+	FastPathAuto FastPathMode = iota
+	// FastPathOff always uses the generic pair loop.
+	FastPathOff
+	// FastPathForce uses the symmetry engine whenever it is sound, even for
+	// a trivial (identity-only) stabilizer where it has no speed advantage.
+	// Unsound combinations still fall back to the generic engine: soundness
+	// is never negotiable.
+	FastPathForce
+)
+
+// String names the mode for diagnostics.
+func (m FastPathMode) String() string {
+	switch m {
+	case FastPathAuto:
+		return "auto"
+	case FastPathOff:
+		return "off"
+	case FastPathForce:
+		return "force"
+	default:
+		return fmt.Sprintf("FastPathMode(%d)", int(m))
+	}
+}
+
 // Options configures the engine.
 type Options struct {
 	// Workers is the number of goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// FastPath selects the translation-symmetry fast path; the zero value
+	// auto-detects. Both engines compute the same expectations, so results
+	// agree up to floating-point summation order (~1e-12 relative).
+	FastPath FastPathMode
+	// CrossCheck recomputes every fast-path result with the generic engine
+	// and panics on divergence beyond floating-point tolerance. Debugging
+	// and experiment aid; no-op when the generic engine was used anyway.
+	CrossCheck bool
+}
+
+// effectiveWorkers resolves a requested worker count against the number of
+// parallel items: <= 0 means GOMAXPROCS, and the count is capped at items
+// (floor 1) before any partial buffers are sized, so the number of partial
+// accumulators — and with it the floating-point merge order — is a pure
+// function of (requested, items).
+func effectiveWorkers(requested, items int) int {
+	workers := requested
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = maxInt(1, items)
+	}
+	return workers
 }
 
 // Compute evaluates the exact expected load of every directed edge.
 func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Result {
-	t := p.Torus()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers := effectiveWorkers(opts.Workers, p.Size())
+	if opts.FastPath != FastPathOff {
+		if res, ok := computeSymmetry(p, alg, workers, opts.FastPath == FastPathForce); ok {
+			if opts.CrossCheck {
+				crossCheck(res, computeGeneric(p, alg, workers))
+			}
+			return res
+		}
 	}
-	procs := p.Nodes()
-	if workers > len(procs) {
-		workers = maxInt(1, len(procs))
-	}
+	return computeGeneric(p, alg, workers)
+}
 
+// computeGeneric is the O(|P|²) ordered-pair loop. Workers must already be
+// the effective count from effectiveWorkers.
+func computeGeneric(p *placement.Placement, alg routing.Algorithm, workers int) *Result {
+	t := p.Torus()
+	procs := p.Nodes()
+
+	ia, hasInto := alg.(routing.InplaceAccumulator)
 	partials := make([][]float64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -62,16 +136,31 @@ func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Resul
 		go func(w int) {
 			defer wg.Done()
 			local := make([]float64, t.Edges())
-			add := func(e torus.Edge, weight float64) { local[e] += weight }
 			// Static block partition over source processors keeps the
 			// floating-point summation order stable per worker count.
-			for i := w; i < len(procs); i += workers {
-				src := procs[i]
-				for _, dst := range procs {
-					if dst == src {
-						continue
+			if hasInto {
+				// Allocation-free steady state: scratch reused across pairs,
+				// mass deposited straight into the worker's local slice.
+				sc := routing.NewPairScratch(t)
+				for i := w; i < len(procs); i += workers {
+					src := procs[i]
+					for _, dst := range procs {
+						if dst == src {
+							continue
+						}
+						ia.AccumulatePairInto(t, src, dst, local, sc)
 					}
-					alg.AccumulatePair(t, src, dst, add)
+				}
+			} else {
+				add := func(e torus.Edge, weight float64) { local[e] += weight }
+				for i := w; i < len(procs); i += workers {
+					src := procs[i]
+					for _, dst := range procs {
+						if dst == src {
+							continue
+						}
+						alg.AccumulatePair(t, src, dst, add)
+					}
 				}
 			}
 			partials[w] = local
@@ -85,7 +174,9 @@ func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Resul
 			loads[e] += v
 		}
 	}
-	return newResult(t, p, alg.Name(), loads)
+	res := newResult(t, p, alg.Name(), loads)
+	res.Engine = EngineGeneric
+	return res
 }
 
 // NewResultFromLoads wraps an externally computed per-edge load vector in

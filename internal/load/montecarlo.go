@@ -2,7 +2,6 @@ package load
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"torusnet/internal/placement"
@@ -19,13 +18,7 @@ import (
 // would care about.
 func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed int64, opts Options) *MonteCarloResult {
 	t := p.Torus()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > rounds {
-		workers = maxInt(1, rounds)
-	}
+	workers := effectiveWorkers(opts.Workers, rounds)
 	procs := p.Nodes()
 
 	type partial struct {

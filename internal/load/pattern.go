@@ -3,7 +3,6 @@ package load
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"torusnet/internal/placement"
@@ -158,13 +157,7 @@ func (r RandomPairs) Demands(p *placement.Placement) []Demand {
 func ComputePattern(p *placement.Placement, pat Pattern, alg routing.Algorithm, opts Options) *Result {
 	t := p.Torus()
 	demands := pat.Demands(p)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(demands) {
-		workers = maxInt(1, len(demands))
-	}
+	workers := effectiveWorkers(opts.Workers, len(demands))
 
 	partials := make([][]float64, workers)
 	var wg sync.WaitGroup

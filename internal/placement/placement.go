@@ -9,6 +9,7 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"torusnet/internal/torus"
 )
@@ -19,6 +20,9 @@ type Placement struct {
 	nodes []torus.Node // sorted, unique
 	has   []bool       // indexed by node
 	name  string
+
+	stabOnce sync.Once // guards the lazily computed translation stabilizer
+	stab     [][]int
 }
 
 // New builds a placement from an arbitrary node set. Duplicate nodes are

@@ -1,0 +1,126 @@
+package placement
+
+import (
+	"testing"
+
+	"torusnet/internal/torus"
+)
+
+func buildOrDie(t *testing.T, s Spec, tr *torus.Torus) *Placement {
+	t.Helper()
+	p, err := s.Build(tr)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", s.Name(), tr, err)
+	}
+	return p
+}
+
+// TestTranslationStabilizerLinear checks the paper's count: a linear
+// placement with a unit coefficient is stabilized by exactly the k^{d−1}
+// translations with zero weighted coordinate sum.
+func TestTranslationStabilizerLinear(t *testing.T) {
+	for _, tc := range []struct{ k, d int }{{4, 2}, {5, 2}, {4, 3}, {3, 3}, {6, 2}} {
+		tr := torus.New(tc.k, tc.d)
+		p := buildOrDie(t, Linear{C: 0}, tr)
+		stab := p.TranslationStabilizer()
+		want := 1
+		for i := 0; i < tc.d-1; i++ {
+			want *= tc.k
+		}
+		if len(stab) != want {
+			t.Fatalf("T^%d_%d linear: %d stabilizers, want k^(d-1)=%d", tc.d, tc.k, len(stab), want)
+		}
+		for j := range stab[0] {
+			if stab[0][j] != 0 {
+				t.Fatalf("first stabilizer %v is not the identity", stab[0])
+			}
+		}
+		for _, off := range stab {
+			sum := 0
+			for _, c := range off {
+				sum += c
+			}
+			if torus.Mod(sum, tc.k) != 0 {
+				t.Fatalf("stabilizer %v has coordinate sum %d ≢ 0 (mod %d)", off, sum, tc.k)
+			}
+			if !p.StabilizedBy(off) {
+				t.Fatalf("reported stabilizer %v does not stabilize", off)
+			}
+		}
+	}
+}
+
+// TestTranslationStabilizerMultiLinear checks that a union of t parallel
+// linear layers keeps the full k^{d−1} subgroup (each hyperplane maps onto a
+// hyperplane of the same residue class).
+func TestTranslationStabilizerMultiLinear(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := buildOrDie(t, MultipleLinear{T: 2}, tr)
+	stab := p.TranslationStabilizer()
+	// Offsets with Σ t_i ≡ 0 always stabilize; offsets with Σ t_i ≡ 3
+	// permute the two residue classes {0, 3} among themselves too.
+	if len(stab) < 6 {
+		t.Fatalf("multi-linear T=2 on T^2_6: %d stabilizers, want >= k^(d-1)=6", len(stab))
+	}
+	for _, off := range stab {
+		if !p.StabilizedBy(off) {
+			t.Fatalf("reported stabilizer %v does not stabilize", off)
+		}
+	}
+}
+
+// TestTranslationStabilizerFull checks the whole translation group
+// stabilizes the fully populated torus.
+func TestTranslationStabilizerFull(t *testing.T) {
+	tr := torus.New(3, 3)
+	p := buildOrDie(t, Full{}, tr)
+	if got, want := len(p.TranslationStabilizer()), tr.Nodes(); got != want {
+		t.Fatalf("full torus: %d stabilizers, want %d", got, want)
+	}
+}
+
+// TestTranslationStabilizerTrivial checks unstructured placements fall back
+// to the identity-only stabilizer (so the load engine must use the generic
+// path).
+func TestTranslationStabilizerTrivial(t *testing.T) {
+	tr := torus.New(5, 2)
+	random := buildOrDie(t, Random{Count: 7, Seed: 3}, tr)
+	stab := random.TranslationStabilizer()
+	if len(stab) != 1 {
+		t.Fatalf("random placement: %d stabilizers, want identity only", len(stab))
+	}
+	asym := New(tr, []torus.Node{0, 1, 2, 5}, "asym")
+	if got := len(asym.TranslationStabilizer()); got != 1 {
+		t.Fatalf("asymmetric explicit placement: %d stabilizers, want 1", got)
+	}
+}
+
+// TestTranslationStabilizerClosure checks the returned set is a group:
+// closed under composition (offset addition mod k).
+func TestTranslationStabilizerClosure(t *testing.T) {
+	tr := torus.New(4, 3)
+	p := buildOrDie(t, Linear{C: 1}, tr)
+	stab := p.TranslationStabilizer()
+	key := func(off []int) int {
+		idx := 0
+		for _, c := range off {
+			idx = idx*tr.K() + torus.Mod(c, tr.K())
+		}
+		return idx
+	}
+	members := make(map[int]bool, len(stab))
+	for _, off := range stab {
+		members[key(off)] = true
+	}
+	sum := make([]int, tr.D())
+	for _, a := range stab {
+		for _, b := range stab {
+			for j := range sum {
+				sum[j] = torus.Mod(a[j]+b[j], tr.K())
+			}
+			if !members[key(sum)] {
+				t.Fatalf("stabilizer not closed: %v + %v = %v missing", a, b, sum)
+			}
+		}
+	}
+}

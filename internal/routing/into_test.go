@@ -1,0 +1,93 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"torusnet/internal/torus"
+)
+
+// TestAccumulatePairIntoMatchesClosure checks, for every InplaceAccumulator
+// and a mix of even/odd k (ties and no ties), that the Into kernel deposits
+// exactly the same per-edge mass as the closure-based AccumulatePair.
+func TestAccumulatePairIntoMatchesClosure(t *testing.T) {
+	algs := []InplaceAccumulator{ODR{}, ODRMulti{}, UDR{}, UDRMulti{}}
+	for _, tc := range []struct{ k, d int }{{4, 2}, {5, 2}, {4, 3}, {3, 3}, {6, 2}} {
+		tr := torus.New(tc.k, tc.d)
+		sc := NewPairScratch(tr)
+		for _, alg := range algs {
+			want := make([]float64, tr.Edges())
+			got := make([]float64, tr.Edges())
+			for p := 0; p < tr.Nodes(); p++ {
+				for q := 0; q < tr.Nodes(); q++ {
+					for i := range want {
+						want[i], got[i] = 0, 0
+					}
+					alg.AccumulatePair(tr, torus.Node(p), torus.Node(q),
+						func(e torus.Edge, w float64) { want[e] += w })
+					alg.AccumulatePairInto(tr, torus.Node(p), torus.Node(q), got, sc)
+					for e := range want {
+						if math.Abs(want[e]-got[e]) > 1e-12 {
+							t.Fatalf("%s on T^%d_%d pair (%d,%d) edge %d: closure %g, into %g",
+								alg.Name(), tc.d, tc.k, p, q, e, want[e], got[e])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulatePairIntoAllocFree checks the kernels are allocation-free in
+// steady state — the property the load engine's hot loop relies on.
+func TestAccumulatePairIntoAllocFree(t *testing.T) {
+	tr := torus.New(6, 3)
+	sc := NewPairScratch(tr)
+	loads := make([]float64, tr.Edges())
+	p, q := torus.Node(0), torus.Node(tr.Nodes()-1)
+	for _, alg := range []InplaceAccumulator{ODR{}, ODRMulti{}, UDR{}, UDRMulti{}} {
+		allocs := testing.AllocsPerRun(20, func() {
+			alg.AccumulatePairInto(tr, p, q, loads, sc)
+		})
+		if allocs != 0 {
+			t.Errorf("%s.AccumulatePairInto allocates %v times per pair, want 0", alg.Name(), allocs)
+		}
+	}
+}
+
+// TestTranslationEquivariance verifies the marker claims empirically: for
+// every algorithm declaring equivariance, translating both endpoints
+// translates the per-edge load pattern via the EdgeTranslation table.
+// MeshODR must not declare equivariance (its array metric is absolute).
+func TestTranslationEquivariance(t *testing.T) {
+	if IsTranslationEquivariant(MeshODR{}) {
+		t.Fatal("MeshODR must not be translation-equivariant")
+	}
+	algs := []Algorithm{ODR{}, ODRMulti{}, UDR{}, UDRMulti{}, FAR{}, ODROrder{Order: []int{1, 0}}}
+	tr := torus.New(4, 2)
+	offsets := [][]int{{1, 0}, {2, 3}, {3, 1}}
+	for _, alg := range algs {
+		if !IsTranslationEquivariant(alg) {
+			t.Fatalf("%s should declare translation equivariance", alg.Name())
+		}
+		for _, off := range offsets {
+			et := tr.NewEdgeTranslation(off)
+			for p := 0; p < tr.Nodes(); p++ {
+				for q := 0; q < tr.Nodes(); q++ {
+					base := make([]float64, tr.Edges())
+					alg.AccumulatePair(tr, torus.Node(p), torus.Node(q),
+						func(e torus.Edge, w float64) { base[e] += w })
+					shifted := make([]float64, tr.Edges())
+					alg.AccumulatePair(tr, et.Node(torus.Node(p)), et.Node(torus.Node(q)),
+						func(e torus.Edge, w float64) { shifted[e] += w })
+					for e := range base {
+						if math.Abs(base[e]-shifted[et.Edge(torus.Edge(e))]) > 1e-12 {
+							t.Fatalf("%s offset %v pair (%d,%d): edge %d load %g, translated %g",
+								alg.Name(), off, p, q, e, base[e], shifted[et.Edge(torus.Edge(e))])
+						}
+					}
+				}
+			}
+		}
+	}
+}

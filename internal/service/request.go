@@ -1,7 +1,7 @@
 // Package service implements torusd, the long-running HTTP analysis
 // service over the reproduction's capabilities: exact E_max loads
 // (core.Analyze), the paper's lower bounds, the Theorem 1 / appendix
-// bisection constructions, and the E1–E30 experiment registry.
+// bisection constructions, and the E1–E31 experiment registry.
 //
 // The serving pipeline is, per request:
 //

@@ -9,6 +9,7 @@ import (
 	"torusnet/internal/bounds"
 	"torusnet/internal/cliutil"
 	"torusnet/internal/core"
+	"torusnet/internal/load"
 	"torusnet/internal/placement"
 	"torusnet/internal/sweep"
 	"torusnet/internal/torus"
@@ -55,7 +56,12 @@ type AnalyzeResponse struct {
 	OptimalityRatio  float64    `json:"optimality_ratio"`
 	SweepCut         CutSummary `json:"sweep_cut"`
 	DimensionCut     CutSummary `json:"dimension_cut"`
-	Cached           bool       `json:"cached"`
+	// Engine reports which load engine produced E_max ("symmetry" for the
+	// translation fast path, "generic" for the pair loop). Engine choice
+	// never changes results beyond float summation order, so it is not
+	// part of the cache key.
+	Engine string `json:"engine"`
+	Cached bool   `json:"cached"`
 }
 
 // BoundsResponse reports every lower bound of the paper for a placement.
@@ -142,7 +148,7 @@ func buildPlacement(spec string, k, d int) (*placement.Placement, error) {
 }
 
 // computeAnalyze runs the full core pipeline for a canonical request.
-func computeAnalyze(req AnalyzeRequest, workers int) (AnalyzeResponse, error) {
+func computeAnalyze(req AnalyzeRequest, opts load.Options) (AnalyzeResponse, error) {
 	p, err := buildPlacement(req.Placement, req.K, req.D)
 	if err != nil {
 		return AnalyzeResponse{}, err
@@ -151,7 +157,7 @@ func computeAnalyze(req AnalyzeRequest, workers int) (AnalyzeResponse, error) {
 	if err != nil {
 		return AnalyzeResponse{}, err
 	}
-	rep := core.Analyze(p, alg, workers)
+	rep := core.AnalyzeWithLoadOptions(p, alg, opts)
 	return AnalyzeResponse{
 		K:                req.K,
 		D:                req.D,
@@ -172,6 +178,7 @@ func computeAnalyze(req AnalyzeRequest, workers int) (AnalyzeResponse, error) {
 		OptimalityRatio:  jsonSafe(rep.OptimalityRatio),
 		SweepCut:         cutSummary(rep.SweepCut),
 		DimensionCut:     cutSummary(rep.DimensionCut),
+		Engine:           rep.Load.Engine,
 	}, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"torusnet/internal/load"
 	"torusnet/internal/sweep"
 )
 
@@ -43,9 +44,23 @@ type Config struct {
 	MaxNodes int
 	// MaxBodyBytes caps request bodies; 0 means 1 MiB.
 	MaxBodyBytes int64
+	// DisableFastPath forces the generic pair-loop load engine, disabling
+	// the translation-symmetry fast path. Engine choice never changes
+	// results beyond float summation order, so it is not part of cache
+	// keys; the toggle exists for debugging and A/B measurement.
+	DisableFastPath bool
 	// AccessLog receives one structured JSON line per request; nil
 	// disables access logging.
 	AccessLog io.Writer
+}
+
+// loadOptions returns the load-engine options the server pins per analysis.
+func (c Config) loadOptions() load.Options {
+	opts := load.Options{Workers: c.AnalysisWorkers}
+	if c.DisableFastPath {
+		opts.FastPath = load.FastPathOff
+	}
+	return opts
 }
 
 func (c Config) withDefaults() Config {
@@ -301,7 +316,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
-		resp, err := computeAnalyze(req, s.cfg.AnalysisWorkers)
+		resp, err := computeAnalyze(req, s.cfg.loadOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -143,6 +143,61 @@ func FuzzWrapCoord(f *testing.F) {
 	})
 }
 
+// FuzzTranslateEdge checks that the precomputed EdgeTranslation table is a
+// bijection on edges consistent with Torus.Translate/TranslateEdge, and that
+// composing with the inverse offset is the identity.
+func FuzzTranslateEdge(f *testing.F) {
+	f.Add(4, 2, 1, 0, 3)
+	f.Add(5, 3, -2, 7, 11)
+	f.Add(6, 2, 100, -5, 0)
+	f.Add(2, 3, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, o0, o1, eRaw int) {
+		k := abs(kRaw)%5 + 2
+		d := abs(dRaw)%2 + 2
+		tr := New(k, d)
+		offset := make([]int, d)
+		inverse := make([]int, d)
+		for j := range offset {
+			if j%2 == 0 {
+				offset[j] = o0 + j
+			} else {
+				offset[j] = o1 - j
+			}
+			inverse[j] = -offset[j]
+		}
+		et := tr.NewEdgeTranslation(offset)
+		inv := tr.NewEdgeTranslation(inverse)
+
+		e := Edge(abs(eRaw) % tr.Edges())
+		if got, want := et.Edge(e), tr.TranslateEdge(e, offset); got != want {
+			t.Fatalf("table edge image %d, TranslateEdge %d", got, want)
+		}
+		u := tr.EdgeSource(e)
+		if got, want := et.Node(u), tr.Translate(u, offset); got != want {
+			t.Fatalf("table node image %d, Translate %d", got, want)
+		}
+		if tr.EdgeDim(et.Edge(e)) != tr.EdgeDim(e) || tr.EdgeDir(et.Edge(e)) != tr.EdgeDir(e) {
+			t.Fatal("translation changed edge dimension or direction")
+		}
+		if inv.Edge(et.Edge(e)) != e {
+			t.Fatalf("inverse translation does not undo edge %d", e)
+		}
+
+		// Bijection over the whole (small) edge set.
+		seen := make([]bool, tr.Edges())
+		for idx := 0; idx < tr.Edges(); idx++ {
+			img := et.Edge(Edge(idx))
+			if img < 0 || int(img) >= tr.Edges() {
+				t.Fatalf("edge image %d out of range", img)
+			}
+			if seen[img] {
+				t.Fatalf("edge image %d hit twice: not a bijection", img)
+			}
+			seen[img] = true
+		}
+	})
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

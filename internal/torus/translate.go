@@ -1,0 +1,112 @@
+package torus
+
+import "fmt"
+
+// EdgeTranslation is the edge permutation induced by one torus translation.
+// Translations are automorphisms that preserve every edge's dimension and
+// direction, so the image of edge (u, j, dir) is (u+offset, j, dir); the
+// table precomputes the node images once (O(n·d) amortized to O(n)) and
+// answers each edge or node lookup in O(1) with pure index arithmetic.
+//
+// It exists for the load engine's symmetry fast path: when a placement is
+// closed under a translation subgroup, the per-edge load pattern of every
+// source is the translate of one canonical source's pattern, and replication
+// is a table-indexed scatter instead of a routing walk.
+type EdgeTranslation struct {
+	t      *Torus
+	offset []int
+	nodes  []Node // nodes[u] = Translate(u, offset)
+}
+
+// NewEdgeTranslation precomputes the translation table for the offset
+// vector, which must have length D. Coordinates may be any integers; they
+// are reduced modulo k.
+func (t *Torus) NewEdgeTranslation(offset []int) *EdgeTranslation {
+	et := &EdgeTranslation{
+		t:      t,
+		offset: append([]int(nil), offset...),
+		nodes:  make([]Node, t.nodes),
+	}
+	t.TranslationTableInto(offset, et.nodes)
+	return et
+}
+
+// maxDims bounds d for any constructible torus: k >= 2 forces k^d <=
+// MaxNodes = 2^28, hence d <= 28. Odometer buffers below rely on it.
+const maxDims = 28
+
+// TranslationTableInto fills dst, which must have length Nodes, with the
+// node-translation table dst[u] = Translate(u, offset). It is the reusable
+// buffer form used by per-worker scratch in hot loops; NewEdgeTranslation
+// wraps it. Dimension 0 is fastest-varying (stride 1), so each aligned
+// k-block of dst is two runs of consecutive node indices — the fill writes
+// those runs branch-free and walks the higher dimensions with an odometer,
+// for O(n) total with ~2 operations per entry.
+func (t *Torus) TranslationTableInto(offset []int, dst []Node) {
+	if len(offset) != t.d {
+		panic(fmt.Sprintf("torus: offset vector has length %d, want %d", len(offset), t.d))
+	}
+	if len(dst) != t.nodes {
+		panic(fmt.Sprintf("torus: translation table has length %d, want %d", len(dst), t.nodes))
+	}
+	k := t.k
+	off0 := t.WrapCoord(offset[0])
+	var coords, imgc [maxDims]int
+	imgBase := 0 // image index of the current block's (0, c_1, ..) node
+	for j := 1; j < t.d; j++ {
+		imgc[j] = t.WrapCoord(offset[j])
+		imgBase += imgc[j] * t.strides[j]
+	}
+	for base := 0; base < t.nodes; base += k {
+		// Images along dimension 0 are imgBase + ((c0 + off0) mod k): one
+		// ascending run from off0, then the wrapped run from 0.
+		i := base
+		for c := off0; c < k; c++ {
+			dst[i] = Node(imgBase + c)
+			i++
+		}
+		for c := 0; c < off0; c++ {
+			dst[i] = Node(imgBase + c)
+			i++
+		}
+		// Advance the higher dimensions to the next block: each carried
+		// dimension and the final one step +1 (mod k), image following.
+		for j := 1; j < t.d; j++ {
+			if imgc[j]+1 == k {
+				imgc[j] = 0
+				imgBase -= (k - 1) * t.strides[j]
+			} else {
+				imgc[j]++
+				imgBase += t.strides[j]
+			}
+			if coords[j]+1 == k {
+				coords[j] = 0
+				continue // carry into the next dimension
+			}
+			coords[j]++
+			break
+		}
+	}
+}
+
+// Torus returns the torus the table was built for.
+func (et *EdgeTranslation) Torus() *Torus { return et.t }
+
+// Offset returns a copy of the (wrapped) translation offset.
+func (et *EdgeTranslation) Offset() []int {
+	out := make([]int, len(et.offset))
+	for j, c := range et.offset {
+		out[j] = et.t.WrapCoord(c)
+	}
+	return out
+}
+
+// Node returns the image of node u under the translation.
+func (et *EdgeTranslation) Node(u Node) Node { return et.nodes[u] }
+
+// Edge returns the image of edge e under the translation: the source node
+// is translated, the dimension and direction are unchanged.
+func (et *EdgeTranslation) Edge(e Edge) Edge {
+	td2 := 2 * et.t.d
+	return Edge(int(et.nodes[int(e)/td2])*td2 + int(e)%td2)
+}

@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # ci_torusd_smoke.sh — black-box smoke test of the torusd binary.
 #
-# Builds cmd/torusd, boots it on a local port, polls /healthz until ready,
-# issues one POST /v1/analyze, and asserts a 200 with well-formed JSON
-# before shutting the server down. Run from the repository root; CI runs
-# it via `make smoke-torusd`.
+# Builds cmd/torusd, boots it on a local port with the pprof sidecar
+# enabled, polls /healthz until ready, issues one POST /v1/analyze, and
+# asserts a 200 with well-formed JSON plus a live /debug/pprof/ index on
+# the sidecar before shutting the server down. Run from the repository
+# root; CI runs it via `make smoke-torusd`.
 set -euo pipefail
 
 PORT="${TORUSD_PORT:-18080}"
+DEBUG_PORT="${TORUSD_DEBUG_PORT:-18081}"
 BASE="http://127.0.0.1:${PORT}"
+DEBUG_BASE="http://127.0.0.1:${DEBUG_PORT}"
 BIN="$(mktemp -d)/torusd"
 trap 'rm -rf "$(dirname "$BIN")"' EXIT
 
 echo "smoke: building cmd/torusd"
 go build -o "$BIN" ./cmd/torusd
 
-"$BIN" -addr "127.0.0.1:${PORT}" &
+"$BIN" -addr "127.0.0.1:${PORT}" -debug-addr "127.0.0.1:${DEBUG_PORT}" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
 
@@ -44,12 +47,22 @@ if [ "$status" != "200" ]; then
 fi
 
 echo "smoke: validating response JSON"
-jq -e '.e_max > 0 and .processors == 8 and .k == 8 and .d == 2' \
+jq -e '.e_max > 0 and .processors == 8 and .k == 8 and .d == 2 and (.engine | length) > 0' \
     /tmp/torusd_smoke_analyze.json >/dev/null || {
     echo "smoke: FAIL — malformed analyze response:" >&2
     cat /tmp/torusd_smoke_analyze.json >&2
     exit 1
 }
+
+echo "smoke: checking pprof sidecar on ${DEBUG_BASE}"
+curl -fsS "${DEBUG_BASE}/debug/pprof/" | grep -q 'goroutine' || {
+    echo "smoke: FAIL — pprof index not served on -debug-addr" >&2
+    exit 1
+}
+if curl -fsS "${BASE}/debug/pprof/" >/dev/null 2>&1; then
+    echo "smoke: FAIL — pprof must not be exposed on the public API address" >&2
+    exit 1
+fi
 
 echo "smoke: checking /debug/vars counters"
 curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1' >/dev/null || {

@@ -115,13 +115,48 @@ type (
 type (
 	// LoadResult holds per-edge expected loads and E_max (Definitions 4/5).
 	LoadResult = load.Result
-	// LoadOptions configures the engine (worker count).
+	// LoadOptions configures the engine (worker count, fast-path mode,
+	// cross-checking).
 	LoadOptions = load.Options
+	// FastPathMode selects how the translation-symmetry fast path
+	// dispatches (LoadOptions.FastPath).
+	FastPathMode = load.FastPathMode
 	// ExactLoadResult holds loads as exact rationals.
 	ExactLoadResult = load.ExactResult
 	// MonteCarloResult holds empirical load estimates.
 	MonteCarloResult = load.MonteCarloResult
 )
+
+// Fast-path dispatch modes and the engine labels LoadResult.Engine reports.
+const (
+	// FastPathAuto uses the symmetry engine whenever the placement has a
+	// non-trivial translation stabilizer and the algorithm is
+	// translation-equivariant (the default).
+	FastPathAuto = load.FastPathAuto
+	// FastPathOff always runs the generic pair loop.
+	FastPathOff = load.FastPathOff
+	// FastPathForce runs the symmetry engine whenever it is sound, even
+	// for a trivial stabilizer.
+	FastPathForce = load.FastPathForce
+
+	// EngineGeneric marks results from the O(|P|²) pair loop.
+	EngineGeneric = load.EngineGeneric
+	// EngineSymmetry marks results from the translation fast path.
+	EngineSymmetry = load.EngineSymmetry
+)
+
+// MaxEngineDivergence reports the largest absolute per-edge difference
+// between two load results, for cross-checking engines against each other.
+func MaxEngineDivergence(a, b *LoadResult) float64 {
+	return load.MaxEngineDivergence(a, b)
+}
+
+// IsTranslationEquivariant reports whether a routing algorithm declares
+// that its paths depend only on coordinate deltas, the soundness premise
+// of the symmetry fast path.
+func IsTranslationEquivariant(a RoutingAlgorithm) bool {
+	return routing.IsTranslationEquivariant(a)
+}
 
 // ComputeLoad evaluates the exact expected load of every directed edge
 // under one complete exchange.
