@@ -9,7 +9,7 @@ FUZZ_TARGETS := \
 	./internal/torus:FuzzTranslateEdge \
 	./internal/service:FuzzDecodeAnalyzeRequest
 
-.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd ci
+.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos ci
 
 all: build
 
@@ -65,4 +65,14 @@ bench-service:
 smoke-torusd:
 	./scripts/ci_torusd_smoke.sh
 
-ci: build vet test race lint
+# chaos runs the fault-injection suite under the race detector: every
+# registered failpoint fires against a live server, pool workers are
+# crashed and wedged, degraded answers are replayed against the exact
+# engine, and each test asserts a goroutine-leak-free recovery.
+chaos:
+	$(GO) test -race -count=1 ./internal/failpoint
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestDegraded|TestRetry|TestBreaker|TestHedged|TestClientDrains|TestNonRetryable' \
+		./internal/service
+
+ci: build vet test race lint chaos

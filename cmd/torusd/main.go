@@ -9,9 +9,18 @@
 //
 //	torusd -addr :8080
 //	torusd -addr 127.0.0.1:8080 -workers 8 -queue 32 -cache 1024 -ttl 10m
-//	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # net/http/pprof sidecar
+//	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # net/http/pprof + failpoint sidecar
 //	torusd -addr :8080 -no-fastpath                 # force the generic load engine
 //	torusd -selfbench results/BENCH_service.json    # micro-benchmark, then exit
+//	torusd -failpoints 'service.cache.get=error'    # boot with chaos faults armed
+//
+// Under sustained pool pressure (past -degrade-at utilization) /v1/analyze
+// answers with a Monte Carlo estimate tagged "degraded": true instead of
+// queueing; a watchdog replaces pool workers wedged past -wedge-timeout.
+// Fault-injection sites (see internal/failpoint) are armed via the
+// -failpoints flag, the TORUSNET_FAILPOINTS environment variable, or at
+// runtime through /debug/failpoints on the debug sidecar — never on the
+// public API address.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stop intake and drain in-flight
 // analyses before the process exits.
@@ -31,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"torusnet/internal/failpoint"
 	"torusnet/internal/service"
 )
 
@@ -45,22 +55,44 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
 		maxNodes   = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
 		noFastPath = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/failpoints on this separate address (empty = disabled)")
 		selfbench  = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
 		selfbenchN = flag.Int("selfbench-n", 200, "requests per selfbench series")
+		degradeAt  = flag.Float64("degrade-at", 0, "pool-utilization watermark past which /v1/analyze answers degraded Monte Carlo estimates (0 = 0.9, negative = never)")
+		degradedN  = flag.Int("degraded-rounds", 0, "Monte Carlo rounds behind degraded answers (0 = 16)")
+		wedge      = flag.Duration("wedge-timeout", 0, "watchdog deadline before a wedged pool worker is replaced (0 = 2×timeout, negative = no watchdog)")
+		failpoints = flag.String("failpoints", "", "semicolon-separated site=spec failpoints to arm at boot (see /debug/failpoints for sites)")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		AnalysisWorkers: *analysisW,
-		CacheSize:       *cacheSize,
-		CacheTTL:        *cacheTTL,
-		RequestTimeout:  *timeout,
-		MaxNodes:        *maxNodes,
-		DisableFastPath: *noFastPath,
-		AccessLog:       os.Stderr,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		AnalysisWorkers:  *analysisW,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		RequestTimeout:   *timeout,
+		MaxNodes:         *maxNodes,
+		DisableFastPath:  *noFastPath,
+		DegradeWatermark: *degradeAt,
+		DegradedRounds:   *degradedN,
+		WedgeTimeout:     *wedge,
+		AccessLog:        os.Stderr,
+	}
+
+	// Arm chaos faults before serving: env first, then the flag (the flag
+	// wins on conflicting sites).
+	if n, err := failpoint.EnableFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "torusd:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "torusd: %d failpoint(s) armed from %s\n", n, failpoint.EnvVar)
+	}
+	if n, err := failpoint.EnableAll(*failpoints); err != nil {
+		fmt.Fprintln(os.Stderr, "torusd:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "torusd: %d failpoint(s) armed from -failpoints\n", n)
 	}
 
 	var err error
@@ -102,8 +134,11 @@ func run(cfg service.Config, addr, debugAddr string) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fph := failpoint.Handler("/debug/failpoints")
+		mux.Handle("/debug/failpoints", fph)
+		mux.Handle("/debug/failpoints/", fph)
 		debugSrv = &http.Server{Handler: mux}
-		fmt.Fprintf(os.Stderr, "torusd: pprof on %s\n", dln.Addr())
+		fmt.Fprintf(os.Stderr, "torusd: pprof + failpoints on %s\n", dln.Addr())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "torusd: pprof server:", err)

@@ -257,3 +257,44 @@ func TestFacadeFullSurfaceTour(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeResilienceAndFailpoints tours the chaos surface: failpoint
+// arming through the facade, the resilient client construction, and the
+// degraded-response marker on the wire type.
+func TestFacadeResilienceAndFailpoints(t *testing.T) {
+	sites := FailpointSites()
+	if len(sites) == 0 {
+		t.Fatal("no failpoint sites registered")
+	}
+	site := sites[0]
+	if err := FailpointEnable(site, "2*error"); err != nil {
+		t.Fatalf("FailpointEnable: %v", err)
+	}
+	if err := FailpointDisable(site); err != nil {
+		t.Fatalf("FailpointDisable: %v", err)
+	}
+	if err := FailpointEnable(site, "not a spec"); err == nil {
+		t.Error("FailpointEnable accepted a malformed spec")
+	}
+	if err := FailpointEnable("no.such.site", "error"); err == nil {
+		t.Error("FailpointEnable accepted an unknown site")
+	}
+	FailpointDisableAll()
+
+	c := NewResilientServiceClient("http://127.0.0.1:0", ClientResilienceConfig{MaxAttempts: 2})
+	if c == nil {
+		t.Fatal("NewResilientServiceClient returned nil")
+	}
+	if ErrServiceCircuitOpen == nil {
+		t.Fatal("ErrServiceCircuitOpen is nil")
+	}
+	var resp AnalyzeResponse
+	resp.Degraded = true
+	resp.ErrorBound = 0.5
+	if !resp.Degraded || resp.ErrorBound != 0.5 {
+		t.Error("degraded response fields not exposed on the facade type")
+	}
+	if EngineMonteCarlo == EngineGeneric || EngineMonteCarlo == EngineSymmetry {
+		t.Error("EngineMonteCarlo must be a distinct engine label")
+	}
+}

@@ -1,0 +1,384 @@
+// Package failpoint is the repository's fault-injection registry: named
+// sites threaded through the serving stack (cache, singleflight, worker
+// pool, load engine, experiment runner) that normally cost one atomic
+// pointer load and do nothing, but can be armed at runtime to return
+// errors, panic, inject latency, or request partial results.
+//
+// A site is declared once, at package level, next to the code it guards:
+//
+//	var fpCacheGet = failpoint.New("service.cache.get")
+//
+// and evaluated inline:
+//
+//	if err := fpCacheGet.Inject(); err != nil { ... }
+//
+// Sites are armed with a small spec grammar:
+//
+//	error            fail with a generic injected error
+//	error(msg)       fail with the given message
+//	panic(msg)       panic with an injected *Error
+//	sleep(50ms)      sleep before proceeding (latency fault)
+//	partial          succeed, but ask the site for a degraded/partial result
+//	3*error(msg)     any kind, auto-disarming after 3 firings
+//
+// Activation paths: Enable/Disable (tests, the torusnet facade),
+// EnableFromEnv (the TORUSNET_FAILPOINTS variable, "site=spec;site=spec"),
+// and the HTTP handler in http.go (torusd's /debug/failpoints sidecar
+// endpoint). With no failpoint armed the injection sites are free of
+// locks, allocations, and branches beyond one nil check, so production
+// binaries keep them compiled in.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the fault class a spec arms.
+type Kind int
+
+const (
+	// KindError makes Inject return an *Error.
+	KindError Kind = iota
+	// KindPanic makes Inject panic with an *Error.
+	KindPanic
+	// KindSleep makes Inject sleep for the spec's duration, then succeed.
+	KindSleep
+	// KindPartial makes Inject return an *Error with Partial set: the site
+	// should degrade gracefully (skip a cache, truncate a table) instead of
+	// failing.
+	KindPartial
+)
+
+// String names the kind as it appears in specs.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindSleep:
+		return "sleep"
+	case KindPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the sentinel every injected fault wraps; errors.Is(err,
+// failpoint.ErrInjected) distinguishes chaos faults from organic failures.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// Error is one injected fault, carrying the site it fired at.
+type Error struct {
+	Site    string
+	Msg     string
+	Partial bool
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("failpoint %s: %s", e.Site, e.Msg)
+}
+
+// Is makes errors.Is(err, ErrInjected) true for every injected fault.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// IsPartial reports whether err is an injected partial-result fault.
+func IsPartial(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Partial
+}
+
+// armed is the immutable active state of a site; swapping the pointer
+// arms/disarms without locking the injection fast path.
+type armed struct {
+	kind  Kind
+	msg   string
+	delay time.Duration
+	spec  string
+	// remaining counts down firings when the spec had an N* prefix;
+	// nil means unlimited.
+	remaining *atomic.Int64
+}
+
+// F is one registered failpoint site. The zero value is not usable;
+// construct with New.
+type F struct {
+	name  string
+	state atomic.Pointer[armed]
+	hits  atomic.Int64
+}
+
+// registry holds every site declared via New. Sites register at package
+// init and are never removed, so the map is effectively read-only after
+// program start; the mutex guards the (rare) concurrent Enable/List walks.
+var registry = struct {
+	mu    sync.Mutex
+	sites map[string]*F
+}{sites: make(map[string]*F)}
+
+// New declares and registers a failpoint site. It panics on a duplicate
+// name: sites are package-level singletons, like expvar names.
+func New(name string) *F {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.sites[name]; dup {
+		panic("failpoint: duplicate site " + name)
+	}
+	f := &F{name: name}
+	registry.sites[name] = f
+	return f
+}
+
+// Name returns the site name.
+func (f *F) Name() string { return f.name }
+
+// Inject evaluates the site. Disabled (the overwhelmingly common case):
+// one atomic load, nil return. Armed: sleep for KindSleep (returning nil),
+// return an *Error for KindError/KindPartial, panic for KindPanic.
+func (f *F) Inject() error {
+	a := f.state.Load()
+	if a == nil {
+		return nil
+	}
+	return f.fire(a)
+}
+
+// InjectHard is Inject for sites with no error return path (engine
+// dispatch, worker merge): error-kind faults panic like panic-kind ones,
+// so they still surface — through the pool's panic isolation — instead of
+// being silently impossible.
+func (f *F) InjectHard() {
+	a := f.state.Load()
+	if a == nil {
+		return
+	}
+	if err := f.fire(a); err != nil {
+		panic(err)
+	}
+}
+
+// fire applies the armed fault, honoring the countdown.
+func (f *F) fire(a *armed) error {
+	if a.remaining != nil {
+		if n := a.remaining.Add(-1); n < 0 {
+			// Exhausted; disarm if nobody else has already.
+			f.state.CompareAndSwap(a, nil)
+			return nil
+		} else if n == 0 {
+			f.state.CompareAndSwap(a, nil)
+		}
+	}
+	f.hits.Add(1)
+	switch a.kind {
+	case KindSleep:
+		time.Sleep(a.delay)
+		return nil
+	case KindPanic:
+		panic(&Error{Site: f.name, Msg: a.msg})
+	case KindPartial:
+		return &Error{Site: f.name, Msg: a.msg, Partial: true}
+	default:
+		return &Error{Site: f.name, Msg: a.msg}
+	}
+}
+
+// Hits returns how many times the site has fired since process start
+// (disarmed evaluations do not count).
+func (f *F) Hits() int64 { return f.hits.Load() }
+
+// enable arms the site from a parsed spec.
+func (f *F) enable(spec string) error {
+	a, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("failpoint %s: %w", f.name, err)
+	}
+	f.state.Store(a)
+	return nil
+}
+
+// disable disarms the site.
+func (f *F) disable() { f.state.Store(nil) }
+
+// lookup finds a registered site by name.
+func lookup(name string) (*F, error) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	f, ok := registry.sites[name]
+	if !ok {
+		return nil, fmt.Errorf("failpoint: unknown site %q", name)
+	}
+	return f, nil
+}
+
+// Enable arms the named site with a spec (see the package comment for the
+// grammar). The spec "off" disables the site.
+func Enable(name, spec string) error {
+	f, err := lookup(name)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(spec) == "off" {
+		f.disable()
+		return nil
+	}
+	return f.enable(spec)
+}
+
+// Disable disarms the named site.
+func Disable(name string) error {
+	f, err := lookup(name)
+	if err != nil {
+		return err
+	}
+	f.disable()
+	return nil
+}
+
+// DisableAll disarms every registered site (chaos-test cleanup).
+func DisableAll() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, f := range registry.sites {
+		f.disable()
+	}
+}
+
+// Sites returns every registered site name, sorted.
+func Sites() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.sites))
+	for name := range registry.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SiteStatus is one row of Status: the site's current arming and lifetime
+// hit count.
+type SiteStatus struct {
+	Name    string `json:"name"`
+	Enabled bool   `json:"enabled"`
+	Spec    string `json:"spec,omitempty"`
+	Hits    int64  `json:"hits"`
+}
+
+// Status reports every registered site, sorted by name.
+func Status() []SiteStatus {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]SiteStatus, 0, len(registry.sites))
+	for name, f := range registry.sites {
+		st := SiteStatus{Name: name, Hits: f.hits.Load()}
+		if a := f.state.Load(); a != nil {
+			st.Enabled = true
+			st.Spec = a.spec
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Hits returns the fire count of a named site (0 for unknown sites, so
+// chaos assertions can range over Sites() without error plumbing).
+func Hits(name string) int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if f, ok := registry.sites[name]; ok {
+		return f.hits.Load()
+	}
+	return 0
+}
+
+// EnvVar is the environment variable EnableFromEnv reads.
+const EnvVar = "TORUSNET_FAILPOINTS"
+
+// EnableFromEnv arms sites from the TORUSNET_FAILPOINTS environment
+// variable: semicolon-separated "site=spec" entries. It returns the number
+// of sites armed; an empty or unset variable is not an error.
+func EnableFromEnv() (int, error) {
+	return EnableAll(os.Getenv(EnvVar))
+}
+
+// EnableAll arms sites from a "site=spec;site=spec" list (the -failpoints
+// flag and TORUSNET_FAILPOINTS formats). Empty entries are skipped.
+func EnableAll(list string) (int, error) {
+	n := 0
+	for _, entry := range strings.Split(list, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return n, fmt.Errorf("failpoint: malformed entry %q (want site=spec)", entry)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// parseSpec parses "[N*]kind[(arg)]".
+func parseSpec(spec string) (*armed, error) {
+	s := strings.TrimSpace(spec)
+	a := &armed{spec: s}
+	if head, rest, ok := strings.Cut(s, "*"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(head))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count in spec %q", spec)
+		}
+		a.remaining = new(atomic.Int64)
+		a.remaining.Store(int64(n))
+		s = strings.TrimSpace(rest)
+	}
+	kind := s
+	arg := ""
+	if open := strings.IndexByte(s, '('); open >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("unclosed argument in spec %q", spec)
+		}
+		kind, arg = s[:open], s[open+1:len(s)-1]
+	}
+	switch kind {
+	case "error":
+		a.kind = KindError
+		a.msg = defaultMsg(arg, "injected error")
+	case "panic":
+		a.kind = KindPanic
+		a.msg = defaultMsg(arg, "injected panic")
+	case "partial":
+		a.kind = KindPartial
+		a.msg = defaultMsg(arg, "injected partial result")
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad sleep duration in spec %q", spec)
+		}
+		a.kind = KindSleep
+		a.delay = d
+	default:
+		return nil, fmt.Errorf("unknown failpoint kind %q (want error|panic|sleep|partial)", kind)
+	}
+	return a, nil
+}
+
+func defaultMsg(arg, fallback string) string {
+	if arg == "" {
+		return fallback
+	}
+	return arg
+}

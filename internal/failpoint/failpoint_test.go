@@ -1,0 +1,310 @@
+package failpoint
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Test sites are registered once at package level (New panics on
+// duplicates), and every test disarms what it arms.
+var (
+	fpBasic = New("test.basic")
+	fpHard  = New("test.hard")
+	fpHTTP  = New("test.http")
+	fpEnv   = New("test.env")
+	fpRace  = New("test.race")
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	if err := fpBasic.Inject(); err != nil {
+		t.Fatalf("disabled Inject() = %v, want nil", err)
+	}
+	fpHard.InjectHard() // must not panic
+}
+
+func TestErrorSpec(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "error(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	err := fpBasic.Inject()
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject() = %v, want ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "test.basic" || fe.Msg != "boom" {
+		t.Fatalf("error detail: %+v", fe)
+	}
+	if IsPartial(err) {
+		t.Error("error fault misreported as partial")
+	}
+	if fpBasic.Hits() == 0 {
+		t.Error("hit counter not incremented")
+	}
+}
+
+func TestPartialSpec(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "partial"); err != nil {
+		t.Fatal(err)
+	}
+	err := fpBasic.Inject()
+	if !IsPartial(err) {
+		t.Fatalf("Inject() = %v, want partial fault", err)
+	}
+}
+
+func TestPanicSpec(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "panic(kaboom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		fe, ok := r.(*Error)
+		if !ok || fe.Msg != "kaboom" {
+			t.Fatalf("recovered %v, want injected *Error", r)
+		}
+	}()
+	_ = fpBasic.Inject()
+	t.Fatal("no panic")
+}
+
+func TestSleepSpec(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := fpBasic.Inject(); err != nil {
+		t.Fatalf("sleep fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("slept %v, want ≥30ms", d)
+	}
+}
+
+func TestInjectHardPanicsOnError(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.hard", "error(hard)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("InjectHard with error kind did not panic")
+		}
+	}()
+	fpHard.InjectHard()
+}
+
+func TestCountedSpecAutoDisarms(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	if fpBasic.Inject() == nil || fpBasic.Inject() == nil {
+		t.Fatal("first two injections should fire")
+	}
+	if err := fpBasic.Inject(); err != nil {
+		t.Fatalf("third injection fired after count exhausted: %v", err)
+	}
+	for _, st := range Status() {
+		if st.Name == "test.basic" && st.Enabled {
+			t.Error("counted spec did not auto-disarm")
+		}
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	bad := []string{"", "explode", "sleep", "sleep(xyz)", "sleep(-1s)", "0*error", "x*error", "error(unclosed"}
+	for _, spec := range bad {
+		if err := Enable("test.basic", spec); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+			DisableAll()
+		}
+	}
+	if err := Enable("nope.such.site", "error"); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := Disable("nope.such.site"); err == nil {
+		t.Error("unknown site disable accepted")
+	}
+}
+
+func TestOffSpecAndDisable(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("test.basic", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("test.basic", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fpBasic.Inject(); err != nil {
+		t.Fatalf("after off: %v", err)
+	}
+	if err := Enable("test.basic", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Disable("test.basic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fpBasic.Inject(); err != nil {
+		t.Fatalf("after Disable: %v", err)
+	}
+}
+
+func TestEnableAllList(t *testing.T) {
+	t.Cleanup(DisableAll)
+	n, err := EnableAll("test.basic=error(a); test.env=partial ;")
+	if err != nil || n != 2 {
+		t.Fatalf("EnableAll = %d, %v", n, err)
+	}
+	if fpBasic.Inject() == nil || !IsPartial(fpEnv.Inject()) {
+		t.Error("list entries not armed")
+	}
+	if _, err := EnableAll("garbage-without-equals"); err == nil {
+		t.Error("malformed entry accepted")
+	}
+	if _, err := EnableAll("test.basic=explode"); err == nil {
+		t.Error("bad spec in list accepted")
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	t.Cleanup(DisableAll)
+	t.Setenv(EnvVar, "test.env=error(from-env)")
+	n, err := EnableFromEnv()
+	if err != nil || n != 1 {
+		t.Fatalf("EnableFromEnv = %d, %v", n, err)
+	}
+	if err := fpEnv.Inject(); err == nil || !strings.Contains(err.Error(), "from-env") {
+		t.Errorf("env arming: %v", err)
+	}
+	t.Setenv(EnvVar, "")
+	if n, err := EnableFromEnv(); n != 0 || err != nil {
+		t.Errorf("empty env: %d, %v", n, err)
+	}
+}
+
+func TestSitesAndStatusSorted(t *testing.T) {
+	sites := Sites()
+	if len(sites) < 5 {
+		t.Fatalf("Sites() = %v", sites)
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1] >= sites[i] {
+			t.Fatalf("Sites() not sorted: %v", sites)
+		}
+	}
+	if Hits("nope.such.site") != 0 {
+		t.Error("unknown-site Hits should be 0")
+	}
+}
+
+func TestConcurrentArmDisarm(t *testing.T) {
+	t.Cleanup(DisableAll)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = fpRace.Inject()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := Enable("test.race", "error"); err != nil {
+			t.Error(err)
+		}
+		if err := Disable("test.race"); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHTTPHandler(t *testing.T) {
+	t.Cleanup(DisableAll)
+	const prefix = "/debug/failpoints"
+	mux := http.NewServeMux()
+	h := Handler(prefix)
+	mux.Handle(prefix, h)
+	mux.Handle(prefix+"/", h)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data)
+	}
+
+	// List.
+	if code, body := do(http.MethodGet, prefix, ""); code != http.StatusOK || !strings.Contains(body, "test.http") {
+		t.Fatalf("GET list: %d %s", code, body)
+	}
+	// Arm via PUT.
+	if code, _ := do(http.MethodPut, prefix+"/test.http", "error(via-http)"); code != http.StatusOK {
+		t.Fatalf("PUT: %d", code)
+	}
+	if err := fpHTTP.Inject(); err == nil || !strings.Contains(err.Error(), "via-http") {
+		t.Fatalf("PUT did not arm: %v", err)
+	}
+	// Single-site status.
+	if code, body := do(http.MethodGet, prefix+"/test.http", ""); code != http.StatusOK ||
+		!strings.Contains(body, `"enabled": true`) {
+		t.Fatalf("GET site: %d %s", code, body)
+	}
+	// Disarm via DELETE.
+	if code, _ := do(http.MethodDelete, prefix+"/test.http", ""); code != http.StatusOK {
+		t.Fatalf("DELETE: %d", code)
+	}
+	if err := fpHTTP.Inject(); err != nil {
+		t.Fatalf("DELETE did not disarm: %v", err)
+	}
+	// Errors.
+	if code, _ := do(http.MethodPut, prefix+"/nope.such.site", "error"); code != http.StatusNotFound {
+		t.Errorf("PUT unknown site: %d, want 404", code)
+	}
+	if code, _ := do(http.MethodGet, prefix+"/nope.such.site", ""); code != http.StatusNotFound {
+		t.Errorf("GET unknown site: %d, want 404", code)
+	}
+	if code, _ := do(http.MethodDelete, prefix+"/nope.such.site", ""); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown site: %d, want 404", code)
+	}
+	if code, _ := do(http.MethodPut, prefix+"/test.http", "explode"); code != http.StatusBadRequest {
+		t.Errorf("PUT bad spec: %d, want 400", code)
+	}
+	if code, _ := do(http.MethodDelete, prefix, ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE list: %d, want 405", code)
+	}
+	if code, _ := do(http.MethodPatch, prefix+"/test.http", ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("PATCH site: %d, want 405", code)
+	}
+}

@@ -1,0 +1,74 @@
+package failpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the /debug/failpoints control surface, meant to be
+// mounted on a debug sidecar mux (never the public API mux):
+//
+//	GET    /debug/failpoints            list all sites (JSON array of SiteStatus)
+//	GET    /debug/failpoints/{site}     one site's status
+//	PUT    /debug/failpoints/{site}     arm the site; body is the raw spec
+//	POST   /debug/failpoints/{site}     same as PUT
+//	DELETE /debug/failpoints/{site}     disarm the site
+//
+// The prefix is stripped from the URL to find the site name, so the same
+// handler serves both "/debug/failpoints" and "/debug/failpoints/".
+func Handler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		site := strings.Trim(strings.TrimPrefix(r.URL.Path, prefix), "/")
+		switch {
+		case site == "" && r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, Status())
+		case site == "":
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		case r.Method == http.MethodGet:
+			for _, st := range Status() {
+				if st.Name == site {
+					writeJSON(w, http.StatusOK, st)
+					return
+				}
+			}
+			http.Error(w, fmt.Sprintf("unknown failpoint %q", site), http.StatusNotFound)
+		case r.Method == http.MethodPut || r.Method == http.MethodPost:
+			spec, err := io.ReadAll(io.LimitReader(r.Body, 4<<10))
+			if err != nil {
+				http.Error(w, "bad body", http.StatusBadRequest)
+				return
+			}
+			if err := Enable(site, strings.TrimSpace(string(spec))); err != nil {
+				status := http.StatusBadRequest
+				if strings.Contains(err.Error(), "unknown site") {
+					status = http.StatusNotFound
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"site": site, "spec": strings.TrimSpace(string(spec))})
+		case r.Method == http.MethodDelete:
+			if err := Disable(site); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"site": site, "spec": "off"})
+		default:
+			w.Header().Set("Allow", "GET, PUT, POST, DELETE")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//lint:ignore errcheck-lite debug endpoint: nothing useful to do on a client write error
+	_ = enc.Encode(v)
+}

@@ -72,6 +72,11 @@ func All() []*Analyzer {
 			Package: runSyncmisuse,
 		},
 		{
+			Name:    "retrymisuse",
+			Doc:     "flags uncancellable retry loops: bare time.Sleep in a for body, and <-time.After receives with no ctx.Done() escape",
+			Package: runRetrymisuse,
+		},
+		{
 			Name:     "facade-complete",
 			Doc:      "cross-checks that every exported internal symbol is re-exported by the facade package or allowlisted",
 			Unitwide: runFacade,

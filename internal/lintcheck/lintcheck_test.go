@@ -24,6 +24,7 @@ var fixtureTrees = []struct {
 	{"overflowvol", "overflowvol"},
 	{"errcheck", "errcheck-lite"},
 	{"syncmisuse", "syncmisuse"},
+	{"retrymisuse", "retrymisuse"},
 	{"facade-bad", "facade-complete"},
 	{"facade-good", "facade-complete"},
 }

@@ -1,0 +1,57 @@
+// Package bad seeds retrymisuse violations: retry loops that sleep or
+// block on timers with no way to cancel them.
+package bad
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errUnavailable = errors.New("unavailable")
+
+func call() error { return errUnavailable }
+
+// sleepRetry is the classic uncancellable retry storm: the caller's
+// context is dead but the loop keeps hammering the server.
+func sleepRetry(ctx context.Context) error {
+	for i := 0; i < 5; i++ {
+		if err := call(); err == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond) // want "retry loop sleeps with bare time.Sleep"
+	}
+	return errUnavailable
+}
+
+// afterRetry swaps Sleep for a bare After receive — equally uncancellable
+// and it leaks one timer per iteration.
+func afterRetry() error {
+	for {
+		if err := call(); err == nil {
+			return nil
+		}
+		<-time.After(time.Second) // want "retry loop blocks on <-time.After with no cancellation escape"
+	}
+}
+
+// selectNoDone dresses the After receive in a select, but with no
+// cancellation case the select is just a slow spin.
+func selectNoDone(results <-chan int) int {
+	for {
+		select {
+		case v := <-results:
+			return v
+		case <-time.After(50 * time.Millisecond): // want "select retries on <-time.After with no cancellation case"
+		}
+	}
+}
+
+// rangeSleep throttles a fan-out with a bare sleep; range loops are
+// retry-shaped too.
+func rangeSleep(jobs []int, apply func(int)) {
+	for _, j := range jobs {
+		apply(j)
+		time.Sleep(10 * time.Millisecond) // want "retry loop sleeps with bare time.Sleep"
+	}
+}

@@ -45,6 +45,10 @@ type Result struct {
 const (
 	EngineGeneric  = "generic"
 	EngineSymmetry = "symmetry"
+	// EngineMonteCarlo labels estimates produced by the MonteCarlo sampler
+	// (degraded service answers); MonteCarloResult has no Engine field, so
+	// the name exists for consumers that mix exact and sampled loads.
+	EngineMonteCarlo = "montecarlo"
 )
 
 // FastPathMode selects how Compute uses the translation-symmetry engine.
@@ -110,6 +114,7 @@ func effectiveWorkers(requested, items int) int {
 
 // Compute evaluates the exact expected load of every directed edge.
 func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Result {
+	fpComputeDispatch.InjectHard()
 	workers := effectiveWorkers(opts.Workers, p.Size())
 	if opts.FastPath != FastPathOff {
 		if res, ok := computeSymmetry(p, alg, workers, opts.FastPath == FastPathForce); ok {
@@ -167,6 +172,7 @@ func computeGeneric(p *placement.Placement, alg routing.Algorithm, workers int) 
 		}(w)
 	}
 	wg.Wait()
+	fpComputeMerge.InjectHard()
 
 	loads := make([]float64, t.Edges())
 	for _, local := range partials {

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 
@@ -22,8 +23,9 @@ func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed 
 	procs := p.Nodes()
 
 	type partial struct {
-		sum  []float64
-		peak []float64
+		sum   []float64
+		sumsq []float64
+		peak  []float64
 	}
 	partials := make([]partial, workers)
 	var wg sync.WaitGroup
@@ -32,6 +34,7 @@ func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed 
 		go func(w int) {
 			defer wg.Done()
 			sum := make([]float64, t.Edges())
+			sumsq := make([]float64, t.Edges())
 			peak := make([]float64, t.Edges())
 			count := make([]float64, t.Edges())
 			// Each round gets its own derived, reproducible stream.
@@ -53,21 +56,24 @@ func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed 
 				}
 				for e, c := range count {
 					sum[e] += c
+					sumsq[e] += c * c
 					if c > peak[e] {
 						peak[e] = c
 					}
 				}
 			}
-			partials[w] = partial{sum: sum, peak: peak}
+			partials[w] = partial{sum: sum, sumsq: sumsq, peak: peak}
 		}(w)
 	}
 	wg.Wait()
 
 	mean := make([]float64, t.Edges())
+	sumsq := make([]float64, t.Edges())
 	peak := make([]float64, t.Edges())
 	for _, pt := range partials {
 		for e := range mean {
 			mean[e] += pt.sum[e]
+			sumsq[e] += pt.sumsq[e]
 			if pt.peak[e] > peak[e] {
 				peak[e] = pt.peak[e]
 			}
@@ -78,12 +84,33 @@ func MonteCarlo(p *placement.Placement, alg routing.Algorithm, rounds int, seed 
 		mean[e] /= float64(rounds)
 		if mean[e] > res.MaxMean {
 			res.MaxMean = mean[e]
+			res.MaxMeanEdge = torus.Edge(e)
+			res.MaxMeanStdErr = stderrOfMean(mean[e], sumsq[e], rounds)
 		}
 		if peak[e] > res.MaxPeak {
 			res.MaxPeak = peak[e]
 		}
 	}
 	return res
+}
+
+// stderrOfMean computes the standard error of the per-round mean at one
+// edge from its running Σc and Σc² (sample variance over rounds, then
+// ÷√rounds). Fewer than two rounds have no measurable spread, so the
+// estimate degrades to 0 — callers report the bound as "unknown tightness"
+// rather than inventing one.
+func stderrOfMean(mean, sumsq float64, rounds int) float64 {
+	if rounds < 2 {
+		return 0
+	}
+	r := float64(rounds)
+	variance := (sumsq - r*mean*mean) / (r - 1)
+	if variance <= 0 {
+		// Zero (single-path algorithms like ODR have no per-round spread)
+		// or slightly negative from float cancellation.
+		return 0
+	}
+	return math.Sqrt(variance / r)
 }
 
 // MonteCarloResult holds empirical load estimates.
@@ -96,4 +123,11 @@ type MonteCarloResult struct {
 	PeakLoads []float64
 	MaxMean   float64
 	MaxPeak   float64
+	// MaxMeanEdge is the edge attaining MaxMean, and MaxMeanStdErr is the
+	// standard error of the per-round mean at that edge (0 when rounds < 2
+	// or the algorithm is single-path, e.g. ODR, whose per-round loads are
+	// deterministic). The service's degraded /v1/analyze answers report
+	// 3×MaxMeanStdErr as the error bound on E_max.
+	MaxMeanEdge   torus.Edge
+	MaxMeanStdErr float64
 }

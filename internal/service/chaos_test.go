@@ -1,0 +1,461 @@
+package service
+
+// Chaos suite: fires every registered failpoint against a live server under
+// -race, asserts the documented failure semantics, and checks that the
+// server converges back to exact answers with no goroutine leaks once the
+// faults are disarmed. Run via `make chaos`.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"torusnet/internal/failpoint"
+)
+
+// checkGoroutineLeaks snapshots the goroutine count and returns a function
+// that fails the test if, after a settling period, the count has not come
+// back down to the snapshot.
+func checkGoroutineLeaks(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var now int
+		for {
+			runtime.Gosched()
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+	}
+}
+
+// analyzeStatus posts an analyze request and reports the HTTP status it
+// came back with (0 for transport errors).
+func analyzeStatus(t *testing.T, c *Client, req AnalyzeRequest) (int, *AnalyzeResponse, error) {
+	t.Helper()
+	resp, err := c.Analyze(context.Background(), req)
+	if err == nil {
+		return http.StatusOK, resp, nil
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status, nil, err
+	}
+	return 0, nil, err
+}
+
+// chaosScenario drives one failpoint site and asserts its documented
+// failure semantics.
+type chaosScenario struct {
+	spec  string
+	drive func(t *testing.T, s *Server, c *Client)
+}
+
+// TestChaosAllSites arms every registered failpoint in turn, asserts the
+// site's failure contract, then verifies the server converges back to the
+// exact baseline answer after disarming. The scenario map is checked
+// against failpoint.Sites() so a newly registered site without a chaos
+// scenario fails this test.
+func TestChaosAllSites(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	// DisableFastPath forces the generic engine so load.compute.merge is
+	// on the request path; the watchdog is off so wedge recovery (covered
+	// separately) cannot mask a scenario's assertions.
+	s, c, stop := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 4, DisableFastPath: true,
+		DegradeWatermark: -1, WedgeTimeout: -1 * time.Second,
+	})
+	defer stop()
+	defer failpoint.DisableAll()
+	ctx := context.Background()
+
+	baselineReq := AnalyzeRequest{K: 6, D: 2, Placement: "linear", Routing: "ODR"}
+	baseline, err := c.Analyze(ctx, baselineReq)
+	if err != nil {
+		t.Fatalf("baseline analyze: %v", err)
+	}
+
+	// Each scenario uses its own K so the result cache never hides the
+	// compute path from an armed failpoint.
+	scenarios := map[string]chaosScenario{
+		"service.cache.get": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			if st, _, _ := analyzeStatus(t, c, AnalyzeRequest{K: 4, D: 2, Placement: "linear", Routing: "ODR"}); st != http.StatusInternalServerError {
+				t.Errorf("cache.get error: status = %d, want 500", st)
+			}
+		}},
+		"service.cache.put": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			req := AnalyzeRequest{K: 5, D: 2, Placement: "linear", Routing: "ODR"}
+			for i := 0; i < 2; i++ {
+				resp, err := c.Analyze(context.Background(), req)
+				if err != nil {
+					t.Fatalf("cache.put fault must not fail the request: %v", err)
+				}
+				if resp.Cached {
+					t.Errorf("request %d cached despite cache.put fault", i)
+				}
+			}
+		}},
+		"service.flight.leader": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			if st, _, _ := analyzeStatus(t, c, AnalyzeRequest{K: 7, D: 2, Placement: "linear", Routing: "ODR"}); st != http.StatusInternalServerError {
+				t.Errorf("flight.leader error: status = %d, want 500", st)
+			}
+		}},
+		"service.pool.dispatch": {spec: "1*panic", drive: func(t *testing.T, s *Server, c *Client) {
+			before := s.pool.restarts.Load()
+			st, _, err := analyzeStatus(t, c, AnalyzeRequest{K: 8, D: 2, Placement: "linear", Routing: "ODR"})
+			if st != http.StatusInternalServerError || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("pool.dispatch panic: status %d err %v, want 500 panicked", st, err)
+			}
+			if got := s.pool.restarts.Load(); got != before+1 {
+				t.Errorf("pool restarts = %d, want %d", got, before+1)
+			}
+			// The crashed worker's replacement must serve the retry.
+			if _, err := c.Analyze(context.Background(), AnalyzeRequest{K: 8, D: 2, Placement: "linear", Routing: "ODR"}); err != nil {
+				t.Errorf("analyze after worker crash: %v", err)
+			}
+		}},
+		"service.response.encode": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			st, _, err := analyzeStatus(t, c, AnalyzeRequest{K: 9, D: 2, Placement: "linear", Routing: "ODR"})
+			if st != http.StatusInternalServerError || !strings.Contains(err.Error(), "encoding failed") {
+				t.Errorf("response.encode error: status %d err %v, want 500 encoding failed", st, err)
+			}
+		}},
+		"service.admission": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			resp, err := c.Analyze(context.Background(), AnalyzeRequest{K: 10, D: 2, Placement: "linear", Routing: "ODR"})
+			if err != nil {
+				t.Fatalf("degraded analyze: %v", err)
+			}
+			if !resp.Degraded || resp.Engine != "montecarlo" {
+				t.Errorf("forced admission: degraded=%v engine=%q, want degraded montecarlo", resp.Degraded, resp.Engine)
+			}
+			if resp.ErrorBound != 0 {
+				// ODR is single-path: zero variance, zero bound.
+				t.Errorf("ODR degraded error bound = %v, want 0", resp.ErrorBound)
+			}
+		}},
+		"load.compute.dispatch": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			st, _, err := analyzeStatus(t, c, AnalyzeRequest{K: 11, D: 2, Placement: "linear", Routing: "ODR"})
+			if st != http.StatusInternalServerError || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("compute.dispatch error: status %d err %v, want 500 panicked", st, err)
+			}
+		}},
+		"load.compute.merge": {spec: "error", drive: func(t *testing.T, s *Server, c *Client) {
+			st, _, err := analyzeStatus(t, c, AnalyzeRequest{K: 12, D: 2, Placement: "linear", Routing: "ODR"})
+			if st != http.StatusInternalServerError || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("compute.merge error: status %d err %v, want 500 panicked", st, err)
+			}
+		}},
+		"sweep.experiment": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {
+			// The error kind panics inside the pool and surfaces as 500 —
+			// and, crucially, caches nothing.
+			if _, err := c.RunExperiment(context.Background(), "E1", ExperimentRequest{}); err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("error experiment: err = %v, want panicked 500", err)
+			}
+			if err := failpoint.Enable("sweep.experiment", "1*partial"); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.RunExperiment(context.Background(), "E1", ExperimentRequest{})
+			if err != nil {
+				t.Fatalf("partial experiment: %v", err)
+			}
+			if !strings.Contains(string(resp.Table), "partial result") {
+				t.Errorf("partial experiment table lacks truncation note: %s", resp.Table)
+			}
+		}},
+	}
+
+	sites := failpoint.Sites()
+	if len(sites) != len(scenarios) {
+		t.Fatalf("registered sites %v do not match the %d chaos scenarios — add a scenario for every new failpoint", sites, len(scenarios))
+	}
+	for _, site := range sites {
+		sc, ok := scenarios[site]
+		if !ok {
+			t.Fatalf("no chaos scenario for registered failpoint %q", site)
+		}
+		t.Run(site, func(t *testing.T) {
+			if err := failpoint.Enable(site, sc.spec); err != nil {
+				t.Fatalf("arming %s=%s: %v", site, sc.spec, err)
+			}
+			defer func() {
+				if err := failpoint.Disable(site); err != nil {
+					t.Fatalf("disarming %s: %v", site, err)
+				}
+				// Convergence: with the fault gone, the baseline request
+				// must produce the exact baseline numbers again.
+				resp, err := c.Analyze(context.Background(), baselineReq)
+				if err != nil {
+					t.Fatalf("convergence analyze after %s: %v", site, err)
+				}
+				if resp.EMax != baseline.EMax || resp.Degraded {
+					t.Errorf("after %s: EMax=%v degraded=%v, want %v exact", site, resp.EMax, resp.Degraded, baseline.EMax)
+				}
+			}()
+			sc.drive(t, s, c)
+			if failpoint.Hits(site) == 0 {
+				t.Errorf("failpoint %s never fired", site)
+			}
+		})
+	}
+}
+
+// TestChaosPoolPanicStorm crashes several pool workers mid-request while
+// other callers are concurrently cancelling, and asserts the pool replaces
+// every crashed worker, the surviving requests complete, and nothing leaks.
+func TestChaosPoolPanicStorm(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	s, c, stop := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 16,
+		DegradeWatermark: -1, WedgeTimeout: -1 * time.Second,
+	})
+	defer stop()
+	defer failpoint.DisableAll()
+
+	const crashes = 6
+	if err := failpoint.Enable("service.pool.dispatch", "6*panic"); err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 24
+	var wg sync.WaitGroup
+	var panics, oks, cancelled int64
+	var mu sync.Mutex
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%3 == 0 {
+				// A third of the callers give up almost immediately,
+				// racing cancellation against the worker crashes.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5+1)*time.Millisecond)
+				defer cancel()
+			}
+			// Distinct K per caller defeats the cache and the coalescer.
+			req := AnalyzeRequest{K: 4 + i, D: 2, Placement: "linear", Routing: "ODR"}
+			_, err := c.Analyze(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				oks++
+			case strings.Contains(err.Error(), "panicked"):
+				panics++
+			default:
+				cancelled++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := s.pool.restarts.Load(); got != crashes {
+		t.Errorf("pool restarts = %d, want %d (one replacement per crashed worker)", got, crashes)
+	}
+	if oks == 0 {
+		t.Errorf("no caller succeeded during the storm (oks=%d panics=%d cancelled=%d)", oks, panics, cancelled)
+	}
+	t.Logf("storm: %d ok, %d panic 500s, %d cancelled/timeout", oks, panics, cancelled)
+
+	// The spec was counted, so it is already spent; the pool must be back
+	// at full strength for fresh work.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Analyze(context.Background(), AnalyzeRequest{K: 40 + i, D: 2, Placement: "linear", Routing: "ODR"}); err != nil {
+			t.Fatalf("post-storm analyze %d: %v", i, err)
+		}
+	}
+}
+
+// TestChaosWatchdogRecoversWedgedWorker wedges a worker with a sleep fault
+// and asserts the watchdog restores pool capacity while the wedged job is
+// still stuck, and that the wedged worker retires cleanly afterwards.
+func TestChaosWatchdogRecoversWedgedWorker(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	s, c, stop := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		DegradeWatermark: -1, WedgeTimeout: 40 * time.Millisecond,
+	})
+	defer stop()
+	defer failpoint.DisableAll()
+
+	if err := failpoint.Enable("service.pool.dispatch", "1*sleep(400ms)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wedged caller occupies the pool's only original worker.
+	wedgedDone := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(context.Background(), AnalyzeRequest{K: 6, D: 2, Placement: "linear", Routing: "ODR"})
+		wedgedDone <- err
+	}()
+
+	// While the worker sleeps, the watchdog must spawn a replacement that
+	// serves this second request well before the 400ms wedge clears.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var recovered bool
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := c.Analyze(ctx, AnalyzeRequest{K: 5, D: 2, Placement: "linear", Routing: "ODR"})
+		cancel()
+		if err == nil {
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Error("no request served by a replacement worker while the original was wedged")
+	}
+	if got := s.pool.replacements.Load(); got < 1 {
+		t.Errorf("watchdog replacements = %d, want >= 1", got)
+	}
+
+	if err := <-wedgedDone; err != nil {
+		t.Errorf("wedged request finally failed: %v", err)
+	}
+}
+
+// TestDegradedConsistency replays degraded Monte Carlo answers against the
+// exact engine: ODR (single-path, zero variance) must match exactly with a
+// zero error bound; FAR (randomized multi-path) must land within the
+// reported bound of the exact expectation. Seeds derive from the canonical
+// cache key, so both sides are deterministic.
+func TestDegradedConsistency(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	_, exactC, stopExact := newTestServer(t, Config{Workers: 2})
+	defer stopExact()
+	_, degC, stopDeg := newTestServer(t, Config{Workers: 2, DegradedRounds: 400})
+	defer stopDeg()
+	defer failpoint.DisableAll()
+	ctx := context.Background()
+
+	odrReq := AnalyzeRequest{K: 6, D: 2, Placement: "linear", Routing: "ODR"}
+	farReq := AnalyzeRequest{K: 5, D: 2, Placement: "linear", Routing: "FAR"}
+
+	exactODR, err := exactC.Analyze(ctx, odrReq)
+	if err != nil {
+		t.Fatalf("exact ODR: %v", err)
+	}
+	exactFAR, err := exactC.Analyze(ctx, farReq)
+	if err != nil {
+		t.Fatalf("exact FAR: %v", err)
+	}
+
+	if err := failpoint.Enable("service.admission", "error"); err != nil {
+		t.Fatal(err)
+	}
+
+	degODR, err := degC.Analyze(ctx, odrReq)
+	if err != nil {
+		t.Fatalf("degraded ODR: %v", err)
+	}
+	if !degODR.Degraded || degODR.Engine != "montecarlo" {
+		t.Fatalf("ODR response not degraded: %+v", degODR)
+	}
+	if degODR.EMax != exactODR.EMax {
+		t.Errorf("ODR degraded EMax = %v, want exact %v (single-path routing must match bit-for-bit)", degODR.EMax, exactODR.EMax)
+	}
+	if degODR.ErrorBound != 0 {
+		t.Errorf("ODR degraded error bound = %v, want 0", degODR.ErrorBound)
+	}
+
+	degFAR, err := degC.Analyze(ctx, farReq)
+	if err != nil {
+		t.Fatalf("degraded FAR: %v", err)
+	}
+	if !degFAR.Degraded {
+		t.Fatal("FAR response not degraded")
+	}
+	if degFAR.ErrorBound <= 0 {
+		t.Errorf("FAR degraded error bound = %v, want > 0", degFAR.ErrorBound)
+	}
+	if diff := degFAR.EMax - exactFAR.EMax; diff < -degFAR.ErrorBound || diff > degFAR.ErrorBound {
+		t.Errorf("FAR degraded EMax = %v, exact %v: |diff| %v exceeds reported bound %v",
+			degFAR.EMax, exactFAR.EMax, diff, degFAR.ErrorBound)
+	}
+
+	// Degraded answers are never cached: once admission recovers, the same
+	// request computes (not serves) the exact result.
+	if err := failpoint.Disable("service.admission"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := degC.Analyze(ctx, odrReq)
+	if err != nil {
+		t.Fatalf("post-degrade ODR: %v", err)
+	}
+	if fresh.Cached || fresh.Degraded {
+		t.Errorf("post-degrade response cached=%v degraded=%v, want a fresh exact compute", fresh.Cached, fresh.Degraded)
+	}
+	if fresh.EMax != exactODR.EMax {
+		t.Errorf("post-degrade EMax = %v, want %v", fresh.EMax, exactODR.EMax)
+	}
+}
+
+// TestDegradedUnderRealPressure drives the watermark path (no failpoint):
+// with a tiny pool wedged by slow computes, /v1/analyze must shed to
+// degraded answers instead of queueing or erroring.
+func TestDegradedUnderRealPressure(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	block := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 1, DegradeWatermark: 0.5, WedgeTimeout: -1 * time.Second})
+	s.onCompute = func(string) { <-block }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	// Saturate: the worker parks in onCompute, the queue fills behind it.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(k int) {
+			defer func() { done <- struct{}{} }()
+			cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			_, _ = c.Analyze(cctx, AnalyzeRequest{K: k, D: 2, Placement: "linear", Routing: "ODR"})
+		}(6 + i)
+	}
+	// Wait until the pool reports saturation.
+	for i := 0; s.pool.utilization() < 0.5 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := c.Analyze(ctx, AnalyzeRequest{K: 9, D: 2, Placement: "linear", Routing: "ODR"})
+	if err != nil {
+		t.Fatalf("analyze under pressure: %v", err)
+	}
+	if !resp.Degraded {
+		t.Errorf("response under pressure not degraded: %+v", resp)
+	}
+
+	close(block)
+	<-done
+	<-done
+}

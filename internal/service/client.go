@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -16,67 +17,121 @@ import (
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the parsed Retry-After header (0 when absent): how
+	// long the server asked us to back off on a 429/503. The resilient
+	// client honors it as a backoff floor.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
 }
 
+// clientMaxBody caps how much of a response body the client will read.
+const clientMaxBody = 32 << 20
+
 // Client is a typed HTTP client for a torusd server. The zero HTTP client
 // has no overall timeout; per-call deadlines come from the caller's
 // context.
+//
+// NewClient builds a single-attempt client: every error — transport or
+// HTTP — surfaces immediately, which is what tests asserting raw 429/504
+// behavior and callers with their own retry policies want. NewResilientClient
+// layers retries, hedging, and a circuit breaker on the same call surface;
+// see ResilienceConfig.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	maxBody int64
+	// res enables the resilience policy; nil means single-attempt.
+	res *resilience
 }
 
 // NewClient builds a client for the given base URL (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(baseURL string) *Client {
 	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{Timeout: 5 * time.Minute},
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 5 * time.Minute},
+		maxBody: clientMaxBody,
 	}
 }
 
-// do runs one JSON round trip. in == nil sends no body; out == nil
-// discards the response body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) (err error) {
+// NewResilientClient builds a client with the retry/hedge/breaker policy
+// of cfg (zero value → defaults; see ResilienceConfig).
+func NewResilientClient(baseURL string, cfg ResilienceConfig) *Client {
+	c := NewClient(baseURL)
+	c.res = newResilience(cfg, realClock{})
+	return c
+}
+
+// roundTrip performs one HTTP exchange and fully consumes the response:
+// the body is read up to maxBody, any remainder is drained, and the body
+// is closed on every path — leaving the underlying connection reusable.
+// It reports the status, the (possibly truncated) body, and the parsed
+// Retry-After header; err is non-nil only for transport-level failures.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) (status int, data []byte, retryAfter time.Duration, err error) {
 	var body io.Reader
-	if in != nil {
-		data, merr := json.Marshal(in)
-		if merr != nil {
-			return fmt.Errorf("service: encoding request: %w", merr)
-		}
-		body = bytes.NewReader(data)
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return 0, nil, 0, err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, 0, err
 	}
-	defer func() {
-		if cerr := resp.Body.Close(); cerr != nil && err == nil {
-			err = cerr
+	data, readErr := io.ReadAll(io.LimitReader(resp.Body, c.maxBody))
+	// Drain whatever the limit left behind: a connection with unread body
+	// bytes cannot go back into the keep-alive pool.
+	if _, derr := io.Copy(io.Discard, resp.Body); derr != nil && readErr == nil {
+		readErr = derr
+	}
+	if cerr := resp.Body.Close(); cerr != nil && readErr == nil {
+		readErr = cerr
+	}
+	if readErr != nil {
+		return resp.StatusCode, nil, 0, readErr
+	}
+	return resp.StatusCode, data, parseRetryAfter(resp.Header.Get("Retry-After")), nil
+}
+
+// parseRetryAfter handles both forms of the header: delay seconds and an
+// HTTP date. Unparseable or past values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
 		}
-	}()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
-	if err != nil {
-		return err
+		return time.Duration(secs) * time.Second
 	}
-	if resp.StatusCode != http.StatusOK {
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// interpret converts one completed exchange into the caller's result:
+// decode on 200, *APIError otherwise.
+func interpret(status int, data []byte, retryAfter time.Duration, out any) error {
+	if status != http.StatusOK {
 		var apiErr ErrorResponse
 		msg := strings.TrimSpace(string(data))
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: status, Message: msg, RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil
@@ -85,6 +140,28 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (err 
 		return fmt.Errorf("service: decoding response: %w", err)
 	}
 	return nil
+}
+
+// do runs one JSON call. in == nil sends no body; out == nil discards the
+// response body. With a resilience policy attached, the call is retried,
+// hedged, and breaker-guarded per that policy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		data, merr := json.Marshal(in)
+		if merr != nil {
+			return fmt.Errorf("service: encoding request: %w", merr)
+		}
+		payload = data
+	}
+	if c.res == nil {
+		status, data, retryAfter, err := c.roundTrip(ctx, method, path, payload)
+		if err != nil {
+			return err
+		}
+		return interpret(status, data, retryAfter, out)
+	}
+	return c.res.do(ctx, c, method, path, payload, out)
 }
 
 // Analyze runs POST /v1/analyze.

@@ -1,0 +1,33 @@
+package service
+
+import "torusnet/internal/failpoint"
+
+// Chaos-injection sites for the serving pipeline. Site names follow the
+// repo convention <package>.<component>.<operation> (DESIGN.md §10). Each
+// disarmed site costs one atomic pointer load on its path.
+var (
+	// fpCacheGet guards result-cache reads. error → the request fails
+	// (HTTP 500); partial → the read is skipped (forced miss), modeling a
+	// cache that is down but survivable.
+	fpCacheGet = failpoint.New("service.cache.get")
+	// fpCachePut guards result-cache fills. Any armed fault skips the
+	// fill: the response still succeeds, the cache just stays cold.
+	fpCachePut = failpoint.New("service.cache.put")
+	// fpFlightLeader fires in the singleflight leader before compute.
+	// error → the leader and every coalesced follower share the failure.
+	fpFlightLeader = failpoint.New("service.flight.leader")
+	// fpPoolDispatch fires inside a pool worker after it picks up a job,
+	// outside the per-job panic shield: a panic spec crashes the worker
+	// itself (exercising crash-respawn), a sleep spec wedges it
+	// (exercising the watchdog). Uses InjectHard, so error behaves like
+	// panic.
+	fpPoolDispatch = failpoint.New("service.pool.dispatch")
+	// fpEncode fires during response encoding; any armed fault degrades
+	// the response to the plain encode-failure 500.
+	fpEncode = failpoint.New("service.response.encode")
+	// fpAdmission forces the admission controller's degraded mode for
+	// /v1/analyze regardless of pool utilization (any armed spec except
+	// sleep, which just delays the check). Deterministic lever for chaos
+	// tests and the smoke script.
+	fpAdmission = failpoint.New("service.admission")
+)

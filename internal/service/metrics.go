@@ -25,6 +25,7 @@ const (
 	mInFlight       = "in_flight"
 	mWriteErrors    = "write_errors"
 	mLatencyMSTotal = "latency_ms_total"
+	mDegraded       = "degraded"
 )
 
 func newMetrics() *metrics {
@@ -32,7 +33,7 @@ func newMetrics() *metrics {
 	for _, name := range []string{
 		mRequests, mErrors, mPanics, mQueueFull, mTimeouts,
 		mCacheHits, mCacheMisses, mCoalesced, mInFlight,
-		mWriteErrors, mLatencyMSTotal,
+		mWriteErrors, mLatencyMSTotal, mDegraded,
 	} {
 		m.vars.Set(name, new(expvar.Int))
 	}

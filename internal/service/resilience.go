@@ -1,0 +1,461 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped, with the endpoint path) when the
+// per-endpoint circuit breaker is open and the call was rejected without
+// touching the network.
+var ErrCircuitOpen = errors.New("service: circuit breaker open")
+
+// ResilienceConfig parameterizes the retrying client built by
+// NewResilientClient. The zero value selects every default.
+type ResilienceConfig struct {
+	// MaxAttempts caps attempts per call (first try included); 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling; the ceiling
+	// doubles per attempt up to MaxBackoff, and the actual sleep is drawn
+	// uniformly from [0, ceiling) — "full jitter". 0 means 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff ceiling; 0 means 5s.
+	MaxBackoff time.Duration
+	// RetryBudget is a client-wide token bucket shared by all calls: each
+	// retry (never the first attempt) spends one token, and tokens refill
+	// at one per BudgetRefill up to RetryBudget. A drained budget stops
+	// retries — the guard against retry storms amplifying an outage.
+	// 0 means 10; negative means unlimited.
+	RetryBudget int
+	// BudgetRefill is the interval per refilled token; 0 means 1s.
+	BudgetRefill time.Duration
+	// HedgeAfter, when positive, launches a second identical request if
+	// the first has not completed within this delay; the first completed
+	// success wins and the loser is cancelled. Every torusd endpoint is
+	// idempotent (analyses are pure functions of the request), so hedging
+	// is always safe here. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's circuit; while open, calls fail fast with ErrCircuitOpen.
+	// After BreakerCooldown the breaker goes half-open and admits a single
+	// probe: success closes the circuit, failure re-opens it. 0 means 5;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay; 0 means 5s.
+	BreakerCooldown time.Duration
+	// JitterSeed seeds the backoff jitter stream; 0 seeds from the clock.
+	JitterSeed int64
+}
+
+func (cfg ResilienceConfig) withDefaults() ResilienceConfig {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 10
+	}
+	if cfg.BudgetRefill <= 0 {
+		cfg.BudgetRefill = time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	return cfg
+}
+
+// clock abstracts time for the resilience layer so its behavior — backoff,
+// budgets, breaker cooldowns, hedge delays — is testable with a fake.
+type clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Resilience expvar counter names.
+const (
+	rvRetries         = "retries"
+	rvRetryAfterWaits = "retry_after_waits"
+	rvBudgetExhausted = "budget_exhausted"
+	rvHedges          = "hedges"
+	rvHedgeWins       = "hedge_wins"
+	rvBreakerOpens    = "breaker_opens"
+	rvBreakerRejects  = "breaker_rejects"
+	rvBreakerProbes   = "breaker_probes"
+)
+
+// resilience is the per-client retry/hedge/breaker engine.
+type resilience struct {
+	cfg ResilienceConfig
+	clk clock
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	tokens     float64
+	lastRefill time.Time
+	breakers   map[string]*breaker
+
+	vars *expvar.Map
+}
+
+func newResilience(cfg ResilienceConfig, clk clock) *resilience {
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = clk.Now().UnixNano()
+	}
+	r := &resilience{
+		cfg:        cfg,
+		clk:        clk,
+		rng:        rand.New(rand.NewSource(seed)),
+		tokens:     float64(cfg.RetryBudget),
+		lastRefill: clk.Now(),
+		breakers:   make(map[string]*breaker),
+		vars:       new(expvar.Map).Init(),
+	}
+	for _, name := range []string{
+		rvRetries, rvRetryAfterWaits, rvBudgetExhausted, rvHedges,
+		rvHedgeWins, rvBreakerOpens, rvBreakerRejects, rvBreakerProbes,
+	} {
+		r.vars.Set(name, new(expvar.Int))
+	}
+	return r
+}
+
+// ResilienceVars exposes the client's resilience counters (retries,
+// hedges, breaker transitions) as a per-client expvar map, or nil for a
+// plain single-attempt client. The map is not published globally so many
+// clients can coexist in one process.
+func (c *Client) ResilienceVars() *expvar.Map {
+	if c.res == nil {
+		return nil
+	}
+	return c.res.vars
+}
+
+func (r *resilience) count(name string) { r.vars.Add(name, 1) }
+
+// getVar reads one counter (test helper).
+func (r *resilience) getVar(name string) int64 {
+	if v, ok := r.vars.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// retryable reports whether a completed attempt's outcome may heal on
+// retry: transport errors and the load-shed / transient-server statuses.
+func retryable(status int, err error) bool {
+	if err != nil {
+		// Transport-level failure; the caller's context errors are checked
+		// separately in the loop.
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs the resilient call loop: breaker gate → (possibly hedged)
+// attempt → outcome bookkeeping → jittered, budgeted, Retry-After-aware
+// backoff.
+func (r *resilience) do(ctx context.Context, c *Client, method, path string, payload []byte, out any) error {
+	br := r.breakerFor(path)
+	for attempt := 0; ; attempt++ {
+		ok, probe := br.allow(r.clk.Now(), r.cfg)
+		if !ok {
+			r.count(rvBreakerRejects)
+			return fmt.Errorf("%w: %s %s", ErrCircuitOpen, method, path)
+		}
+		if probe {
+			r.count(rvBreakerProbes)
+		}
+		status, data, retryAfter, err := r.attempt(ctx, c, method, path, payload)
+		success := err == nil && !retryable(status, nil)
+		if opened := br.record(success, r.clk.Now(), r.cfg); opened {
+			r.count(rvBreakerOpens)
+		}
+		if err == nil && status == http.StatusOK {
+			return interpret(status, data, retryAfter, out)
+		}
+		var callErr error
+		if err != nil {
+			callErr = err
+		} else {
+			callErr = interpret(status, data, retryAfter, nil)
+		}
+		if ctx.Err() != nil {
+			return callErr
+		}
+		if !retryable(status, err) || attempt+1 >= r.cfg.MaxAttempts {
+			return callErr
+		}
+		if !r.takeToken() {
+			r.count(rvBudgetExhausted)
+			return callErr
+		}
+		delay := r.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+			r.count(rvRetryAfterWaits)
+		}
+		r.count(rvRetries)
+		if serr := r.clk.Sleep(ctx, delay); serr != nil {
+			return callErr
+		}
+	}
+}
+
+// attempt runs one (possibly hedged) attempt. With hedging enabled, a
+// second identical request launches if the first is still in flight after
+// HedgeAfter; the first success wins and the loser's context is cancelled
+// (roundTrip drains and closes bodies on every path, so the loser cannot
+// poison the connection pool).
+func (r *resilience) attempt(ctx context.Context, c *Client, method, path string, payload []byte) (int, []byte, time.Duration, error) {
+	if r.cfg.HedgeAfter <= 0 {
+		return c.roundTrip(ctx, method, path, payload)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type rtResult struct {
+		hedge      bool
+		status     int
+		data       []byte
+		retryAfter time.Duration
+		err        error
+	}
+	results := make(chan rtResult, 2) // buffered: losers never block
+	launch := func(hedge bool) {
+		//lint:ignore syncmisuse joined by the results receive below; the buffered channel lets a cancelled loser exit freely
+		go func() {
+			status, data, retryAfter, err := c.roundTrip(hctx, method, path, payload)
+			results <- rtResult{hedge, status, data, retryAfter, err}
+		}()
+	}
+	launch(false)
+	pending := 1
+	hedgeTimer := r.clk.After(r.cfg.HedgeAfter)
+	var firstLoss *rtResult
+	for {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil && res.status == http.StatusOK {
+				if res.hedge {
+					r.count(rvHedgeWins)
+				}
+				return res.status, res.data, res.retryAfter, nil
+			}
+			if pending > 0 {
+				// The other attempt is still running and might succeed.
+				firstLoss = &res
+				continue
+			}
+			if firstLoss != nil {
+				// Both failed; report the primary's outcome.
+				if firstLoss.hedge {
+					firstLoss = &res
+				}
+				return firstLoss.status, firstLoss.data, firstLoss.retryAfter, firstLoss.err
+			}
+			return res.status, res.data, res.retryAfter, res.err
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if pending == 1 && firstLoss == nil {
+				r.count(rvHedges)
+				launch(true)
+				pending++
+			}
+		}
+	}
+}
+
+// backoff draws a full-jitter delay: uniform in [0, ceiling), the ceiling
+// doubling per attempt from BaseBackoff up to MaxBackoff.
+func (r *resilience) backoff(attempt int) time.Duration {
+	ceiling := r.cfg.BaseBackoff
+	for i := 0; i < attempt && ceiling < r.cfg.MaxBackoff; i++ {
+		//lint:ignore overflowvol doubling is capped by MaxBackoff in the loop condition, far below overflow
+		ceiling *= 2
+	}
+	if ceiling > r.cfg.MaxBackoff {
+		ceiling = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(ceiling)))
+}
+
+// takeToken spends one retry-budget token, refilling lazily from elapsed
+// time. Reports false when the bucket is empty.
+func (r *resilience) takeToken() bool {
+	if r.cfg.RetryBudget < 0 {
+		return true
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if elapsed := now.Sub(r.lastRefill); elapsed > 0 {
+		r.tokens += float64(elapsed) / float64(r.cfg.BudgetRefill)
+		if r.tokens > float64(r.cfg.RetryBudget) {
+			r.tokens = float64(r.cfg.RetryBudget)
+		}
+	}
+	r.lastRefill = now
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+func (r *resilience) breakerFor(path string) *breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	br, ok := r.breakers[path]
+	if !ok {
+		br = &breaker{}
+		r.breakers[path] = br
+	}
+	return br
+}
+
+// breakerState is the classic three-state circuit machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breakerState(%d)", int(s))
+	}
+}
+
+// breaker guards one endpoint. closed → open after BreakerThreshold
+// consecutive failures; open → half-open after BreakerCooldown; half-open
+// admits exactly one probe, whose outcome closes or re-opens the circuit.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow reports whether a call may proceed and whether it is the
+// half-open probe.
+func (b *breaker) allow(now time.Time, cfg ResilienceConfig) (ok, probe bool) {
+	if cfg.BreakerThreshold < 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < cfg.BreakerCooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record feeds one attempt outcome into the machine; it reports whether
+// this outcome opened (or re-opened) the circuit.
+func (b *breaker) record(success bool, now time.Time, cfg ResilienceConfig) (opened bool) {
+	if cfg.BreakerThreshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.failures = 0
+			return false
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	default:
+		if success {
+			b.failures = 0
+			return false
+		}
+		b.failures++
+		if b.failures >= cfg.BreakerThreshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+		return false
+	}
+}
+
+// current returns the state for tests and diagnostics.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

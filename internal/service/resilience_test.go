@@ -1,0 +1,465 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock: Sleep advances virtual time and
+// returns immediately, recording every requested duration.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func (f *fakeClock) After(d time.Duration) <-chan time.Time {
+	// Hedge timer that never fires; hedging tests use the real clock.
+	return make(chan time.Time)
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}
+
+// newFakeClockClient builds a resilient client whose clock is fully
+// virtual, so retry/breaker tests run in microseconds of wall time.
+func newFakeClockClient(baseURL string, cfg ResilienceConfig) (*Client, *fakeClock) {
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 42
+	}
+	fc := newFakeClock()
+	c := NewClient(baseURL)
+	c.res = newResilience(cfg, fc)
+	return c, fc
+}
+
+// flakyServer fails the first n requests with the given status, then
+// succeeds. It counts every request it sees.
+func flakyServer(t *testing.T, failFirst int64, status int, header http.Header) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= failFirst {
+			for k, vs := range header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":"injected %d"}`, status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","uptime_s":1,"experiments":31}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	ts, hits := flakyServer(t, 2, http.StatusServiceUnavailable, nil)
+	c, fc := newFakeClockClient(ts.URL, ResilienceConfig{
+		MaxAttempts: 5,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+	})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health: %+v", h)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3", n)
+	}
+	if got := c.res.getVar(rvRetries); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+	// Full jitter: each sleep must be below its attempt's ceiling.
+	sleeps := fc.recorded()
+	if len(sleeps) != 2 {
+		t.Fatalf("recorded sleeps %v, want 2", sleeps)
+	}
+	for i, d := range sleeps {
+		ceiling := 100 * time.Millisecond << i
+		if d < 0 || d >= ceiling {
+			t.Errorf("sleep %d = %v, want in [0, %v)", i, d, ceiling)
+		}
+	}
+}
+
+func TestRetryBoundedByMaxAttempts(t *testing.T) {
+	ts, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c, _ := newFakeClockClient(ts.URL, ResilienceConfig{MaxAttempts: 3})
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want exactly MaxAttempts=3", n)
+	}
+}
+
+func TestRetryBudgetStopsRetryStorm(t *testing.T) {
+	ts, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c, _ := newFakeClockClient(ts.URL, ResilienceConfig{
+		MaxAttempts:  10,
+		RetryBudget:  3,
+		BudgetRefill: time.Hour, // effectively no refill at fake-clock scale
+	})
+	// First call: 1 try + 3 budgeted retries, then the bucket is dry.
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := hits.Load(); n != 4 {
+		t.Errorf("first call: server saw %d requests, want 4 (1 + budget 3)", n)
+	}
+	// Second call: no tokens left → single attempt.
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := hits.Load(); n != 5 {
+		t.Errorf("second call: server saw %d total, want 5 (no retries left)", n)
+	}
+	if got := c.res.getVar(rvBudgetExhausted); got < 2 {
+		t.Errorf("budget_exhausted = %d, want >= 2", got)
+	}
+}
+
+func TestRetryBudgetRefills(t *testing.T) {
+	ts, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c, fc := newFakeClockClient(ts.URL, ResilienceConfig{
+		MaxAttempts:  2,
+		RetryBudget:  1,
+		BudgetRefill: time.Second,
+	})
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	} // 2 attempts, bucket empty
+	fc.advance(3 * time.Second) // refill (capped at 1)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	} // 2 more attempts
+	if n := hits.Load(); n != 4 {
+		t.Errorf("server saw %d requests, want 4 after refill", n)
+	}
+}
+
+func TestRetryAfterIsHonored(t *testing.T) {
+	hdr := http.Header{}
+	hdr.Set("Retry-After", "7")
+	ts, _ := flakyServer(t, 1, http.StatusTooManyRequests, hdr)
+	c, fc := newFakeClockClient(ts.URL, ResilienceConfig{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	})
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	sleeps := fc.recorded()
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Errorf("sleeps = %v, want exactly [7s] from Retry-After", sleeps)
+	}
+	if got := c.res.getVar(rvRetryAfterWaits); got != 1 {
+		t.Errorf("retry_after_waits = %d, want 1", got)
+	}
+}
+
+func TestNonRetryableStatusFailsFast(t *testing.T) {
+	ts, hits := flakyServer(t, 1<<30, http.StatusBadRequest, nil)
+	c, _ := newFakeClockClient(ts.URL, ResilienceConfig{MaxAttempts: 5})
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1 (400 is terminal)", n)
+	}
+}
+
+// TestBreakerTransitions drives the full closed → open → half-open →
+// closed cycle with a deterministic fake clock.
+func TestBreakerTransitions(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"down"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","uptime_s":1,"experiments":31}`)
+	}))
+	defer ts.Close()
+	c, fc := newFakeClockClient(ts.URL, ResilienceConfig{
+		MaxAttempts:      1, // isolate breaker behavior from retries
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+	})
+	ctx := context.Background()
+	br := c.res.breakerFor("/healthz")
+
+	// Two consecutive failures open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Health(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if got := br.current(); got != breakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if got := c.res.getVar(rvBreakerOpens); got != 1 {
+		t.Errorf("breaker_opens = %d, want 1", got)
+	}
+
+	// While open, calls fail fast without touching the server.
+	before := hits.Load()
+	_, err := c.Health(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit: err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open circuit still reached the server")
+	}
+	if got := c.res.getVar(rvBreakerRejects); got != 1 {
+		t.Errorf("breaker_rejects = %d, want 1", got)
+	}
+
+	// After the cooldown the breaker admits a probe; a failing probe
+	// re-opens the circuit.
+	fc.advance(11 * time.Second)
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("probe against down server should fail")
+	}
+	if got := br.current(); got != breakerOpen {
+		t.Fatalf("after failed probe: state %v, want open again", got)
+	}
+
+	// Recovery: cooldown, healthy server, successful probe closes it.
+	healthy.Store(true)
+	fc.advance(11 * time.Second)
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatalf("probe against healthy server: %v", err)
+	}
+	if got := br.current(); got != breakerClosed {
+		t.Fatalf("after successful probe: state %v, want closed", got)
+	}
+	if got := c.res.getVar(rvBreakerProbes); got != 2 {
+		t.Errorf("breaker_probes = %d, want 2", got)
+	}
+
+	// Closed again: calls flow normally.
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+// TestBreakersArePerEndpoint: opening /healthz's circuit must not affect
+// /v1/experiments.
+func TestBreakersArePerEndpoint(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"down"}`)
+			return
+		}
+		fmt.Fprint(w, `[]`)
+	}))
+	defer ts.Close()
+	c, _ := newFakeClockClient(ts.URL, ResilienceConfig{MaxAttempts: 1, BreakerThreshold: 1})
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	if _, err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("healthz circuit should be open, got %v", err)
+	}
+	if _, err := c.Experiments(ctx); err != nil {
+		t.Fatalf("experiments endpoint caught healthz's breaker: %v", err)
+	}
+}
+
+// TestHedgedRequestWins uses the real clock: the primary request wedges,
+// the hedge fires after HedgeAfter and completes first.
+func TestHedgedRequestWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // wedge the primary until the test ends
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","uptime_s":1,"experiments":31}`)
+	}))
+	defer ts.Close()
+	defer close(release)
+	c := NewResilientClient(ts.URL, ResilienceConfig{
+		MaxAttempts: 1,
+		HedgeAfter:  20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("hedged Health: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health: %+v", h)
+	}
+	if got := c.res.getVar(rvHedges); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+	if got := c.res.getVar(rvHedgeWins); got != 1 {
+		t.Errorf("hedge_wins = %d, want 1", got)
+	}
+	if got := c.ResilienceVars(); got == nil {
+		t.Error("ResilienceVars() nil for resilient client")
+	}
+}
+
+// TestClientDrainsBodiesForConnectionReuse is the regression test for the
+// body-drain bugfix: even when a response body exceeds the client's read
+// limit (or belongs to an error status), the remainder must be drained so
+// the keep-alive connection returns to the pool. Without the drain, each
+// oversized response burns its connection and Reused stays false.
+func TestClientDrainsBodiesForConnectionReuse(t *testing.T) {
+	big := make([]byte, 8<<10)
+	for i := range big {
+		big[i] = 'x'
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/big":
+			w.Write(big)
+		case "/error":
+			w.WriteHeader(http.StatusNotFound)
+			w.Write(big)
+		default:
+			fmt.Fprint(w, `{"status":"ok","uptime_s":1,"experiments":31}`)
+		}
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.maxBody = 64 // force truncation so the drain path matters
+
+	var mu sync.Mutex
+	var reused []bool
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			mu.Lock()
+			reused = append(reused, info.Reused)
+			mu.Unlock()
+		},
+	}
+	ctx := httptrace.WithClientTrace(context.Background(), trace)
+
+	// Oversized 200 body (out == nil discards it), oversized 404 body,
+	// then a normal call: all three on one connection.
+	if err := c.do(ctx, http.MethodGet, "/big", nil, nil); err != nil {
+		t.Fatalf("big: %v", err)
+	}
+	var apiErr *APIError
+	if err := c.do(ctx, http.MethodGet, "/error", nil, nil); !errors.As(err, &apiErr) {
+		t.Fatalf("error path: %v", err)
+	}
+	if err := c.do(ctx, http.MethodGet, "/big", nil, nil); err != nil {
+		t.Fatalf("big again: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reused) != 3 {
+		t.Fatalf("saw %d connections, want 3", len(reused))
+	}
+	if reused[0] {
+		t.Error("first request unexpectedly reused a connection")
+	}
+	for i, r := range reused[1:] {
+		if !r {
+			t.Errorf("request %d did not reuse the connection (body not drained)", i+2)
+		}
+	}
+}
+
+// TestPlainClientHasNoResilience pins the compatibility contract: NewClient
+// stays single-attempt so raw 429/504 statuses surface to callers.
+func TestPlainClientHasNoResilience(t *testing.T) {
+	ts, hits := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c := NewClient(ts.URL)
+	if c.ResilienceVars() != nil {
+		t.Error("plain client has resilience vars")
+	}
+	var apiErr *APIError
+	if _, err := c.Health(context.Background()); !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Errorf("plain client made %d attempts, want 1", n)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Errorf("seconds form: %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("empty: %v", d)
+	}
+	if d := parseRetryAfter("-5"); d != 0 {
+		t.Errorf("negative: %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Errorf("garbage: %v", d)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 20*time.Second || d > 31*time.Second {
+		t.Errorf("http-date form: %v", d)
+	}
+	past := time.Now().Add(-30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("past http-date: %v", d)
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"torusnet/internal/bisect"
@@ -57,11 +58,19 @@ type AnalyzeResponse struct {
 	SweepCut         CutSummary `json:"sweep_cut"`
 	DimensionCut     CutSummary `json:"dimension_cut"`
 	// Engine reports which load engine produced E_max ("symmetry" for the
-	// translation fast path, "generic" for the pair loop). Engine choice
-	// never changes results beyond float summation order, so it is not
-	// part of the cache key.
+	// translation fast path, "generic" for the pair loop, "montecarlo" for
+	// degraded answers). Engine choice never changes exact results beyond
+	// float summation order, so it is not part of the cache key.
 	Engine string `json:"engine"`
 	Cached bool   `json:"cached"`
+	// Degraded marks a load-shed answer: EMax is a Monte Carlo estimate
+	// over DegradedRounds exchanges rather than the exact expectation, and
+	// ErrorBound is 3× the standard error of that estimate at the maximal
+	// edge (0 when the routing is single-path, e.g. ODR, whose samples
+	// have no spread — the estimate is then exact). Degraded answers are
+	// never cached.
+	Degraded   bool    `json:"degraded,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // BoundsResponse reports every lower bound of the paper for a placement.
@@ -179,6 +188,92 @@ func computeAnalyze(req AnalyzeRequest, opts load.Options) (AnalyzeResponse, err
 		SweepCut:         cutSummary(rep.SweepCut),
 		DimensionCut:     cutSummary(rep.DimensionCut),
 		Engine:           rep.Load.Engine,
+	}, nil
+}
+
+// computeDegradedAnalyze is the load-shed answer for /v1/analyze: the
+// bound suite is still exact (it is cheap), but E_max comes from a
+// fixed-round Monte Carlo sample instead of the exact engine, with a
+// 3-standard-error bound on the estimate. The sampling seed derives from
+// the cache key, so degraded answers for one canonical request are
+// deterministic and replayable.
+func computeDegradedAnalyze(req AnalyzeRequest, opts load.Options, rounds int) (AnalyzeResponse, error) {
+	p, err := buildPlacement(req.Placement, req.K, req.D)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	alg, err := cliutil.ParseRouting(req.Routing)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	h := fnv.New64a()
+	//lint:ignore errcheck-lite fnv.Write is documented to never return an error
+	h.Write([]byte(req.CacheKey()))
+	seed := int64(h.Sum64())
+	mc := load.MonteCarlo(p, alg, rounds, seed, opts)
+
+	// The cheap exact half: density, bounds, cuts (same math as
+	// computeBounds, assembled into the analyze shape).
+	t := p.Torus()
+	uniform := p.IsUniform()
+	kd1 := 1.0
+	for i := 0; i < t.D()-1; i++ {
+		kd1 *= float64(t.K())
+	}
+	densityC := 0.0
+	if kd1 > 0 {
+		densityC = float64(p.Size()) / kd1
+	}
+	blaum := bounds.Blaum(p.Size(), t.D())
+	sweepCut := bisect.Sweep(p)
+	dimCut := bisect.BestDimensionCut(p)
+	bisection := bounds.Bisection(p.Size(), sweepCut.Width())
+	if dimCut.Balanced() {
+		if b := bounds.Bisection(p.Size(), dimCut.Width()); b > bisection {
+			bisection = b
+		}
+	}
+	improved := 0.0
+	if uniform {
+		improved = bounds.Improved(densityC, t.K(), t.D())
+	}
+	best := math.Max(blaum, math.Max(bisection, improved))
+
+	total := 0.0
+	for _, v := range mc.MeanLoads {
+		total += v
+	}
+	ratio := 0.0
+	if best > 0 {
+		ratio = mc.MaxMean / best
+	}
+	perProc := 0.0
+	if p.Size() > 0 {
+		perProc = mc.MaxMean / float64(p.Size())
+	}
+	return AnalyzeResponse{
+		K:                req.K,
+		D:                req.D,
+		Placement:        req.Placement,
+		Routing:          req.Routing,
+		PlacementName:    p.Name(),
+		Processors:       p.Size(),
+		Uniform:          uniform,
+		DensityC:         densityC,
+		EMax:             mc.MaxMean,
+		MaxEdge:          t.EdgeString(mc.MaxMeanEdge),
+		LoadPerProcessor: perProc,
+		TotalLoad:        total,
+		BlaumBound:       jsonSafe(blaum),
+		BisectionBound:   jsonSafe(bisection),
+		ImprovedBound:    jsonSafe(improved),
+		BestLowerBound:   jsonSafe(best),
+		OptimalityRatio:  jsonSafe(ratio),
+		SweepCut:         cutSummary(sweepCut),
+		DimensionCut:     cutSummary(dimCut),
+		Engine:           load.EngineMonteCarlo,
+		Degraded:         true,
+		ErrorBound:       jsonSafe(3 * mc.MaxMeanStdErr),
 	}, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"torusnet/internal/failpoint"
 	"torusnet/internal/load"
 	"torusnet/internal/sweep"
 )
@@ -49,6 +50,22 @@ type Config struct {
 	// results beyond float summation order, so it is not part of cache
 	// keys; the toggle exists for debugging and A/B measurement.
 	DisableFastPath bool
+	// DegradeWatermark is the pool-utilization fraction
+	// ((running+queued)/(workers+queue)) past which /v1/analyze sheds load
+	// by answering with a Monte Carlo estimate ("degraded": true) instead
+	// of queueing an exact analysis. 0 means 0.9; negative disables
+	// watermark-driven degradation (the service.admission failpoint can
+	// still force it). Cached exact answers are served either way.
+	DegradeWatermark float64
+	// DegradedRounds is the Monte Carlo round count behind degraded
+	// answers; 0 means 16. More rounds tighten the reported error bound at
+	// proportional inline cost.
+	DegradedRounds int
+	// WedgeTimeout is how long one pooled job may execute before the
+	// watchdog declares its worker wedged and spawns a replacement to
+	// restore pool capacity. 0 means 2×RequestTimeout; negative disables
+	// the watchdog.
+	WedgeTimeout time.Duration
 	// AccessLog receives one structured JSON line per request; nil
 	// disables access logging.
 	AccessLog io.Writer
@@ -88,6 +105,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.DegradeWatermark == 0 {
+		c.DegradeWatermark = 0.9
+	}
+	if c.DegradedRounds <= 0 {
+		c.DegradedRounds = 16
+	}
+	if c.WedgeTimeout == 0 {
+		c.WedgeTimeout = 2 * c.RequestTimeout
+	}
 	return c
 }
 
@@ -124,10 +150,13 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(cfg.CacheSize, ttl),
 		flight:  newFlightGroup(),
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.WedgeTimeout),
 		metrics: newMetrics(),
 		started: time.Now(),
 	}
+	s.metrics.vars.Set("pool_worker_restarts", expvar.Func(func() any { return s.pool.restarts.Load() }))
+	s.metrics.vars.Set("pool_worker_replacements", expvar.Func(func() any { return s.pool.replacements.Load() }))
+	s.metrics.vars.Set("pool_utilization", expvar.Func(func() any { return s.pool.utilization() }))
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
@@ -212,20 +241,51 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// cacheGet reads the result cache through its failpoint: an injected
+// partial fault degrades to a forced miss (the cache is "down" but the
+// request survives), an injected error fails the read.
+func (s *Server) cacheGet(key string) (any, bool, error) {
+	if err := fpCacheGet.Inject(); err != nil {
+		if failpoint.IsPartial(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	v, ok := s.cache.get(key)
+	return v, ok, nil
+}
+
+// cachePut fills the result cache through its failpoint: any injected
+// fault skips the fill — the response still succeeds, the cache stays
+// cold.
+func (s *Server) cachePut(key string, v any) {
+	if err := fpCachePut.Inject(); err != nil {
+		return
+	}
+	s.cache.put(key, v)
+}
+
 // execute is the shared cache → coalesce → pool path of every POST
 // endpoint. compute must return an immutable value; cached reports whether
 // this caller was served from the result cache.
 func (s *Server) execute(ctx context.Context, key string, compute func() (any, error)) (val any, cached bool, err error) {
-	if v, ok := s.cache.get(key); ok {
+	if v, ok, err := s.cacheGet(key); err != nil {
+		return nil, false, err
+	} else if ok {
 		s.metrics.add(mCacheHits, 1)
 		return v, true, nil
 	}
 	s.metrics.add(mCacheMisses, 1)
 	v, err, shared := s.flight.do(key, func() (any, error) {
+		if err := fpFlightLeader.Inject(); err != nil && !failpoint.IsPartial(err) {
+			return nil, err
+		}
 		// Double-check under the flight: a caller that lost the
 		// cache-check/flight race to a just-finished leader finds the
 		// fresh entry here instead of recomputing.
-		if v, ok := s.cache.get(key); ok {
+		if v, ok, err := s.cacheGet(key); err != nil {
+			return nil, err
+		} else if ok {
 			s.metrics.add(mCacheHits, 1)
 			return v, nil
 		}
@@ -236,7 +296,7 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (any, e
 			return compute()
 		})
 		if err == nil {
-			s.cache.put(key, v)
+			s.cachePut(key, v)
 		}
 		return v, err
 	})
@@ -244,6 +304,16 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (any, e
 		s.metrics.add(mCoalesced, 1)
 	}
 	return v, false, err
+}
+
+// shouldDegrade is the admission controller: /v1/analyze sheds to a Monte
+// Carlo answer when the pool is past the configured watermark, or when the
+// service.admission failpoint forces it.
+func (s *Server) shouldDegrade() bool {
+	if err := fpAdmission.Inject(); err != nil {
+		return true
+	}
+	return s.cfg.DegradeWatermark > 0 && s.pool.utilization() >= s.cfg.DegradeWatermark
 }
 
 // readRequest enforces the body cap and strict JSON decoding; on failure
@@ -284,7 +354,11 @@ func (s *Server) failCompute(w http.ResponseWriter, err error) {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(v); err != nil {
+	err := enc.Encode(v)
+	if err == nil {
+		err = fpEncode.Inject()
+	}
+	if err != nil {
 		http.Error(w, `{"error":"service: response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}
@@ -315,7 +389,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
+	key := req.CacheKey()
+	if s.shouldDegrade() {
+		// Cached exact answers are free — serve them even under pressure.
+		if v, ok, cerr := s.cacheGet(key); cerr == nil && ok {
+			s.metrics.add(mCacheHits, 1)
+			resp := v.(AnalyzeResponse)
+			resp.Cached = true
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// Shed: answer inline with a Monte Carlo estimate, bypassing the
+		// saturated pool. Degraded answers are never cached — the next
+		// uncontended request computes and caches the exact result.
+		s.metrics.add(mDegraded, 1)
+		resp, derr := computeDegradedAnalyze(req, s.cfg.loadOptions(), s.cfg.DegradedRounds)
+		if derr != nil {
+			s.failCompute(w, derr)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	v, cached, err := s.execute(ctx, key, func() (any, error) {
 		resp, err := computeAnalyze(req, s.cfg.loadOptions())
 		if err != nil {
 			return nil, err

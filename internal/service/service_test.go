@@ -287,11 +287,14 @@ func TestCoalescing(t *testing.T) {
 }
 
 // TestBackpressure fills the single worker and the one queue slot, then
-// asserts the next request is shed with 429 + Retry-After.
+// asserts the next request is shed with 429 + Retry-After. Degradation is
+// disabled so the raw queue-full path stays reachable (with the default
+// watermark, a saturated pool answers degraded 200s instead — covered by
+// the chaos suite).
 func TestBackpressure(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 4)
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := New(Config{Workers: 1, QueueDepth: 1, DegradeWatermark: -1})
 	s.onCompute = func(key string) {
 		started <- key
 		<-release

@@ -3,7 +3,16 @@ package sweep
 import (
 	"fmt"
 	"sort"
+
+	"torusnet/internal/failpoint"
 )
+
+// fpExperiment fires at the start of every registered experiment run.
+// Error and panic specs panic (Run has no error return; torusd's pool
+// shield maps the panic to a 500), sleep stalls the run, and a partial
+// spec truncates the table to its first half with an explanatory note —
+// the sweep-level model of a run cut short.
+var fpExperiment = failpoint.New("sweep.experiment")
 
 // Experiment is one registered reproduction experiment.
 type Experiment struct {
@@ -30,6 +39,21 @@ var registry = map[string]Experiment{}
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("sweep: duplicate experiment " + e.ID)
+	}
+	inner := e.Run
+	e.Run = func(scale Scale) *Table {
+		if err := fpExperiment.Inject(); err != nil {
+			if !failpoint.IsPartial(err) {
+				panic(err)
+			}
+			tb := inner(scale)
+			if n := len(tb.Rows); n > 1 {
+				tb.Rows = tb.Rows[:(n+1)/2]
+				tb.AddNote("partial result: truncated to %d of %d rows by failpoint sweep.experiment", len(tb.Rows), n)
+			}
+			return tb
+		}
+		return inner(scale)
 	}
 	registry[e.ID] = e
 }

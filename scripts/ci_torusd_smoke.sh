@@ -4,8 +4,12 @@
 # Builds cmd/torusd, boots it on a local port with the pprof sidecar
 # enabled, polls /healthz until ready, issues one POST /v1/analyze, and
 # asserts a 200 with well-formed JSON plus a live /debug/pprof/ index on
-# the sidecar before shutting the server down. Run from the repository
-# root; CI runs it via `make smoke-torusd`.
+# the sidecar before shutting the server down. It then exercises the chaos
+# surface end to end: arms a failpoint through /debug/failpoints on the
+# sidecar and asserts the injected 500, and forces the admission
+# controller into degraded mode and asserts a Monte Carlo answer tagged
+# "degraded": true. Run from the repository root; CI runs it via
+# `make smoke-torusd`.
 set -euo pipefail
 
 PORT="${TORUSD_PORT:-18080}"
@@ -67,6 +71,55 @@ fi
 echo "smoke: checking /debug/vars counters"
 curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1' >/dev/null || {
     echo "smoke: FAIL — /debug/vars missing expected torusd counters" >&2
+    exit 1
+}
+
+echo "smoke: arming service.cache.get failpoint via the sidecar"
+curl -fsS -X PUT -d '1*error' "${DEBUG_BASE}/debug/failpoints/service.cache.get" >/dev/null || {
+    echo "smoke: FAIL — could not arm failpoint via /debug/failpoints" >&2
+    exit 1
+}
+status=$(curl -sS -o /tmp/torusd_smoke_fault.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$body" "${BASE}/v1/analyze")
+if [ "$status" != "500" ]; then
+    echo "smoke: FAIL — injected cache fault should 500, got ${status}:" >&2
+    cat /tmp/torusd_smoke_fault.json >&2
+    exit 1
+fi
+# The spec was counted (1*error), so the same request must succeed again.
+status=$(curl -sS -o /dev/null -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$body" "${BASE}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke: FAIL — analyze did not recover after the counted fault (${status})" >&2
+    exit 1
+fi
+
+echo "smoke: forcing degraded mode via the admission failpoint"
+curl -fsS -X PUT -d 'error' "${DEBUG_BASE}/debug/failpoints/service.admission" >/dev/null
+# A fresh (uncached) request must come back 200 as a Monte Carlo estimate.
+deg_body='{"k":6,"d":2,"placement":"linear","routing":"odr"}'
+status=$(curl -sS -o /tmp/torusd_smoke_degraded.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$deg_body" "${BASE}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke: FAIL — degraded analyze returned ${status}:" >&2
+    cat /tmp/torusd_smoke_degraded.json >&2
+    exit 1
+fi
+jq -e '.degraded == true and .engine == "montecarlo" and .e_max > 0' \
+    /tmp/torusd_smoke_degraded.json >/dev/null || {
+    echo "smoke: FAIL — degraded response malformed:" >&2
+    cat /tmp/torusd_smoke_degraded.json >&2
+    exit 1
+}
+curl -fsS -X DELETE "${DEBUG_BASE}/debug/failpoints/service.admission" >/dev/null
+# With admission recovered, the same request must compute exactly.
+curl -sS -H 'Content-Type: application/json' -d "$deg_body" "${BASE}/v1/analyze" \
+    | jq -e '(.degraded // false) == false' >/dev/null || {
+    echo "smoke: FAIL — server still degraded after disarming admission" >&2
+    exit 1
+}
+curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.degraded >= 1' >/dev/null || {
+    echo "smoke: FAIL — degraded counter missing from /debug/vars" >&2
     exit 1
 }
 

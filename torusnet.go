@@ -6,6 +6,7 @@ import (
 	"torusnet/internal/bsp"
 	"torusnet/internal/core"
 	"torusnet/internal/cover"
+	"torusnet/internal/failpoint"
 	"torusnet/internal/faults"
 	"torusnet/internal/load"
 	"torusnet/internal/placement"
@@ -143,6 +144,8 @@ const (
 	EngineGeneric = load.EngineGeneric
 	// EngineSymmetry marks results from the translation fast path.
 	EngineSymmetry = load.EngineSymmetry
+	// EngineMonteCarlo marks empirical estimates (degraded torusd answers).
+	EngineMonteCarlo = load.EngineMonteCarlo
 )
 
 // MaxEngineDivergence reports the largest absolute per-edge difference
@@ -453,5 +456,46 @@ const ServiceMaxNodes = service.DefaultMaxNodes
 // mount Service.Handler on an existing mux.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
-// NewServiceClient returns a typed client for a torusd base URL.
+// NewServiceClient returns a typed client for a torusd base URL. It is
+// single-attempt: every transport or HTTP error surfaces immediately. Use
+// NewResilientServiceClient for retries, hedging, and a circuit breaker.
 func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// ClientResilienceConfig tunes the resilient client's retry policy:
+// attempt cap, jittered exponential backoff, retry budget, request
+// hedging, and the per-endpoint circuit breaker. The zero value selects
+// the documented defaults.
+type ClientResilienceConfig = service.ResilienceConfig
+
+// ErrServiceCircuitOpen is returned (wrapped) by a resilient client when
+// an endpoint's circuit breaker is open and the call was not attempted.
+var ErrServiceCircuitOpen = service.ErrCircuitOpen
+
+// NewResilientServiceClient returns a torusd client that retries transient
+// failures with capped jittered backoff (honoring Retry-After), hedges
+// slow requests, and trips a per-endpoint circuit breaker. Degraded
+// server answers are marked by AnalyzeResponse.Degraded with a Monte
+// Carlo ErrorBound.
+func NewResilientServiceClient(baseURL string, cfg ClientResilienceConfig) *ServiceClient {
+	return service.NewResilientClient(baseURL, cfg)
+}
+
+// Fault injection (package failpoint): named chaos sites threaded through
+// the service, load, and sweep layers for robustness testing. Sites are
+// armed with a spec string — "error", "panic", "sleep(100ms)", "partial",
+// optionally counted like "3*error" — and cost one atomic load when
+// disarmed. torusd also exposes them on its debug sidecar at
+// /debug/failpoints and arms them from the TORUSNET_FAILPOINTS
+// environment variable or the -failpoints flag at boot.
+
+// FailpointEnable arms the named site with a spec ("off" disarms).
+func FailpointEnable(site, spec string) error { return failpoint.Enable(site, spec) }
+
+// FailpointDisable disarms the named site.
+func FailpointDisable(site string) error { return failpoint.Disable(site) }
+
+// FailpointDisableAll disarms every registered site.
+func FailpointDisableAll() { failpoint.DisableAll() }
+
+// FailpointSites lists every registered site name, sorted.
+func FailpointSites() []string { return failpoint.Sites() }
