@@ -9,7 +9,7 @@ FUZZ_TARGETS := \
 	./internal/torus:FuzzTranslateEdge \
 	./internal/service:FuzzDecodeAnalyzeRequest
 
-.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos ci
+.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos profile ci
 
 all: build
 
@@ -64,6 +64,14 @@ bench-service:
 # request through /healthz + /v1/analyze + /debug/vars (CI gate).
 smoke-torusd:
 	./scripts/ci_torusd_smoke.sh
+
+# profile captures a CPU profile from a running torusd's debug sidecar
+# while streaming uncached analyze load at the API, then prints the top
+# functions and the pprof label breakdown (endpoint/engine/experiment
+# labels). Boot the server first:
+#   go run ./cmd/torusd -addr :8080 -debug-addr 127.0.0.1:6060
+profile:
+	./scripts/profile_torusd.sh
 
 # chaos runs the fault-injection suite under the race detector: every
 # registered failpoint fires against a live server, pool workers are

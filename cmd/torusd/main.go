@@ -1,16 +1,23 @@
 // Command torusd serves the torusnet analyses over HTTP: exact E_max loads
 // (POST /v1/analyze), the paper's lower bounds (POST /v1/bounds), bisection
 // constructions (POST /v1/bisect), and the E1–E31 experiment registry
-// (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz and
-// expvar metrics at /debug/vars. Identical requests are cached (LRU + TTL)
-// and concurrent identical requests are coalesced into one computation.
+// (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz, expvar
+// metrics at /debug/vars, and Prometheus text metrics at /metrics.
+// Identical requests are cached (LRU + TTL) and concurrent identical
+// requests are coalesced into one computation.
+//
+// Every request carries a W3C traceparent ID (incoming honored, otherwise
+// minted) that is echoed on the response and in access logs; per-request
+// span trees are buffered in a ring readable as JSON at /debug/traces on
+// the debug sidecar. See OBSERVABILITY.md for the full operator guide.
 //
 // Usage:
 //
 //	torusd -addr :8080
 //	torusd -addr 127.0.0.1:8080 -workers 8 -queue 32 -cache 1024 -ttl 10m
-//	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # net/http/pprof + failpoint sidecar
+//	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + failpoints + /debug/traces sidecar
 //	torusd -addr :8080 -no-fastpath                 # force the generic load engine
+//	torusd -addr :8080 -slow-threshold 250ms        # warn-log slow requests
 //	torusd -selfbench results/BENCH_service.json    # micro-benchmark, then exit
 //	torusd -failpoints 'service.cache.get=error'    # boot with chaos faults armed
 //
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"torusnet/internal/failpoint"
+	"torusnet/internal/obs"
 	"torusnet/internal/service"
 )
 
@@ -62,8 +70,18 @@ func main() {
 		degradedN  = flag.Int("degraded-rounds", 0, "Monte Carlo rounds behind degraded answers (0 = 16)")
 		wedge      = flag.Duration("wedge-timeout", 0, "watchdog deadline before a wedged pool worker is replaced (0 = 2×timeout, negative = no watchdog)")
 		failpoints = flag.String("failpoints", "", "semicolon-separated site=spec failpoints to arm at boot (see /debug/failpoints for sites)")
+		traceBuf   = flag.Int("trace-buf", 0, "finished request traces retained for /debug/traces (0 = 256, negative = tracing off)")
+		slowThresh = flag.Duration("slow-threshold", 0, "warn-log requests slower than this (0 = disabled)")
 	)
 	flag.Parse()
+
+	// Gated counters (e.g. the routing-kernel pair counters) record only in
+	// serving processes; tests and benchmarks keep the gate off.
+	obs.SetCountersEnabled(true)
+	var tracer *obs.Tracer
+	if *traceBuf >= 0 {
+		tracer = obs.NewTracer(*traceBuf)
+	}
 
 	cfg := service.Config{
 		Workers:          *workers,
@@ -78,6 +96,8 @@ func main() {
 		DegradedRounds:   *degradedN,
 		WedgeTimeout:     *wedge,
 		AccessLog:        os.Stderr,
+		Tracer:           tracer,
+		SlowThreshold:    *slowThresh,
 	}
 
 	// Arm chaos faults before serving: env first, then the flag (the flag
@@ -137,8 +157,11 @@ func run(cfg service.Config, addr, debugAddr string) error {
 		fph := failpoint.Handler("/debug/failpoints")
 		mux.Handle("/debug/failpoints", fph)
 		mux.Handle("/debug/failpoints/", fph)
+		if cfg.Tracer != nil {
+			mux.Handle("/debug/traces", cfg.Tracer.Handler())
+		}
 		debugSrv = &http.Server{Handler: mux}
-		fmt.Fprintf(os.Stderr, "torusd: pprof + failpoints on %s\n", dln.Addr())
+		fmt.Fprintf(os.Stderr, "torusd: pprof + failpoints + traces on %s\n", dln.Addr())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "torusd: pprof server:", err)

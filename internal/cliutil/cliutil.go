@@ -1,5 +1,11 @@
 // Package cliutil parses the placement and routing specifications shared
-// by the command-line tools.
+// by the command-line tools: the placement grammar covers the paper's
+// families (the Definition 10 linear placements "linear[:c1,...,cd[:C]]",
+// the §5 multiple-linear unions, Blaum et al.'s shifted diagonal, full,
+// random, and explicit node lists) and the routing names map onto the §6/§7
+// algorithms (odr, udr, their multi-path variants, far, and mesh ODR).
+// Every cmd/* binary accepts the same spellings, so experiment invocations
+// are copy-pastable between tools.
 package cliutil
 
 import (

@@ -9,12 +9,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"torusnet/internal/bisect"
 	"torusnet/internal/bounds"
 	"torusnet/internal/load"
+	"torusnet/internal/obs"
 	"torusnet/internal/placement"
 	"torusnet/internal/routing"
 )
@@ -59,12 +61,25 @@ func Analyze(p *placement.Placement, alg routing.Algorithm, workers int) *Report
 // options (worker count, fast-path mode, cross-check), for callers like the
 // analysis service that expose engine toggles.
 func AnalyzeWithLoadOptions(p *placement.Placement, alg routing.Algorithm, opts load.Options) *Report {
+	return AnalyzeCtx(context.Background(), p, alg, opts)
+}
+
+// AnalyzeCtx is AnalyzeWithLoadOptions with observability threaded through
+// ctx: the load engine records its engine-stage spans under any active
+// trace, and the bound/bisection evaluation gets its own span. With no
+// active trace the instrumentation is inert.
+func AnalyzeCtx(ctx context.Context, p *placement.Placement, alg routing.Algorithm, opts load.Options) *Report {
+	ctx, sp := obs.Start(ctx, "core.analyze")
+	defer sp.End()
+	sp.SetAttr("algorithm", alg.Name())
 	t := p.Torus()
 	rep := &Report{
 		Placement: p,
 		Algorithm: alg.Name(),
-		Load:      load.Compute(p, alg, opts),
+		Load:      load.ComputeCtx(ctx, p, alg, opts),
 	}
+	_, bsp := obs.Start(ctx, "core.bounds")
+	defer bsp.End()
 	rep.BlaumBound = bounds.Blaum(p.Size(), t.D())
 	rep.Uniform = p.IsUniform()
 

@@ -1,0 +1,79 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// runDoccomment enforces the repository's documentation contract. Two
+// checks:
+//
+//  1. Every package must carry a package doc comment on at least one of its
+//     files ("// Package x ..." — or "// Command x ..." for main packages).
+//     The operator docs (OBSERVABILITY.md, DESIGN.md) link into package docs
+//     by paper anchor, so an undocumented package is a broken link target.
+//
+//  2. Every exported declaration of the module-root facade package must have
+//     a doc comment: the facade is the public surface `go doc torusnet`
+//     renders, and an undocumented re-export hides which paper definition or
+//     subsystem it fronts. A doc comment on a grouped const/var/type
+//     declaration covers every spec in the group, matching go/doc; trailing
+//     same-line comments do not count.
+func runDoccomment(u *Unit, p *Package) []Finding {
+	var out []Finding
+	documented := false
+	for _, f := range p.Files {
+		if f.Doc != nil {
+			documented = true
+			break
+		}
+	}
+	if !documented && len(p.Files) > 0 {
+		// Files are sorted by name, so the first file is a stable anchor.
+		name := p.Files[0].Name.Name
+		out = append(out, u.finding("doccomment", p.Files[0].Package,
+			"package "+name+" has no package doc comment",
+			"add a // Package "+name+" ... comment (// Command ... for main) above one package clause"))
+	}
+	if p.Path != u.ModulePath {
+		return out
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() && d.Doc == nil {
+					out = append(out, u.finding("doccomment", d.Pos(),
+						"exported facade symbol "+d.Name.Name+" has no doc comment",
+						"document every re-export so go doc describes the public surface"))
+				}
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT || d.Doc != nil {
+					continue // a group doc documents every spec, as in go/doc
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil {
+							out = append(out, u.finding("doccomment", s.Pos(),
+								"exported facade symbol "+s.Name.Name+" has no doc comment",
+								"document every re-export so go doc describes the public surface"))
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								out = append(out, u.finding("doccomment", n.Pos(),
+									"exported facade symbol "+n.Name+" has no doc comment",
+									"document every re-export so go doc describes the public surface"))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -3,7 +3,8 @@
 // every package of the module and runs analyzers that enforce invariants the
 // paper reproduction depends on: normalized modular arithmetic on wrap
 // paths, overflow-guarded volume computations, no silently discarded errors,
-// sound sync primitive usage, and a facade that re-exports (or explicitly
+// sound sync primitive usage, package doc comments everywhere (with
+// documented facade re-exports), and a facade that re-exports (or explicitly
 // allowlists) every exported internal symbol.
 //
 // Findings can be silenced per line with a //lint:ignore <analyzer> <reason>
@@ -75,6 +76,11 @@ func All() []*Analyzer {
 			Name:    "retrymisuse",
 			Doc:     "flags uncancellable retry loops: bare time.Sleep in a for body, and <-time.After receives with no ctx.Done() escape",
 			Package: runRetrymisuse,
+		},
+		{
+			Name:    "doccomment",
+			Doc:     "flags packages without a package doc comment and undocumented exported declarations in the module-root facade package",
+			Package: runDoccomment,
 		},
 		{
 			Name:     "facade-complete",

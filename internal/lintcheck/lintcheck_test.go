@@ -25,6 +25,7 @@ var fixtureTrees = []struct {
 	{"errcheck", "errcheck-lite"},
 	{"syncmisuse", "syncmisuse"},
 	{"retrymisuse", "retrymisuse"},
+	{"doccomment", "doccomment"},
 	{"facade-bad", "facade-complete"},
 	{"facade-good", "facade-complete"},
 }

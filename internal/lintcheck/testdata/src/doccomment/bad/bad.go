@@ -1,0 +1,8 @@
+package bad // want "package bad has no package doc comment"
+
+// Exported is undocumented-package content: outside the facade package,
+// exported declarations are not checked, so only the missing package doc
+// above is flagged.
+func Exported(v int) int { return v + 1 }
+
+func AlsoExported(v int) int { return v - 1 }

@@ -1,0 +1,37 @@
+// Package docfacade is the fixture facade (module root): every exported
+// declaration here must carry a doc comment. Trailing same-line comments —
+// including the want markers themselves — do not count as documentation.
+package docfacade
+
+// Area is documented and must not be flagged.
+func Area(w, h int) int { return w * h }
+
+func Perimeter(w, h int) int { return 2 * (w + h) } // want "exported facade symbol Perimeter has no doc comment"
+
+// unexported declarations are never flagged, documented or not.
+func scale(v, s int) int { return v * s }
+
+// Shape is a documented type alias target.
+type Shape struct{ W, H int }
+
+type Box struct{ S Shape } // want "exported facade symbol Box has no doc comment"
+
+// Sides is a documented constant.
+const Sides = 4
+
+const Corners = 4 // want "exported facade symbol Corners has no doc comment"
+
+var Origin = Shape{} // want "exported facade symbol Origin has no doc comment"
+
+// Named dimensions: a doc comment on the group covers every spec, matching
+// go/doc, so none of these is flagged.
+const (
+	Width  = 0
+	Height = 1
+)
+
+const (
+	// Depth carries its own spec doc and passes.
+	Depth  = 2
+	Layers = 3 // want "exported facade symbol Layers has no doc comment"
+)

@@ -1,0 +1,5 @@
+// Package good carries a package doc comment, so nothing here is flagged —
+// exported declarations outside the facade need no per-symbol docs.
+package good
+
+func Exported(v int) int { return v * 2 }

@@ -1,10 +1,12 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"torusnet/internal/obs"
 	"torusnet/internal/placement"
 	"torusnet/internal/routing"
 	"torusnet/internal/torus"
@@ -46,7 +48,7 @@ type scatterJob struct {
 // computeSymmetry runs the fast path, reporting ok=false when it does not
 // apply: non-equivariant algorithm, fewer than two processors, or (unless
 // force) a trivial stabilizer that would make it a slower generic engine.
-func computeSymmetry(p *placement.Placement, alg routing.Algorithm, workers int, force bool) (*Result, bool) {
+func computeSymmetry(ctx context.Context, p *placement.Placement, alg routing.Algorithm, workers int, force bool) (*Result, bool) {
 	if !routing.IsTranslationEquivariant(alg) {
 		return nil, false
 	}
@@ -84,36 +86,44 @@ func computeSymmetry(p *placement.Placement, alg routing.Algorithm, workers int,
 	// destination, serial with a fixed destination order so the summation
 	// order never depends on the worker count.
 	ia, hasInto := alg.(routing.InplaceAccumulator)
-	var sc *routing.PairScratch
-	if hasInto {
-		sc = routing.NewPairScratch(t)
-	}
-	baseBuf := make([]float64, t.Edges())
-	addBase := func(e torus.Edge, weight float64) { baseBuf[e] += weight }
 	bases := make([][]nnzEntry, len(reps))
-	for oi, rep := range reps {
-		for i := range baseBuf {
-			baseBuf[i] = 0
-		}
-		for _, dst := range procs {
-			if dst == rep {
-				continue
-			}
+	func() {
+		_, bsp := obs.Start(ctx, "load.bases")
+		defer bsp.End()
+		bsp.SetAttrInt("orbits", int64(len(reps)))
+		bsp.SetAttrInt("stabilizer", int64(len(stab)))
+		withEngineLabel(ctx, EngineSymmetry, func() {
+			var sc *routing.PairScratch
 			if hasInto {
-				ia.AccumulatePairInto(t, rep, dst, baseBuf, sc)
-			} else {
-				alg.AccumulatePair(t, rep, dst, addBase)
+				sc = routing.NewPairScratch(t)
 			}
-		}
-		nnz := make([]nnzEntry, 0, len(procs)*t.D()*t.K()/2)
-		td2 := 2 * t.D()
-		for e, w := range baseBuf {
-			if w != 0 {
-				nnz = append(nnz, nnzEntry{u: int32(e / td2), slot: int32(e % td2), w: w})
+			baseBuf := make([]float64, t.Edges())
+			addBase := func(e torus.Edge, weight float64) { baseBuf[e] += weight }
+			for oi, rep := range reps {
+				for i := range baseBuf {
+					baseBuf[i] = 0
+				}
+				for _, dst := range procs {
+					if dst == rep {
+						continue
+					}
+					if hasInto {
+						ia.AccumulatePairInto(t, rep, dst, baseBuf, sc)
+					} else {
+						alg.AccumulatePair(t, rep, dst, addBase)
+					}
+				}
+				nnz := make([]nnzEntry, 0, len(procs)*t.D()*t.K()/2)
+				td2 := 2 * t.D()
+				for e, w := range baseBuf {
+					if w != 0 {
+						nnz = append(nnz, nnzEntry{u: int32(e / td2), slot: int32(e % td2), w: w})
+					}
+				}
+				bases[oi] = nnz
 			}
-		}
-		bases[oi] = nnz
-	}
+		})
+	}()
 
 	// Replication: every job translates its orbit's nonzeros through a
 	// per-worker node-translation table. Same striped partition + worker-
@@ -123,31 +133,42 @@ func computeSymmetry(p *placement.Placement, alg routing.Algorithm, workers int,
 	}
 	td2 := 2 * t.D()
 	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([]float64, t.Edges())
-			table := make([]torus.Node, t.Nodes())
-			for ji := w; ji < len(jobs); ji += workers {
-				job := jobs[ji]
-				t.TranslationTableInto(job.offset, table)
-				for _, ent := range bases[job.orbit] {
-					local[int(table[ent.u])*td2+int(ent.slot)] += ent.w
-				}
+	func() {
+		_, ssp := obs.Start(ctx, "load.scatter")
+		defer ssp.End()
+		ssp.SetAttrInt("jobs", int64(len(jobs)))
+		withEngineLabel(ctx, EngineSymmetry, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					local := make([]float64, t.Edges())
+					table := make([]torus.Node, t.Nodes())
+					for ji := w; ji < len(jobs); ji += workers {
+						job := jobs[ji]
+						t.TranslationTableInto(job.offset, table)
+						for _, ent := range bases[job.orbit] {
+							local[int(table[ent.u])*td2+int(ent.slot)] += ent.w
+						}
+					}
+					partials[w] = local
+				}(w)
 			}
-			partials[w] = local
-		}(w)
-	}
-	wg.Wait()
+			wg.Wait()
+		})
+	}()
 
 	loads := make([]float64, t.Edges())
-	for _, local := range partials {
-		for e, v := range local {
-			loads[e] += v
+	func() {
+		_, msp := obs.Start(ctx, "load.merge")
+		defer msp.End()
+		for _, local := range partials {
+			for e, v := range local {
+				loads[e] += v
+			}
 		}
-	}
+	}()
 	res := newResult(t, p, alg.Name(), loads)
 	res.Engine = EngineSymmetry
 	return res, true

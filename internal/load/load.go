@@ -12,10 +12,13 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
+	"torusnet/internal/obs"
 	"torusnet/internal/placement"
 	"torusnet/internal/routing"
 	"torusnet/internal/torus"
@@ -114,72 +117,112 @@ func effectiveWorkers(requested, items int) int {
 
 // Compute evaluates the exact expected load of every directed edge.
 func Compute(p *placement.Placement, alg routing.Algorithm, opts Options) *Result {
+	return ComputeCtx(context.Background(), p, alg, opts)
+}
+
+// ComputeCtx is Compute with observability threaded through ctx: when the
+// context carries an active trace, the dispatch, engine stages, and merge
+// record spans (load.compute → load.pairs / load.bases / load.scatter →
+// load.merge) and the engine goroutines carry a pprof "engine" label. With
+// no active trace the instrumentation collapses to nil-span no-ops, so the
+// background-context Compute path stays allocation-identical to before.
+func ComputeCtx(ctx context.Context, p *placement.Placement, alg routing.Algorithm, opts Options) *Result {
 	fpComputeDispatch.InjectHard()
 	workers := effectiveWorkers(opts.Workers, p.Size())
+	ctx, sp := obs.Start(ctx, "load.compute")
+	defer sp.End()
+	sp.SetAttr("algorithm", alg.Name())
+	sp.SetAttrInt("workers", int64(workers))
+	sp.SetAttrInt("processors", int64(p.Size()))
 	if opts.FastPath != FastPathOff {
-		if res, ok := computeSymmetry(p, alg, workers, opts.FastPath == FastPathForce); ok {
+		if res, ok := computeSymmetry(ctx, p, alg, workers, opts.FastPath == FastPathForce); ok {
+			sp.SetAttr("engine", EngineSymmetry)
 			if opts.CrossCheck {
-				crossCheck(res, computeGeneric(p, alg, workers))
+				crossCheck(res, computeGeneric(ctx, p, alg, workers))
 			}
 			return res
 		}
 	}
-	return computeGeneric(p, alg, workers)
+	sp.SetAttr("engine", EngineGeneric)
+	return computeGeneric(ctx, p, alg, workers)
+}
+
+// withEngineLabel runs fn under a pprof "engine" label so CPU profiles
+// attribute engine time, but only when observability is live (an active
+// span or enabled counters): pprof.Do allocates its label set, and the
+// allocation-free guarantee of the load engines is gated in CI.
+func withEngineLabel(ctx context.Context, engine string, fn func()) {
+	if obs.FromContext(ctx) == nil && !obs.CountersEnabled() {
+		fn()
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("engine", engine), func(context.Context) { fn() })
 }
 
 // computeGeneric is the O(|P|²) ordered-pair loop. Workers must already be
 // the effective count from effectiveWorkers.
-func computeGeneric(p *placement.Placement, alg routing.Algorithm, workers int) *Result {
+func computeGeneric(ctx context.Context, p *placement.Placement, alg routing.Algorithm, workers int) *Result {
 	t := p.Torus()
 	procs := p.Nodes()
 
 	ia, hasInto := alg.(routing.InplaceAccumulator)
 	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([]float64, t.Edges())
-			// Static block partition over source processors keeps the
-			// floating-point summation order stable per worker count.
-			if hasInto {
-				// Allocation-free steady state: scratch reused across pairs,
-				// mass deposited straight into the worker's local slice.
-				sc := routing.NewPairScratch(t)
-				for i := w; i < len(procs); i += workers {
-					src := procs[i]
-					for _, dst := range procs {
-						if dst == src {
-							continue
+	func() {
+		_, psp := obs.Start(ctx, "load.pairs")
+		defer psp.End()
+		psp.SetAttrInt("sources", int64(len(procs)))
+		withEngineLabel(ctx, EngineGeneric, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					local := make([]float64, t.Edges())
+					// Static block partition over source processors keeps the
+					// floating-point summation order stable per worker count.
+					if hasInto {
+						// Allocation-free steady state: scratch reused across pairs,
+						// mass deposited straight into the worker's local slice.
+						sc := routing.NewPairScratch(t)
+						for i := w; i < len(procs); i += workers {
+							src := procs[i]
+							for _, dst := range procs {
+								if dst == src {
+									continue
+								}
+								ia.AccumulatePairInto(t, src, dst, local, sc)
+							}
 						}
-						ia.AccumulatePairInto(t, src, dst, local, sc)
-					}
-				}
-			} else {
-				add := func(e torus.Edge, weight float64) { local[e] += weight }
-				for i := w; i < len(procs); i += workers {
-					src := procs[i]
-					for _, dst := range procs {
-						if dst == src {
-							continue
+					} else {
+						add := func(e torus.Edge, weight float64) { local[e] += weight }
+						for i := w; i < len(procs); i += workers {
+							src := procs[i]
+							for _, dst := range procs {
+								if dst == src {
+									continue
+								}
+								alg.AccumulatePair(t, src, dst, add)
+							}
 						}
-						alg.AccumulatePair(t, src, dst, add)
 					}
-				}
+					partials[w] = local
+				}(w)
 			}
-			partials[w] = local
-		}(w)
-	}
-	wg.Wait()
+			wg.Wait()
+		})
+	}()
 	fpComputeMerge.InjectHard()
 
 	loads := make([]float64, t.Edges())
-	for _, local := range partials {
-		for e, v := range local {
-			loads[e] += v
+	func() {
+		_, msp := obs.Start(ctx, "load.merge")
+		defer msp.End()
+		for _, local := range partials {
+			for e, v := range local {
+				loads[e] += v
+			}
 		}
-	}
+	}()
 	res := newResult(t, p, alg.Name(), loads)
 	res.Engine = EngineGeneric
 	return res

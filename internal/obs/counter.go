@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// countersEnabled gates every registered Counter at once. Off (the default)
+// the increment path is a single atomic load and branch, cheap enough to
+// sit inside the per-pair routing kernels; torusd flips it on at boot.
+var countersEnabled atomic.Bool
+
+// SetCountersEnabled turns the global counter gate on or off.
+func SetCountersEnabled(on bool) {
+	countersEnabled.Store(on)
+}
+
+// CountersEnabled reports whether gated counters are recording.
+func CountersEnabled() bool {
+	return countersEnabled.Load()
+}
+
+// Counter is a monotonically increasing gated counter. Increments are
+// dropped while the global gate is off, so hot loops can carry an Inc
+// unconditionally.
+type Counter struct {
+	name string
+	help string
+	n    atomic.Int64
+}
+
+// Inc adds one if the global gate is on.
+func (c *Counter) Inc() {
+	if !countersEnabled.Load() {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Add adds delta if the global gate is on.
+func (c *Counter) Add(delta int64) {
+	if !countersEnabled.Load() {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the counter's current value.
+func (c *Counter) Value() int64 {
+	return c.n.Load()
+}
+
+// Name returns the counter's registered (Prometheus-style) name.
+func (c *Counter) Name() string { return c.name }
+
+// Help returns the counter's help text.
+func (c *Counter) Help() string { return c.help }
+
+var (
+	counterMu  sync.Mutex
+	counterReg = make(map[string]*Counter)
+)
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// NewCounter registers a process-global counter under a Prometheus-legal
+// name. It panics on a duplicate or malformed name: counters are declared
+// in package var blocks, so both are programming errors best caught at
+// init.
+func NewCounter(name, help string) *Counter {
+	if !promNameRe.MatchString(name) {
+		panic("obs: invalid counter name " + name)
+	}
+	counterMu.Lock()
+	defer counterMu.Unlock()
+	if counterReg[name] != nil {
+		panic("obs: duplicate counter " + name)
+	}
+	c := &Counter{name: name, help: help}
+	counterReg[name] = c
+	return c
+}
+
+// Counters returns all registered counters sorted by name.
+func Counters() []*Counter {
+	counterMu.Lock()
+	defer counterMu.Unlock()
+	out := make([]*Counter, 0, len(counterReg))
+	for _, c := range counterReg {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

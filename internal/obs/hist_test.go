@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock: bucket-boundary tests derive exact
+// durations from it instead of the wall clock, so boundary observations
+// land deterministically.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) Now() time.Time                   { return c.t }
+func (c *fakeClock) Advance(d time.Duration)          { c.t = c.t.Add(d) }
+func (c *fakeClock) Since(t0 time.Time) time.Duration { return c.t.Sub(t0) }
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucket semantics at
+// exact boundaries using fake-clock durations: a value equal to a bound
+// lands in that bound's bucket, one nanosecond more spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(0.001, 0.010, 0.100) // 1ms, 10ms, 100ms
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+
+	observe := func(d time.Duration) {
+		start := clk.Now()
+		clk.Advance(d)
+		h.ObserveDuration(clk.Since(start))
+	}
+
+	observe(1 * time.Millisecond)                 // == bound 0 → bucket 0
+	observe(1*time.Millisecond + time.Nanosecond) // just over → bucket 1
+	observe(10 * time.Millisecond)                // == bound 1 → bucket 1
+	observe(100 * time.Millisecond)               // == bound 2 → bucket 2
+	observe(150 * time.Millisecond)               // over the top → +Inf bucket
+	observe(0)                                    // zero → bucket 0
+
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	wantSum := 0.001 + 0.001000000001 + 0.010 + 0.100 + 0.150 + 0
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":     {},
+		"unsorted":  {1, 0.5},
+		"duplicate": {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: no panic", name)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(2.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 || s.Counts[2] != 8000 {
+		t.Errorf("count = %d, bucket[2] = %d, want 8000 each", s.Count, s.Counts[2])
+	}
+	if math.Abs(s.Sum-8000*2.5) > 1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, 8000*2.5)
+	}
+}
+
+func TestPromHistogramRendering(t *testing.T) {
+	h := NewHistogram(0.5, 1)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	PromHistogram(&buf, "test_seconds", "help text", h)
+	got := buf.String()
+	for _, want := range []string{
+		"# HELP test_seconds help text\n",
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{le="0.5"} 1` + "\n",
+		`test_seconds_bucket{le="1"} 2` + "\n",
+		`test_seconds_bucket{le="+Inf"} 3` + "\n",
+		"test_seconds_sum 6\n",
+		"test_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendering missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPromWritersAndEscape(t *testing.T) {
+	var buf bytes.Buffer
+	PromCounter(&buf, "c_total", "a counter", 3)
+	PromGauge(&buf, "g", "a gauge", 1.5)
+	PromLabeledCounter(&buf, "by_ep_total", "per endpoint", "endpoint",
+		[]string{`with"quote`}, map[string]int64{`with"quote`: 2})
+	got := buf.String()
+	for _, want := range []string{
+		"# TYPE c_total counter\nc_total 3\n",
+		"# TYPE g gauge\ng 1.5\n",
+		`by_ep_total{endpoint="with\"quote"} 2` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if got := PromEscape("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("PromEscape = %q", got)
+	}
+	if promFloat(math.Inf(1)) != "+Inf" || promFloat(math.Inf(-1)) != "-Inf" || promFloat(math.NaN()) != "NaN" {
+		t.Error("promFloat special values wrong")
+	}
+}
+
+func TestGatedCounters(t *testing.T) {
+	c := NewCounter("obs_test_events_total", "test counter")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter recorded %d", c.Value())
+	}
+	SetCountersEnabled(true)
+	defer SetCountersEnabled(false)
+	if !CountersEnabled() {
+		t.Fatal("gate did not enable")
+	}
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("enabled counter = %d, want 3", c.Value())
+	}
+
+	found := false
+	for _, rc := range Counters() {
+		if rc.Name() == "obs_test_events_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("counter not in registry")
+	}
+	var buf bytes.Buffer
+	PromCounters(&buf)
+	if !strings.Contains(buf.String(), "obs_test_events_total 3") {
+		t.Errorf("PromCounters missing sample:\n%s", buf.String())
+	}
+
+	for name, bad := range map[string]string{
+		"duplicate": "obs_test_events_total",
+		"malformed": "9bad name",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s counter name: no panic", name)
+				}
+			}()
+			NewCounter(bad, "")
+		}()
+	}
+}

@@ -1,0 +1,46 @@
+// Package obs is a zero-dependency observability layer for the torusnet
+// tree: context-propagated spans with monotonic timings, fixed-bucket
+// histograms with Prometheus text rendering, W3C traceparent request-ID
+// helpers, and cheap gated counters for hot routing kernels.
+//
+// The design mirrors internal/failpoint's discipline: every instrumentation
+// site must be close to free when observability is off. A *Span is nil when
+// no trace is active, and all Span methods are nil-receiver safe, so the
+// disabled path through obs.Start is one context lookup, one atomic load,
+// and no allocations. Counter.Inc behind a disabled gate is a single atomic
+// load. Both paths are pinned by benchmarks in bench_test.go and by the
+// routing-kernel acceptance benchmark (0 allocs/op, low single-digit ns).
+//
+// Spans form per-request trees. A root span is created by Tracer.Root
+// (typically in the HTTP middleware, seeded from an incoming traceparent
+// header); children are created by Start from the context. Ending the root
+// exports the finished trace into the tracer's ring buffer, where it can be
+// read back as JSON via Tracer.Handler (mounted at /debug/traces on the
+// torusd debug sidecar). Spans that end after their root has exported are
+// counted as late rather than recorded, so exported traces are always
+// well-formed: see Trace.Wellformed.
+//
+// There is no sampling and no wire protocol: this package exists to answer
+// "where did this request spend its time" for a single process, the same
+// per-stage attribution exercise the paper performs on torus links when
+// bounding E_max (PAPER.md; DESIGN.md §11 documents naming conventions and
+// bucket choices).
+package obs
+
+import "sync/atomic"
+
+// defaultTracer is the process-global tracer used by Start when the context
+// carries no active span. It is nil until SetDefault installs one, so
+// library code instrumented with Start is inert in tests and benchmarks.
+var defaultTracer atomic.Pointer[Tracer]
+
+// SetDefault installs t as the process-global fallback tracer used by Start
+// for root spans. Passing nil disables the fallback.
+func SetDefault(t *Tracer) {
+	defaultTracer.Store(t)
+}
+
+// Default returns the process-global tracer, or nil if none is installed.
+func Default() *Tracer {
+	return defaultTracer.Load()
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders metrics in the Prometheus text exposition format
+// (version 0.0.4): "# HELP"/"# TYPE" comment pairs followed by sample
+// lines. Writers render into a *bytes.Buffer — in-memory writes never fail,
+// and callers flush the finished page to the response in one Write.
+
+// PromContentType is the Content-Type for the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promFloat renders a sample value the way Prometheus expects, including
+// the +Inf/-Inf/NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromEscape escapes a label value for the text format (backslash, quote,
+// and newline).
+func PromEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func promHeader(w *bytes.Buffer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PromCounter writes one unlabeled counter sample with its header.
+func PromCounter(w *bytes.Buffer, name, help string, v float64) {
+	promHeader(w, name, help, "counter")
+	fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+}
+
+// PromGauge writes one unlabeled gauge sample with its header.
+func PromGauge(w *bytes.Buffer, name, help string, v float64) {
+	promHeader(w, name, help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+}
+
+// PromLabeledCounter writes a counter header followed by one sample per
+// (label value → count) entry, in the iteration order of vals — callers
+// sort for stable output.
+func PromLabeledCounter(w *bytes.Buffer, name, help, label string, keys []string, vals map[string]int64) {
+	promHeader(w, name, help, "counter")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", name, label, PromEscape(k), promFloat(float64(vals[k])))
+	}
+}
+
+// PromHistogram writes a full histogram family: cumulative le buckets
+// (including +Inf), _sum, and _count.
+func PromHistogram(w *bytes.Buffer, name, help string, h *Histogram) {
+	promHeader(w, name, help, "histogram")
+	s := h.Snapshot()
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// PromCounters writes every registered gated Counter as its own family.
+func PromCounters(w *bytes.Buffer) {
+	for _, c := range Counters() {
+		PromCounter(w, c.Name(), c.Help(), float64(c.Value()))
+	}
+}

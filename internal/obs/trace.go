@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SpanData is the immutable record of a finished span.
+type SpanData struct {
+	SpanID     uint64    `json:"span_id"`
+	ParentID   uint64    `json:"parent_id,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"dur_ns"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+}
+
+// Trace is one exported span tree, completed when its root span ended.
+type Trace struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// Wellformed checks the structural invariants of an exported trace: a
+// non-empty trace ID, exactly one root, unique non-zero span IDs, every
+// parent present, and no unnamed or negative-duration spans. The chaos
+// suite asserts these hold even when failpoints abort requests mid-span.
+func (tr Trace) Wellformed() error {
+	if tr.TraceID == "" {
+		return fmt.Errorf("trace has empty trace ID")
+	}
+	if len(tr.Spans) == 0 {
+		return fmt.Errorf("trace %s has no spans", tr.TraceID)
+	}
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		if s.SpanID == 0 {
+			return fmt.Errorf("trace %s: span %q has zero ID", tr.TraceID, s.Name)
+		}
+		if ids[s.SpanID] {
+			return fmt.Errorf("trace %s: duplicate span ID %d", tr.TraceID, s.SpanID)
+		}
+		ids[s.SpanID] = true
+	}
+	roots := 0
+	for _, s := range tr.Spans {
+		if s.Name == "" {
+			return fmt.Errorf("trace %s: span %d has no name", tr.TraceID, s.SpanID)
+		}
+		if s.DurationNS < 0 {
+			return fmt.Errorf("trace %s: span %q has negative duration", tr.TraceID, s.Name)
+		}
+		if s.ParentID == 0 {
+			roots++
+		} else if !ids[s.ParentID] {
+			return fmt.Errorf("trace %s: span %q is orphaned (parent %d not recorded)",
+				tr.TraceID, s.Name, s.ParentID)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("trace %s: %d root spans, want 1", tr.TraceID, roots)
+	}
+	return nil
+}
+
+// container accumulates the finished spans of one trace until the root span
+// ends and the whole tree is exported to the tracer's ring buffer.
+type container struct {
+	tracer  *Tracer
+	traceID string
+
+	mu       sync.Mutex
+	nextID   uint64
+	finished []SpanData
+	exported bool
+}
+
+func (c *container) startSpan(name string, parent uint64) *Span {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return &Span{c: c, name: name, id: id, parent: parent, start: time.Now()}
+}
+
+// Span is one live timed region. The zero value of *Span (nil) is the
+// disabled span: every method is a no-op, which is what keeps
+// instrumentation sites free when no trace is active. A span belongs to the
+// goroutine that started it; End is safe to call at most once effectively
+// (later calls are ignored).
+type Span struct {
+	c      *container
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+
+	// ended and attrs are guarded by c.mu so a late SetAttr racing an
+	// export elsewhere in the tree stays race-clean.
+	ended bool
+	attrs []Attr
+}
+
+// SpanID returns the span's ID within its trace, or 0 for a nil span.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr annotates the span. No-op on a nil or already-ended span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.c.mu.Unlock()
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// SetAttrBool annotates the span with a boolean value.
+func (s *Span) SetAttrBool(key string, value bool) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatBool(value))
+}
+
+// End finishes the span, recording its duration from the monotonic clock.
+// Ending the root span exports the trace; a span that ends after its root
+// exported is counted in the tracer's late-span counter and discarded, so
+// exported traces never contain unfinished or dangling work.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	c := s.c
+	c.mu.Lock()
+	if s.ended {
+		c.mu.Unlock()
+		return
+	}
+	s.ended = true
+	if c.exported {
+		c.mu.Unlock()
+		c.tracer.late.Add(1)
+		return
+	}
+	c.finished = append(c.finished, SpanData{
+		SpanID:     s.id,
+		ParentID:   s.parent,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: d.Nanoseconds(),
+		Attrs:      s.attrs,
+	})
+	if s.parent != 0 {
+		c.mu.Unlock()
+		return
+	}
+	spans := c.finished
+	c.finished = nil
+	c.exported = true
+	c.mu.Unlock()
+	c.tracer.export(Trace{TraceID: c.traceID, Spans: spans})
+}
+
+// spanKey carries the active *Span through a context.
+type spanKey struct{}
+
+// FromContext returns the active span in ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// TraceIDFromContext returns the trace ID of the active span in ctx, or ""
+// when no trace is active. Clients use it to propagate the request's
+// traceparent downstream.
+func TraceIDFromContext(ctx context.Context) string {
+	if sp := FromContext(ctx); sp != nil {
+		return sp.c.traceID
+	}
+	return ""
+}
+
+// Start begins a child of the span carried by ctx, or — when ctx has no
+// active span but a default tracer is installed — a fresh root. With no
+// span and no default tracer it returns (ctx, nil) without allocating,
+// which is the hot disabled path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp := parent.c.startSpan(name, parent.id)
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	return Default().Root(ctx, name, "")
+}
+
+// TracerStats is a snapshot of a tracer's lifetime counters.
+type TracerStats struct {
+	Exported int64 `json:"exported"` // traces exported into the ring
+	Evicted  int64 `json:"evicted"`  // traces overwritten by newer ones
+	Late     int64 `json:"late"`     // spans ended after their root exported
+	Buffered int   `json:"buffered"` // traces currently held
+}
+
+// Tracer collects finished traces into a fixed-capacity ring buffer, newest
+// overwriting oldest. A nil *Tracer is valid and inert.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	n    int
+
+	exported int64
+	evicted  int64
+	late     atomic.Int64
+}
+
+// NewTracer returns a tracer retaining up to capacity finished traces
+// (default 256 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{ring: make([]Trace, capacity)}
+}
+
+// Root begins a new trace rooted at name. An empty traceID generates a
+// fresh one; callers seeding from an incoming traceparent pass the parsed
+// ID through so distributed requests correlate. Nil-receiver safe: a nil
+// tracer returns (ctx, nil).
+func (t *Tracer) Root(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	c := &container{tracer: t, traceID: traceID}
+	sp := c.startSpan(name, 0)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+func (t *Tracer) export(tr Trace) {
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.evicted++
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	t.exported++
+	t.mu.Unlock()
+}
+
+// Snapshot returns up to n buffered traces, newest first (n <= 0 means
+// all).
+func (t *Tracer) Snapshot(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		//lint:ignore modmath t.next-i+len(ring) is non-negative: next < len(ring) and i <= n <= len(ring)
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Stats returns the tracer's lifetime counters.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TracerStats{
+		Exported: t.exported,
+		Evicted:  t.evicted,
+		Late:     t.late.Load(),
+		Buffered: t.n,
+	}
+}
+
+// Handler serves buffered traces as JSON: an object with "stats" (the
+// TracerStats) and "traces" (newest first). The optional ?n= query
+// parameter caps the number of traces returned. Mounted at /debug/traces
+// on the torusd debug sidecar.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "invalid n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		data, err := json.MarshalIndent(struct {
+			Stats  TracerStats `json:"stats"`
+			Traces []Trace     `json:"traces"`
+		}{t.Stats(), t.Snapshot(n)}, "", "  ")
+		if err != nil {
+			http.Error(w, "obs: trace encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(data); err != nil {
+			return // client went away mid-response; nothing to recover
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Root(context.Background(), "http.request", "")
+	root.SetAttr("path", "/v1/analyze")
+
+	cctx, child := Start(ctx, "cache.get")
+	child.SetAttrBool("hit", false)
+	_, grand := Start(cctx, "pool.run")
+	grand.SetAttrInt("workers", 4)
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Snapshot(0)
+	if len(traces) != 1 {
+		t.Fatalf("Snapshot: %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if err := got.Wellformed(); err != nil {
+		t.Fatalf("Wellformed: %v", err)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	if byName["cache.get"].ParentID != byName["http.request"].SpanID {
+		t.Error("cache.get not parented to http.request")
+	}
+	if byName["pool.run"].ParentID != byName["cache.get"].SpanID {
+		t.Error("pool.run not parented to cache.get")
+	}
+	if a := byName["pool.run"].Attrs; len(a) != 1 || a[0] != (Attr{"workers", "4"}) {
+		t.Errorf("pool.run attrs = %v", a)
+	}
+	if st := tr.Stats(); st.Exported != 1 || st.Late != 0 || st.Buffered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLateSpanDiscarded(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Root(context.Background(), "root", "")
+	_, straggler := Start(ctx, "wedged.worker")
+	root.End() // export before the child finishes
+	straggler.End()
+
+	traces := tr.Snapshot(0)
+	if len(traces) != 1 {
+		t.Fatalf("Snapshot: %d traces, want 1", len(traces))
+	}
+	if err := traces[0].Wellformed(); err != nil {
+		t.Fatalf("trace with straggler not wellformed: %v", err)
+	}
+	for _, s := range traces[0].Spans {
+		if s.Name == "wedged.worker" {
+			t.Error("late span leaked into the exported trace")
+		}
+	}
+	if st := tr.Stats(); st.Late != 1 {
+		t.Errorf("late = %d, want 1", st.Late)
+	}
+	straggler.End() // double End after lateness stays a no-op
+	if st := tr.Stats(); st.Late != 1 {
+		t.Errorf("late after double End = %d, want 1", st.Late)
+	}
+}
+
+func TestDoubleEndAndNilSafety(t *testing.T) {
+	tr := NewTracer(2)
+	_, root := tr.Root(context.Background(), "r", "")
+	root.End()
+	root.End()
+	if st := tr.Stats(); st.Exported != 1 {
+		t.Errorf("double End exported %d traces", st.Exported)
+	}
+
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetAttrInt("k", 1)
+	nilSpan.SetAttrBool("k", true)
+	nilSpan.End()
+	if nilSpan.SpanID() != 0 {
+		t.Error("nil span has non-zero ID")
+	}
+
+	var nilTracer *Tracer
+	ctx, sp := nilTracer.Root(context.Background(), "r", "")
+	if sp != nil || ctx != context.Background() {
+		t.Error("nil tracer Root should be inert")
+	}
+	if nilTracer.Snapshot(0) != nil || nilTracer.Stats() != (TracerStats{}) {
+		t.Error("nil tracer Snapshot/Stats should be zero")
+	}
+}
+
+func TestStartWithoutTraceIsInert(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("test requires no default tracer")
+	}
+	ctx := context.Background()
+	got, sp := Start(ctx, "load.compute")
+	if sp != nil {
+		t.Fatal("Start without a trace returned a live span")
+	}
+	if got != ctx {
+		t.Fatal("Start without a trace must return the context unchanged")
+	}
+	if FromContext(got) != nil || TraceIDFromContext(got) != "" {
+		t.Fatal("inert context leaked span state")
+	}
+}
+
+func TestStartFallsBackToDefaultTracer(t *testing.T) {
+	tr := NewTracer(2)
+	SetDefault(tr)
+	defer SetDefault(nil)
+	_, sp := Start(context.Background(), "standalone")
+	if sp == nil {
+		t.Fatal("Start did not use the default tracer")
+	}
+	sp.End()
+	if got := tr.Snapshot(0); len(got) != 1 || got[0].Spans[0].Name != "standalone" {
+		t.Fatalf("default tracer did not receive the trace: %+v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 3; i++ {
+		_, root := tr.Root(context.Background(), "r", "")
+		root.End()
+	}
+	st := tr.Stats()
+	if st.Exported != 3 || st.Evicted != 1 || st.Buffered != 2 {
+		t.Errorf("stats = %+v, want exported 3 evicted 1 buffered 2", st)
+	}
+	if got := tr.Snapshot(1); len(got) != 1 {
+		t.Errorf("Snapshot(1) = %d traces", len(got))
+	}
+}
+
+func TestWellformedRejectsBadTraces(t *testing.T) {
+	base := func() Trace {
+		return Trace{TraceID: "t", Spans: []SpanData{
+			{SpanID: 1, Name: "root"},
+			{SpanID: 2, ParentID: 1, Name: "child"},
+		}}
+	}
+	if err := base().Wellformed(); err != nil {
+		t.Fatalf("base trace: %v", err)
+	}
+	cases := map[string]func(*Trace){
+		"empty id":     func(tr *Trace) { tr.TraceID = "" },
+		"no spans":     func(tr *Trace) { tr.Spans = nil },
+		"zero span id": func(tr *Trace) { tr.Spans[1].SpanID = 0; tr.Spans[1].ParentID = 0 },
+		"dup span id":  func(tr *Trace) { tr.Spans[1].SpanID = 1 },
+		"orphan":       func(tr *Trace) { tr.Spans[1].ParentID = 99 },
+		"two roots":    func(tr *Trace) { tr.Spans[1].ParentID = 0 },
+		"unnamed":      func(tr *Trace) { tr.Spans[1].Name = "" },
+		"negative dur": func(tr *Trace) { tr.Spans[1].DurationNS = -1 },
+	}
+	for name, mutate := range cases {
+		tr := base()
+		mutate(&tr)
+		if err := tr.Wellformed(); err == nil {
+			t.Errorf("%s: Wellformed accepted a bad trace", name)
+		}
+	}
+}
+
+func TestConcurrentSpansRaceClean(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Root(context.Background(), "root", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := Start(ctx, "worker")
+			sp.SetAttrInt("i", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	traces := tr.Snapshot(0)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if err := traces[0].Wellformed(); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces[0].Spans) != 9 {
+		t.Errorf("spans = %d, want 9", len(traces[0].Spans))
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Root(context.Background(), "http.request", "")
+	_, sp := Start(ctx, "cache.get")
+	sp.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var body struct {
+		Stats  TracerStats `json:"stats"`
+		Traces []Trace     `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Stats.Exported != 1 || len(body.Traces) != 1 || len(body.Traces[0].Spans) != 2 {
+		t.Errorf("unexpected body: %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n status %d, want 400", rec.Code)
+	}
+}
+
+func TestSpanDurationsMonotonic(t *testing.T) {
+	tr := NewTracer(1)
+	_, root := tr.Root(context.Background(), "r", "")
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	sp := tr.Snapshot(0)[0].Spans[0]
+	if sp.DurationNS < int64(time.Millisecond) {
+		t.Errorf("duration %dns, want >= 1ms", sp.DurationNS)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	if len(tid) != 32 || !isLowerHex(tid) {
+		t.Fatalf("NewTraceID() = %q", tid)
+	}
+	if NewSpanID() == 0 {
+		t.Fatal("NewSpanID returned 0")
+	}
+	h := FormatTraceparent(tid, 0xabc)
+	if !strings.HasPrefix(h, "00-"+tid+"-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("FormatTraceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tid {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v", h, got, ok)
+	}
+
+	bad := []string{
+		"",
+		"garbage",
+		"01-" + tid + "-00000000000000ab-01", // unknown version
+		"00-" + strings.Repeat("0", 32) + "-00000000000000ab-01", // zero trace id
+		"00-" + tid + "-0000000000000000-01",                     // zero span id
+		"00-" + strings.ToUpper(tid) + "-00000000000000ab-01",    // uppercase hex
+		"00-" + tid[:30] + "-00000000000000ab-01",                // short trace id
+		"00-" + tid + "-00000000000000ab",                        // missing flags
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent accepted %q", h)
+		}
+	}
+}

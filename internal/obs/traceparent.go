@@ -1,0 +1,78 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the canonical W3C trace-context header name. torusd
+// accepts it on requests, echoes it on responses, and the typed/resilient
+// clients propagate it downstream (same trace ID across retries and hedges,
+// fresh span ID per attempt).
+const TraceparentHeader = "traceparent"
+
+// NewTraceID returns a random 16-byte trace ID as 32 lowercase hex digits,
+// never all-zero (the W3C invalid value).
+func NewTraceID() string {
+	var b [16]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; a broken
+			// entropy source is unrecoverable for the process anyway.
+			panic("obs: crypto/rand failed: " + err.Error())
+		}
+		if b != [16]byte{} {
+			return hex.EncodeToString(b[:])
+		}
+	}
+}
+
+// NewSpanID returns a random non-zero span ID for traceparent headers.
+func NewSpanID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			panic("obs: crypto/rand failed: " + err.Error())
+		}
+		if v := binary.BigEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+}
+
+// FormatTraceparent renders a version-00 sampled traceparent value:
+// "00-<trace-id>-<span-id>-01".
+func FormatTraceparent(traceID string, spanID uint64) string {
+	return fmt.Sprintf("00-%s-%016x-01", traceID, spanID)
+}
+
+// ParseTraceparent extracts the trace ID from a version-00 traceparent
+// header value. It reports ok=false for malformed values, unknown versions,
+// and the all-zero (invalid) trace ID.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" ||
+		len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	if !isLowerHex(parts[1]) || !isLowerHex(parts[2]) || !isLowerHex(parts[3]) {
+		return "", false
+	}
+	if parts[1] == strings.Repeat("0", 32) || parts[2] == strings.Repeat("0", 16) {
+		return "", false
+	}
+	return parts[1], true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -100,6 +100,7 @@ func (ODR) TranslationEquivariant() bool { return true }
 // AccumulatePairInto implements InplaceAccumulator: the unique canonical
 // path carries the full unit mass.
 func (ODR) AccumulatePairInto(t *torus.Torus, p, q torus.Node, loads []float64, sc *PairScratch) {
+	statPairsODR.Inc()
 	cur := p
 	for j := 0; j < t.D(); j++ {
 		del := torus.CoordDelta(t.Coord(cur, j), t.Coord(q, j), t.K())
@@ -115,6 +116,7 @@ func (ODRMulti) TranslationEquivariant() bool { return true }
 // same node — so the kernel is a single forward walk where tied dimensions
 // halve the edge mass across both arcs.
 func (ODRMulti) AccumulatePairInto(t *torus.Torus, p, q torus.Node, loads []float64, sc *PairScratch) {
+	statPairsODRMulti.Inc()
 	cur := p
 	for j := 0; j < t.D(); j++ {
 		del := torus.CoordDelta(t.Coord(p, j), t.Coord(q, j), t.K())
@@ -138,6 +140,7 @@ func (UDR) TranslationEquivariant() bool { return true }
 // before j" segment), but with dims/deltas/coords drawn from the scratch and
 // the 'others' indirection replaced by skipping jIdx in the mask loop.
 func (UDR) AccumulatePairInto(t *torus.Torus, p, q torus.Node, loads []float64, sc *PairScratch) {
+	statPairsUDR.Inc()
 	dims, deltas := sc.differingInto(t, p, q)
 	s := len(dims)
 	if s == 0 {
@@ -173,6 +176,7 @@ func (UDRMulti) TranslationEquivariant() bool { return true }
 // AccumulatePairInto implements InplaceAccumulator: UDR's order-position
 // weights with tie expansion halving each tied segment across its two arcs.
 func (UDRMulti) AccumulatePairInto(t *torus.Torus, p, q torus.Node, loads []float64, sc *PairScratch) {
+	statPairsUDRMulti.Inc()
 	dims, deltas := sc.differingInto(t, p, q)
 	s := len(dims)
 	if s == 0 {

@@ -22,6 +22,7 @@ type cacheEntry struct {
 	key     string
 	val     any
 	expires time.Time // zero means never
+	stored  time.Time // when the value was (last) written, for age metrics
 }
 
 func newLRUCache(capacity int, ttl time.Duration) *lruCache {
@@ -37,23 +38,25 @@ func newLRUCache(capacity int, ttl time.Duration) *lruCache {
 	}
 }
 
-// get returns the live value for key, refreshing its recency. Expired
-// entries are evicted on access.
-func (c *lruCache) get(key string) (any, bool) {
+// get returns the live value for key plus its age (time since the value
+// was stored), refreshing its recency. Expired entries are evicted on
+// access.
+func (c *lruCache) get(key string) (any, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+	now := c.now()
+	if !ent.expires.IsZero() && now.After(ent.expires) {
 		c.ll.Remove(el)
 		delete(c.items, key)
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
-	return ent.val, true
+	return ent.val, now.Sub(ent.stored), true
 }
 
 // put inserts or refreshes key, evicting the least recently used entry
@@ -61,13 +64,14 @@ func (c *lruCache) get(key string) (any, bool) {
 func (c *lruCache) put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	var expires time.Time
 	if c.ttl > 0 {
-		expires = c.now().Add(c.ttl)
+		expires = now.Add(c.ttl)
 	}
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		ent.val, ent.expires = val, expires
+		ent.val, ent.expires, ent.stored = val, expires, now
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -76,7 +80,7 @@ func (c *lruCache) put(key string, val any) {
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires, stored: now})
 }
 
 // len reports the number of resident entries (expired-but-unaccessed

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"torusnet/internal/failpoint"
+	"torusnet/internal/obs"
 )
 
 // checkGoroutineLeaks snapshots the goroutine count and returns a function
@@ -458,4 +459,57 @@ func TestDegradedUnderRealPressure(t *testing.T) {
 	close(block)
 	<-done
 	<-done
+}
+
+// TestChaosTracesWellFormed fires faults at every pipeline depth — cache
+// read, flight leadership, pool dispatch, engine dispatch and merge,
+// response encoding, forced degradation — and asserts every trace the
+// tracer exported stays structurally well-formed: aborted requests must
+// never leave half-recorded span trees behind.
+func TestChaosTracesWellFormed(t *testing.T) {
+	leaks := checkGoroutineLeaks(t)
+	defer leaks()
+
+	tracer := obs.NewTracer(64)
+	s, c, stop := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 4, DisableFastPath: true,
+		DegradeWatermark: -1, WedgeTimeout: -1 * time.Second,
+		Tracer: tracer,
+	})
+	defer stop()
+	defer failpoint.DisableAll()
+
+	k := 4
+	for _, fp := range []struct{ site, spec string }{
+		{"service.cache.get", "error"},
+		{"service.flight.leader", "error"},
+		{"service.pool.dispatch", "1*panic"},
+		{"load.compute.dispatch", "error"},
+		{"load.compute.merge", "error"},
+		{"service.response.encode", "error"},
+		{"service.admission", "error"},
+	} {
+		if err := failpoint.Enable(fp.site, fp.spec); err != nil {
+			t.Fatalf("arming %s: %v", fp.site, err)
+		}
+		// Distinct K per fault keeps the cache from short-circuiting the
+		// faulted path; outcomes (usually 500s) are the sites' own business —
+		// here only the exported trace shape matters.
+		_, _, _ = analyzeStatus(t, c, AnalyzeRequest{K: k, D: 2, Placement: "linear", Routing: "ODR"})
+		k++
+		if err := failpoint.Disable(fp.site); err != nil {
+			t.Fatalf("disarming %s: %v", fp.site, err)
+		}
+	}
+	_ = s
+
+	traces := tracer.Snapshot(0)
+	if len(traces) < 7 {
+		t.Fatalf("exported %d traces, want >= 7 (one per faulted request)", len(traces))
+	}
+	for _, tr := range traces {
+		if err := tr.Wellformed(); err != nil {
+			t.Errorf("chaos trace malformed: %v", err)
+		}
+	}
 }

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"torusnet/internal/obs"
 )
 
 // APIError is a non-200 response surfaced by Client, carrying the HTTP
@@ -81,6 +83,12 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID := obs.TraceIDFromContext(ctx); traceID != "" {
+		// Propagate the caller's trace downstream: the trace ID rides the
+		// context, so retries and hedges of one logical call share it, while
+		// each attempt gets a fresh span ID.
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(traceID, obs.NewSpanID()))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"torusnet/internal/obs"
 )
 
 // errQueueFull is returned by submit when the pending-job queue is at
@@ -67,12 +70,18 @@ type workerPool struct {
 	wedgeTimeout time.Duration
 	watchStop    chan struct{}
 	watchDone    chan struct{}
+
+	// onQueueWait, when set, receives each job's queue-wait duration (time
+	// between submit and a worker picking it up) — the server feeds it into
+	// the queue-wait histogram.
+	onQueueWait func(time.Duration)
 }
 
 type poolJob struct {
-	ctx context.Context
-	fn  func() (any, error)
-	res chan poolResult // buffered, capacity 1
+	ctx      context.Context
+	fn       func() (any, error)
+	res      chan poolResult // buffered, capacity 1
+	enqueued time.Time       // when submit accepted the job
 	// abandoned is set by the watchdog when it replaces the worker running
 	// this job; the wedged worker checks it on completion to retire.
 	abandoned atomic.Bool
@@ -98,8 +107,9 @@ const (
 	jobCrashed
 )
 
-// newWorkerPool builds the pool. wedgeTimeout <= 0 disables the watchdog.
-func newWorkerPool(workers, queue int, wedgeTimeout time.Duration) *workerPool {
+// newWorkerPool builds the pool. wedgeTimeout <= 0 disables the watchdog;
+// onQueueWait (optional, nil to disable) observes per-job queue waits.
+func newWorkerPool(workers, queue int, wedgeTimeout time.Duration, onQueueWait func(time.Duration)) *workerPool {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -113,6 +123,7 @@ func newWorkerPool(workers, queue int, wedgeTimeout time.Duration) *workerPool {
 		wedgeTimeout: wedgeTimeout,
 		watchStop:    make(chan struct{}),
 		watchDone:    make(chan struct{}),
+		onQueueWait:  onQueueWait,
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -131,6 +142,9 @@ func newWorkerPool(workers, queue int, wedgeTimeout time.Duration) *workerPool {
 func (p *workerPool) worker() {
 	for j := range p.jobs {
 		p.queued.Add(-1)
+		if p.onQueueWait != nil && !j.enqueued.IsZero() {
+			p.onQueueWait(time.Since(j.enqueued))
+		}
 		if err := j.ctx.Err(); err != nil {
 			// The caller gave up while the job sat in the queue; skip the
 			// work instead of computing for nobody.
@@ -180,7 +194,19 @@ func (p *workerPool) runJob(j *poolJob) (outcome jobOutcome) {
 		go p.worker()
 	}()
 	fpPoolDispatch.InjectHard()
-	res := runShielded(j.fn)
+	var res poolResult
+	if obs.FromContext(j.ctx) != nil || obs.CountersEnabled() {
+		// Re-apply the request's pprof labels (endpoint, and transitively
+		// engine/experiment set deeper in the call) on the worker goroutine
+		// for the job's duration, so CPU profiles attribute pooled work to
+		// its request. Skipped when observability is off: pprof.Do
+		// allocates its label set.
+		pprof.Do(j.ctx, pprof.Labels(), func(context.Context) {
+			res = runShielded(j.fn)
+		})
+	} else {
+		res = runShielded(j.fn)
+	}
 	j.res <- res
 	if j.abandoned.Load() {
 		return jobRetire
@@ -247,7 +273,7 @@ func (p *workerPool) recoverWedged() {
 // blocks on a full queue: callers get errQueueFull immediately so the HTTP
 // layer can shed load.
 func (p *workerPool) submit(ctx context.Context, fn func() (any, error)) (any, error) {
-	j := &poolJob{ctx: ctx, fn: fn, res: make(chan poolResult, 1)}
+	j := &poolJob{ctx: ctx, fn: fn, res: make(chan poolResult, 1), enqueued: time.Now()}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -11,6 +12,7 @@ import (
 	"torusnet/internal/cliutil"
 	"torusnet/internal/core"
 	"torusnet/internal/load"
+	"torusnet/internal/obs"
 	"torusnet/internal/placement"
 	"torusnet/internal/sweep"
 	"torusnet/internal/torus"
@@ -156,8 +158,9 @@ func buildPlacement(spec string, k, d int) (*placement.Placement, error) {
 	return s.Build(torus.New(k, d))
 }
 
-// computeAnalyze runs the full core pipeline for a canonical request.
-func computeAnalyze(req AnalyzeRequest, opts load.Options) (AnalyzeResponse, error) {
+// computeAnalyze runs the full core pipeline for a canonical request,
+// recording the core/load span tree under any trace carried by ctx.
+func computeAnalyze(ctx context.Context, req AnalyzeRequest, opts load.Options) (AnalyzeResponse, error) {
 	p, err := buildPlacement(req.Placement, req.K, req.D)
 	if err != nil {
 		return AnalyzeResponse{}, err
@@ -166,7 +169,7 @@ func computeAnalyze(req AnalyzeRequest, opts load.Options) (AnalyzeResponse, err
 	if err != nil {
 		return AnalyzeResponse{}, err
 	}
-	rep := core.AnalyzeWithLoadOptions(p, alg, opts)
+	rep := core.AnalyzeCtx(ctx, p, alg, opts)
 	return AnalyzeResponse{
 		K:                req.K,
 		D:                req.D,
@@ -197,7 +200,10 @@ func computeAnalyze(req AnalyzeRequest, opts load.Options) (AnalyzeResponse, err
 // 3-standard-error bound on the estimate. The sampling seed derives from
 // the cache key, so degraded answers for one canonical request are
 // deterministic and replayable.
-func computeDegradedAnalyze(req AnalyzeRequest, opts load.Options, rounds int) (AnalyzeResponse, error) {
+func computeDegradedAnalyze(ctx context.Context, req AnalyzeRequest, opts load.Options, rounds int) (AnalyzeResponse, error) {
+	_, sp := obs.Start(ctx, "compute.degraded")
+	defer sp.End()
+	sp.SetAttrInt("rounds", int64(rounds))
 	p, err := buildPlacement(req.Placement, req.K, req.D)
 	if err != nil {
 		return AnalyzeResponse{}, err
@@ -279,7 +285,9 @@ func computeDegradedAnalyze(req AnalyzeRequest, opts load.Options, rounds int) (
 
 // computeBounds evaluates the bound suite without the O(|P|²) load run —
 // the cheap half of core.Analyze.
-func computeBounds(req BoundsRequest) (BoundsResponse, error) {
+func computeBounds(ctx context.Context, req BoundsRequest) (BoundsResponse, error) {
+	_, sp := obs.Start(ctx, "compute.bounds")
+	defer sp.End()
 	p, err := buildPlacement(req.Placement, req.K, req.D)
 	if err != nil {
 		return BoundsResponse{}, err
@@ -326,7 +334,10 @@ func computeBounds(req BoundsRequest) (BoundsResponse, error) {
 }
 
 // computeBisect runs the requested bisection construction.
-func computeBisect(req BisectRequest) (BisectResponse, error) {
+func computeBisect(ctx context.Context, req BisectRequest) (BisectResponse, error) {
+	_, sp := obs.Start(ctx, "compute.bisect")
+	defer sp.End()
+	sp.SetAttr("method", req.Method)
 	p, err := buildPlacement(req.Placement, req.K, req.D)
 	if err != nil {
 		return BisectResponse{}, err
@@ -354,13 +365,14 @@ func computeBisect(req BisectRequest) (BisectResponse, error) {
 	}, nil
 }
 
-// computeExperiment runs one registered experiment at the given scale.
-func computeExperiment(e sweep.Experiment, scale string) (ExperimentRunResponse, error) {
+// computeExperiment runs one registered experiment at the given scale,
+// tracing and profile-labeling the run via sweep.RunTraced.
+func computeExperiment(ctx context.Context, e sweep.Experiment, scale string) (ExperimentRunResponse, error) {
 	s := sweep.Quick
 	if scale == "full" {
 		s = sweep.Full
 	}
-	tb := e.Run(s)
+	tb := e.RunTraced(ctx, s)
 	raw, err := tb.JSON()
 	if err != nil {
 		return ExperimentRunResponse{}, fmt.Errorf("service: rendering experiment %s: %w", e.ID, err)

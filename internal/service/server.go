@@ -12,10 +12,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"torusnet/internal/failpoint"
 	"torusnet/internal/load"
+	"torusnet/internal/obs"
 	"torusnet/internal/sweep"
 )
 
@@ -69,6 +72,14 @@ type Config struct {
 	// AccessLog receives one structured JSON line per request; nil
 	// disables access logging.
 	AccessLog io.Writer
+	// Tracer collects per-request span trees for /debug/traces. Nil falls
+	// back to obs.Default() (also typically nil outside torusd), which
+	// leaves the span instrumentation inert.
+	Tracer *obs.Tracer
+	// SlowThreshold promotes requests slower than this to warn-level access
+	// log lines and counts them in torusd_slow_requests_total. 0 disables
+	// slow-request detection.
+	SlowThreshold time.Duration
 }
 
 // loadOptions returns the load-engine options the server pins per analysis.
@@ -131,6 +142,11 @@ type Server struct {
 	httpSrv *http.Server
 	started time.Time
 
+	// inlineRunning counts degraded Monte Carlo answers currently computing
+	// inline on handler goroutines — work the pool gauges cannot see, kept
+	// separate so operators can tell shed load from pooled load.
+	inlineRunning atomic.Int64
+
 	// onCompute, when set, is invoked inside the pooled computation before
 	// any work runs. It exists for tests (coalescing and panic-isolation
 	// need a deterministic hook); production leaves it nil.
@@ -145,18 +161,22 @@ func New(cfg Config) *Server {
 	if ttl < 0 {
 		ttl = 0 // negative disables expiry
 	}
+	m := newMetrics()
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(cfg.CacheSize, ttl),
 		flight:  newFlightGroup(),
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.WedgeTimeout),
-		metrics: newMetrics(),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.WedgeTimeout, m.queueWait.ObserveDuration),
+		metrics: m,
 		started: time.Now(),
 	}
 	s.metrics.vars.Set("pool_worker_restarts", expvar.Func(func() any { return s.pool.restarts.Load() }))
 	s.metrics.vars.Set("pool_worker_replacements", expvar.Func(func() any { return s.pool.replacements.Load() }))
 	s.metrics.vars.Set("pool_utilization", expvar.Func(func() any { return s.pool.utilization() }))
+	s.metrics.vars.Set("pool_running", expvar.Func(func() any { return s.pool.running.Load() }))
+	s.metrics.vars.Set("pool_queued", expvar.Func(func() any { return s.pool.queued.Load() }))
+	s.metrics.vars.Set("degraded_inline_running", expvar.Func(func() any { return s.inlineRunning.Load() }))
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
@@ -167,12 +187,30 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s
 }
 
+// tracer returns the configured tracer, falling back to the process
+// default. Nil (the common test state) leaves span instrumentation inert.
+func (s *Server) tracer() *obs.Tracer {
+	if s.cfg.Tracer != nil {
+		return s.cfg.Tracer
+	}
+	return obs.Default()
+}
+
+// degradedHeader marks load-shed responses so the outermost middleware —
+// which cannot see response bodies — can log and trace degradation without
+// re-parsing JSON. Clients may also read it.
+const degradedHeader = "X-Torusd-Degraded"
+
 // Handler returns the full middleware-wrapped handler, suitable for
-// httptest servers and embedding.
+// httptest servers and embedding. The middleware owns request identity and
+// timing: it seeds (or mints) the W3C traceparent, opens the root span,
+// labels the request context for CPU profiles, echoes the traceparent on
+// the response, and emits metrics plus one structured access-log line.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -181,22 +219,65 @@ func (s *Server) Handler() http.Handler {
 		defer s.metrics.add(mInFlight, -1)
 		s.metrics.endpoint(r.Method + " " + r.URL.Path)
 
+		ctx := r.Context()
+		traceID, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		tr := s.tracer()
+		if tr != nil || obs.CountersEnabled() {
+			// Label the request context so CPU samples anywhere downstream
+			// (pool workers included, via pprof.Do) attribute to the
+			// endpoint. Skipped when observability is off: WithLabels
+			// allocates.
+			ctx = pprof.WithLabels(ctx, pprof.Labels("endpoint", r.URL.Path))
+		}
+		ctx, sp := tr.Root(ctx, "http.request", traceID)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		if id := obs.TraceIDFromContext(ctx); id != "" {
+			traceID = id
+		}
+		if traceID == "" {
+			// Tracing is off; still mint a request ID so responses and logs
+			// correlate.
+			traceID = obs.NewTraceID()
+		}
+		respSpan := sp.SpanID()
+		if respSpan == 0 {
+			respSpan = obs.NewSpanID()
+		}
+		w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(traceID, respSpan))
+
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		s.mux.ServeHTTP(rec, r)
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
 
 		elapsed := time.Since(start)
 		s.metrics.add(mLatencyMSTotal, elapsed.Milliseconds())
+		s.metrics.reqSeconds.ObserveDuration(elapsed)
 		if rec.status >= 400 {
 			s.metrics.add(mErrors, 1)
 		}
+		degraded := rec.Header().Get(degradedHeader) != ""
+		slow := s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold
+		if slow {
+			s.metrics.add(mSlow, 1)
+		}
+		sp.SetAttrInt("status", int64(rec.status))
+		sp.SetAttrBool("degraded", degraded)
+		sp.End()
 		if s.logger != nil {
-			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			level := slog.LevelInfo
+			if slow {
+				level = slog.LevelWarn
+			}
+			s.logger.LogAttrs(r.Context(), level, "request",
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", rec.status),
 				slog.Int64("dur_us", elapsed.Microseconds()),
 				slog.Int("bytes", rec.bytes),
 				slog.String("remote", r.RemoteAddr),
+				slog.String("trace", traceID),
+				slog.Bool("degraded", degraded),
+				slog.Bool("slow", slow),
 			)
 		}
 	})
@@ -251,7 +332,10 @@ func (s *Server) cacheGet(key string) (any, bool, error) {
 		}
 		return nil, false, err
 	}
-	v, ok := s.cache.get(key)
+	v, age, ok := s.cache.get(key)
+	if ok {
+		s.metrics.cacheAge.ObserveDuration(age)
+	}
 	return v, ok, nil
 }
 
@@ -266,16 +350,25 @@ func (s *Server) cachePut(key string, v any) {
 }
 
 // execute is the shared cache → coalesce → pool path of every POST
-// endpoint. compute must return an immutable value; cached reports whether
-// this caller was served from the result cache.
-func (s *Server) execute(ctx context.Context, key string, compute func() (any, error)) (val any, cached bool, err error) {
-	if v, ok, err := s.cacheGet(key); err != nil {
+// endpoint, with one span per pipeline stage (cache.get, flight.do,
+// pool.submit, pool.run) recorded under any active trace. compute receives
+// the trace-carrying context and must return an immutable value; cached
+// reports whether this caller was served from the result cache.
+func (s *Server) execute(ctx context.Context, key string, compute func(context.Context) (any, error)) (val any, cached bool, err error) {
+	_, csp := obs.Start(ctx, "cache.get")
+	v, ok, err := s.cacheGet(key)
+	csp.SetAttrBool("hit", ok)
+	csp.End()
+	if err != nil {
 		return nil, false, err
-	} else if ok {
+	}
+	if ok {
 		s.metrics.add(mCacheHits, 1)
 		return v, true, nil
 	}
 	s.metrics.add(mCacheMisses, 1)
+	fctx, fsp := obs.Start(ctx, "flight.do")
+	defer fsp.End()
 	v, err, shared := s.flight.do(key, func() (any, error) {
 		if err := fpFlightLeader.Inject(); err != nil && !failpoint.IsPartial(err) {
 			return nil, err
@@ -289,17 +382,22 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (any, e
 			s.metrics.add(mCacheHits, 1)
 			return v, nil
 		}
-		v, err := s.pool.submit(ctx, func() (any, error) {
+		pctx, psp := obs.Start(fctx, "pool.submit")
+		defer psp.End()
+		v, err := s.pool.submit(fctx, func() (any, error) {
+			rctx, rsp := obs.Start(pctx, "pool.run")
+			defer rsp.End()
 			if s.onCompute != nil {
 				s.onCompute(key)
 			}
-			return compute()
+			return compute(rctx)
 		})
 		if err == nil {
 			s.cachePut(key, v)
 		}
 		return v, err
 	})
+	fsp.SetAttrBool("shared", shared)
 	if shared {
 		s.metrics.add(mCoalesced, 1)
 	}
@@ -392,7 +490,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	key := req.CacheKey()
 	if s.shouldDegrade() {
 		// Cached exact answers are free — serve them even under pressure.
-		if v, ok, cerr := s.cacheGet(key); cerr == nil && ok {
+		_, csp := obs.Start(ctx, "cache.get")
+		v, ok, cerr := s.cacheGet(key)
+		csp.SetAttrBool("hit", cerr == nil && ok)
+		csp.End()
+		if cerr == nil && ok {
 			s.metrics.add(mCacheHits, 1)
 			resp := v.(AnalyzeResponse)
 			resp.Cached = true
@@ -401,18 +503,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		// Shed: answer inline with a Monte Carlo estimate, bypassing the
 		// saturated pool. Degraded answers are never cached — the next
-		// uncontended request computes and caches the exact result.
+		// uncontended request computes and caches the exact result. The
+		// cache miss counts like any other so hit-rate math stays honest
+		// under pressure, and the inline gauge (not the pool gauges —
+		// no pool job exists) accounts for the work.
+		s.metrics.add(mCacheMisses, 1)
 		s.metrics.add(mDegraded, 1)
-		resp, derr := computeDegradedAnalyze(req, s.cfg.loadOptions(), s.cfg.DegradedRounds)
+		s.inlineRunning.Add(1)
+		resp, derr := computeDegradedAnalyze(ctx, req, s.cfg.loadOptions(), s.cfg.DegradedRounds)
+		s.inlineRunning.Add(-1)
 		if derr != nil {
 			s.failCompute(w, derr)
 			return
 		}
+		s.metrics.degradedErr.Observe(resp.ErrorBound)
+		w.Header().Set(degradedHeader, "true")
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	v, cached, err := s.execute(ctx, key, func() (any, error) {
-		resp, err := computeAnalyze(req, s.cfg.loadOptions())
+	v, cached, err := s.execute(ctx, key, func(cctx context.Context) (any, error) {
+		resp, err := computeAnalyze(cctx, req, s.cfg.loadOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -438,8 +548,8 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
-		resp, err := computeBounds(req)
+	v, cached, err := s.execute(ctx, req.CacheKey(), func(cctx context.Context) (any, error) {
+		resp, err := computeBounds(cctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -465,8 +575,8 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	v, cached, err := s.execute(ctx, req.CacheKey(), func() (any, error) {
-		resp, err := computeBisect(req)
+	v, cached, err := s.execute(ctx, req.CacheKey(), func(cctx context.Context) (any, error) {
+		resp, err := computeBisect(cctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -518,8 +628,8 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	key := fmt.Sprintf("experiment|%s|%s", e.ID, req.Scale)
-	v, cached, err := s.execute(ctx, key, func() (any, error) {
-		resp, err := computeExperiment(e, req.Scale)
+	v, cached, err := s.execute(ctx, key, func(cctx context.Context) (any, error) {
+		resp, err := computeExperiment(cctx, e, req.Scale)
 		if err != nil {
 			return nil, err
 		}

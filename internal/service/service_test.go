@@ -471,25 +471,30 @@ func TestLRUCacheTTLAndEviction(t *testing.T) {
 
 	c.put("a", 1)
 	c.put("b", 2)
-	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+	if v, _, ok := c.get("a"); !ok || v.(int) != 1 {
 		t.Fatal("a missing")
 	}
 	c.put("c", 3) // evicts b (least recently used after the a touch)
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b survived past capacity")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Error("a evicted despite recent use")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
 
+	now = now.Add(30 * time.Second)
+	if _, age, ok := c.get("a"); !ok || age != 30*time.Second {
+		t.Errorf("a: age=%v ok=%v, want 30s hit", age, ok)
+	}
+
 	now = now.Add(2 * time.Minute)
-	if _, ok := c.get("a"); ok {
+	if _, _, ok := c.get("a"); ok {
 		t.Error("a survived past its TTL")
 	}
-	if _, ok := c.get("c"); ok {
+	if _, _, ok := c.get("c"); ok {
 		t.Error("c survived past its TTL")
 	}
 
@@ -497,7 +502,7 @@ func TestLRUCacheTTLAndEviction(t *testing.T) {
 	forever := newLRUCache(1, 0)
 	forever.now = func() time.Time { return now.Add(1000 * time.Hour) }
 	forever.put("x", 9)
-	if _, ok := forever.get("x"); !ok {
+	if _, _, ok := forever.get("x"); !ok {
 		t.Error("entry expired with TTL disabled")
 	}
 }

@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 
 	"torusnet/internal/failpoint"
+	"torusnet/internal/obs"
 )
 
 // fpExperiment fires at the start of every registered experiment run.
@@ -56,6 +59,29 @@ func register(e Experiment) {
 		return inner(scale)
 	}
 	registry[e.ID] = e
+}
+
+// RunTraced executes the experiment like Run, but records a
+// "sweep.experiment" span (attrs: id, scale, rows) under any trace carried
+// by ctx, and labels the run's goroutines with the experiment ID so CPU
+// profiles attribute samples per experiment. With no active trace it only
+// adds the pprof label when observability counters are enabled, keeping
+// benchmark runs on the unlabeled path.
+func (e Experiment) RunTraced(ctx context.Context, scale Scale) *Table {
+	_, sp := obs.Start(ctx, "sweep.experiment")
+	defer sp.End()
+	sp.SetAttr("id", e.ID)
+	sp.SetAttr("scale", string(scale))
+	var tb *Table
+	if sp == nil && !obs.CountersEnabled() {
+		tb = e.Run(scale)
+	} else {
+		pprof.Do(ctx, pprof.Labels("experiment", e.ID), func(context.Context) {
+			tb = e.Run(scale)
+		})
+	}
+	sp.SetAttrInt("rows", int64(len(tb.Rows)))
+	return tb
 }
 
 // All returns the registered experiments sorted by numeric ID.

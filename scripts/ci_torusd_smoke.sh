@@ -4,8 +4,12 @@
 # Builds cmd/torusd, boots it on a local port with the pprof sidecar
 # enabled, polls /healthz until ready, issues one POST /v1/analyze, and
 # asserts a 200 with well-formed JSON plus a live /debug/pprof/ index on
-# the sidecar before shutting the server down. It then exercises the chaos
-# surface end to end: arms a failpoint through /debug/failpoints on the
+# the sidecar before shutting the server down. The observability surface is
+# covered next: /metrics must be valid Prometheus text with the headline
+# families present, the traceparent response header must be well formed,
+# and /debug/traces on the sidecar must hold a full pipeline trace (>= 5
+# named stages) including the request we just made. It then exercises the
+# chaos surface end to end: arms a failpoint through /debug/failpoints on the
 # sidecar and asserts the injected 500, and forces the admission
 # controller into degraded mode and asserts a Monte Carlo answer tagged
 # "degraded": true. Run from the repository root; CI runs it via
@@ -71,6 +75,47 @@ fi
 echo "smoke: checking /debug/vars counters"
 curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1' >/dev/null || {
     echo "smoke: FAIL — /debug/vars missing expected torusd counters" >&2
+    exit 1
+}
+
+echo "smoke: validating Prometheus text at /metrics"
+curl -fsS "${BASE}/metrics" > /tmp/torusd_smoke_metrics.txt
+if grep -vE '^(#.*)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$' \
+    /tmp/torusd_smoke_metrics.txt | grep -q .; then
+    echo "smoke: FAIL — /metrics lines that are not valid Prometheus text:" >&2
+    grep -vE '^(#.*)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$' \
+        /tmp/torusd_smoke_metrics.txt >&2
+    exit 1
+fi
+for fam in torusd_requests_total torusd_request_duration_seconds_bucket \
+    torusd_requests_by_endpoint_total torusd_in_flight torusd_uptime_seconds; do
+    grep -q "^${fam}" /tmp/torusd_smoke_metrics.txt || {
+        echo "smoke: FAIL — /metrics is missing the ${fam} family" >&2
+        exit 1
+    }
+done
+
+echo "smoke: checking traceparent echo and /debug/traces"
+tp=$(curl -sSD - -o /dev/null -H 'Content-Type: application/json' -d "$body" \
+    "${BASE}/v1/analyze" | tr -d '\r' | awk 'tolower($1)=="traceparent:"{print $2}')
+case "$tp" in
+    00-????????????????????????????????-????????????????-01) ;;
+    *)
+        echo "smoke: FAIL — bad or missing traceparent response header: '${tp}'" >&2
+        exit 1
+        ;;
+esac
+tid=$(printf '%s' "$tp" | cut -d- -f2)
+curl -fsS "${DEBUG_BASE}/debug/traces" > /tmp/torusd_smoke_traces.json
+# At least one buffered trace must carry the full pipeline (>= 5 named
+# stages), and the trace ID we were just handed must be among them.
+jq -e --arg tid "$tid" '
+    .stats.exported >= 1
+    and ([.traces[] | [.spans[].name] | unique | length] | max >= 5)
+    and ([.traces[].trace_id] | index($tid) != null)' \
+    /tmp/torusd_smoke_traces.json >/dev/null || {
+    echo "smoke: FAIL — /debug/traces lacks a full pipeline trace:" >&2
+    cat /tmp/torusd_smoke_traces.json >&2
     exit 1
 }
 

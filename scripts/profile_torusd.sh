@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# profile_torusd.sh — capture and summarize a CPU profile from a running
+# torusd.
+#
+# Points go tool pprof at the debug sidecar (boot the server with
+# -debug-addr), keeps a stream of uncached /v1/analyze requests going while
+# the profile window is open so the worker pool is hot, then prints the top
+# functions and the pprof label breakdown — the endpoint/engine/experiment
+# labels the service middleware and worker pool apply to goroutines (see
+# OBSERVABILITY.md, "Reading labeled profiles"). Run via `make profile`
+# against a server started like:
+#
+#   go run ./cmd/torusd -addr :8080 -debug-addr 127.0.0.1:6060
+#
+# Environment overrides: TORUSD_ADDR, TORUSD_DEBUG_ADDR, PROFILE_SECONDS,
+# PROFILE_OUT (the raw pprof protobuf is kept there for interactive use).
+set -euo pipefail
+
+API="${TORUSD_ADDR:-http://127.0.0.1:8080}"
+DEBUG="${TORUSD_DEBUG_ADDR:-http://127.0.0.1:6060}"
+DUR="${PROFILE_SECONDS:-10}"
+OUT="${PROFILE_OUT:-/tmp/torusd_cpu.pb.gz}"
+
+curl -fsS "${API}/healthz" >/dev/null || {
+    echo "profile: no torusd answering on ${API} — boot one with -debug-addr first" >&2
+    exit 1
+}
+
+echo "profile: generating analyze load against ${API} for ${DUR}s"
+(
+    # Rotate k and the routing algorithm so requests keep missing the
+    # result cache and exercise the load engines, not just JSON encoding.
+    # FAR enumerates every shortest path, so large-k FAR requests keep the
+    # worker pool visibly busy in the profile.
+    k=7
+    while :; do
+        k=$((k + 1)); [ "$k" -gt 32 ] && k=8
+        for alg in odr udr far; do
+            curl -sS -o /dev/null -H 'Content-Type: application/json' \
+                -d "{\"k\":${k},\"d\":2,\"placement\":\"linear\",\"routing\":\"${alg}\"}" \
+                "${API}/v1/analyze" || true
+        done
+    done
+) &
+LOAD_PID=$!
+trap 'kill "$LOAD_PID" 2>/dev/null || true; wait "$LOAD_PID" 2>/dev/null || true' EXIT
+
+echo "profile: capturing ${DUR}s CPU profile from ${DEBUG}"
+curl -fsS -o "$OUT" "${DEBUG}/debug/pprof/profile?seconds=${DUR}" || {
+    echo "profile: capture failed — is the sidecar serving on ${DEBUG}?" >&2
+    exit 1
+}
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+trap - EXIT
+
+echo
+echo "profile: hottest functions"
+go tool pprof -top -nodecount=20 "$OUT"
+
+echo
+echo "profile: label breakdown (endpoint / engine / experiment)"
+go tool pprof -tags "$OUT"
+
+echo
+echo "profile: raw profile kept at ${OUT} (open with: go tool pprof ${OUT})"

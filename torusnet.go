@@ -1,6 +1,8 @@
 package torusnet
 
 import (
+	"context"
+
 	"torusnet/internal/bisect"
 	"torusnet/internal/bounds"
 	"torusnet/internal/bsp"
@@ -8,11 +10,12 @@ import (
 	"torusnet/internal/cover"
 	"torusnet/internal/failpoint"
 	"torusnet/internal/faults"
+	"torusnet/internal/lee"
 	"torusnet/internal/load"
+	"torusnet/internal/obs"
+	"torusnet/internal/optimize"
 	"torusnet/internal/placement"
 	"torusnet/internal/routing"
-	"torusnet/internal/lee"
-	"torusnet/internal/optimize"
 	"torusnet/internal/schedule"
 	"torusnet/internal/service"
 	"torusnet/internal/simnet"
@@ -165,6 +168,15 @@ func IsTranslationEquivariant(a RoutingAlgorithm) bool {
 // under one complete exchange.
 func ComputeLoad(p *Placement, a RoutingAlgorithm, opts LoadOptions) *LoadResult {
 	return load.Compute(p, a, opts)
+}
+
+// ComputeLoadCtx is ComputeLoad with observability threaded through ctx:
+// when the context carries an active trace (see StartSpan), the engine
+// dispatch, per-engine stages, and merge record spans and the worker
+// goroutines carry pprof labels. With no active trace it is
+// allocation-identical to ComputeLoad.
+func ComputeLoadCtx(ctx context.Context, p *Placement, a RoutingAlgorithm, opts LoadOptions) *LoadResult {
+	return load.ComputeCtx(ctx, p, a, opts)
 }
 
 // ComputeLoadExact evaluates loads with big.Rat arithmetic (small tori).
@@ -479,6 +491,68 @@ var ErrServiceCircuitOpen = service.ErrCircuitOpen
 func NewResilientServiceClient(baseURL string, cfg ClientResilienceConfig) *ServiceClient {
 	return service.NewResilientClient(baseURL, cfg)
 }
+
+// Observability (package obs): zero-dependency context-propagated span
+// tracing, fixed-bucket histograms, and W3C traceparent plumbing. torusd
+// wires these in by default (/metrics, /debug/traces); library callers can
+// trace their own pipelines by installing a Tracer and passing its root
+// context into ComputeLoadCtx. See OBSERVABILITY.md.
+type (
+	// Tracer buffers finished request traces in a bounded ring.
+	Tracer = obs.Tracer
+	// TracerStats are a Tracer's lifetime counters.
+	TracerStats = obs.TracerStats
+	// Trace is one exported span tree.
+	Trace = obs.Trace
+	// Span is one live timed stage; the nil *Span is a no-op.
+	Span = obs.Span
+	// SpanData is the exported (finished) form of a span.
+	SpanData = obs.SpanData
+	// SpanAttr is one key/value annotation on a span.
+	SpanAttr = obs.Attr
+	// Histogram is a fixed-bucket, lock-free observation histogram.
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a Histogram's consistent point-in-time state.
+	HistogramSnapshot = obs.HistSnapshot
+)
+
+// TraceparentHeader is the W3C trace-context header torusd reads and echoes.
+const TraceparentHeader = obs.TraceparentHeader
+
+// NewTracer builds a tracer retaining the last n finished traces (n <= 0
+// selects the default ring size).
+func NewTracer(n int) *Tracer { return obs.NewTracer(n) }
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram { return obs.NewHistogram(bounds...) }
+
+// StartSpan opens a child span on the trace carried by ctx and returns the
+// derived context. Without an active trace it returns ctx and a nil span,
+// costing no allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.Start(ctx, name)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
+
+// TraceIDFromContext returns the 32-hex trace ID carried by ctx, or "".
+func TraceIDFromContext(ctx context.Context) string { return obs.TraceIDFromContext(ctx) }
+
+// NewTraceID mints a random W3C trace ID (32 hex digits).
+func NewTraceID() string { return obs.NewTraceID() }
+
+// NewSpanID mints a random non-zero span ID.
+func NewSpanID() uint64 { return obs.NewSpanID() }
+
+// FormatTraceparent renders a traceparent header value from a trace ID and
+// a parent span ID.
+func FormatTraceparent(traceID string, spanID uint64) string {
+	return obs.FormatTraceparent(traceID, spanID)
+}
+
+// ParseTraceparent extracts the trace ID from a traceparent header value.
+func ParseTraceparent(h string) (traceID string, ok bool) { return obs.ParseTraceparent(h) }
 
 // Fault injection (package failpoint): named chaos sites threaded through
 // the service, load, and sweep layers for robustness testing. Sites are
