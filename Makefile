@@ -7,9 +7,10 @@ FUZZ_TARGETS := \
 	./internal/torus:FuzzLeeDistance \
 	./internal/torus:FuzzWrapCoord \
 	./internal/torus:FuzzTranslateEdge \
-	./internal/service:FuzzDecodeAnalyzeRequest
+	./internal/service:FuzzDecodeAnalyzeRequest \
+	./internal/lintcheck:FuzzLintIgnoreDirective
 
-.PHONY: all build test race vet lint fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos profile ci
+.PHONY: all build test race vet lint lint-fix fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos profile ci
 
 all: build
 
@@ -29,6 +30,14 @@ vet:
 # it exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/toruslint ./...
+
+# lint-fix applies every finding's mechanical fix, then fails if the fixes
+# changed anything that was not committed (CI runs this to guarantee the
+# tree is already in its fixed form) or if unfixable findings remain.
+lint-fix:
+	$(GO) run ./cmd/toruslint -fix ./...
+	@git diff --exit-code -- . ':!results' || \
+		{ echo "lint-fix: toruslint -fix changed files; commit the fixes above" >&2; exit 1; }
 
 # fuzz-smoke gives each fuzz target a short budget; failures persist a
 # crasher under <package>/testdata/fuzz for replay with plain go test.

@@ -276,6 +276,7 @@ func TestFacadeResilienceAndFailpoints(t *testing.T) {
 	if err := FailpointEnable(site, "not a spec"); err == nil {
 		t.Error("FailpointEnable accepted a malformed spec")
 	}
+	//lint:ignore failpointsite deliberately unknown site: this test asserts rejection
 	if err := FailpointEnable("no.such.site", "error"); err == nil {
 		t.Error("FailpointEnable accepted an unknown site")
 	}

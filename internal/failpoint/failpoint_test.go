@@ -129,6 +129,7 @@ func TestSpecParsing(t *testing.T) {
 			DisableAll()
 		}
 	}
+	//lint:ignore failpointsite deliberately unknown site: this test asserts rejection
 	if err := Enable("nope.such.site", "error"); err == nil {
 		t.Error("unknown site accepted")
 	}

@@ -1,0 +1,274 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// runCtxflow enforces the context-threading discipline: once a request has a
+// context, every downstream hop must carry it.
+//
+// Two checks:
+//
+//  1. context.Background() and context.TODO() re-root the context tree and
+//     are banned outside package main and the allowlist
+//     (ctxflow_allowlist.txt, one pkgpath.Func per line, naming functions —
+//     typically pre-context compatibility shims — whose bodies may re-root).
+//     Test files never load, so tests are exempt by construction. When an
+//     enclosing function has a context parameter the fix is mechanical:
+//     replace the call with that parameter.
+//
+//  2. Calling F(args) from a function that has a context parameter, when
+//     F's package also exports FCtx(ctx, args) with an otherwise identical
+//     signature, silently drops the context (deadlines, cancellation, and
+//     trace spans all stop propagating). The fix rewrites the call to the
+//     Ctx variant with the in-scope context prepended.
+func runCtxflow(u *Unit, p *Package) []Finding {
+	if p.Types == nil || p.Types.Name() == "main" {
+		return nil
+	}
+	allow, _ := loadCtxflowAllowlist(u)
+	// frame is one entry of the enclosing-function stack, so each call site
+	// can look up the nearest context parameter and allowlist key.
+	type frame struct {
+		ctxName string // innermost reachable ctx param name ("" if none)
+		key     string // allowlist key (from the top-level decl)
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		var stack []frame
+		top := func() frame {
+			if len(stack) == 0 {
+				return frame{}
+			}
+			return stack[len(stack)-1]
+		}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				stack = append(stack, frame{ctxParamName(p, n.Type), p.Path + "." + n.Name.Name})
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.FuncLit:
+				name := ctxParamName(p, n.Type)
+				if name == "" {
+					// Closures capture the enclosing ctx lexically.
+					name = top().ctxName
+				}
+				stack = append(stack, frame{name, top().key})
+				ast.Inspect(n.Body, walk)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.CallExpr:
+				out = append(out, checkCtxCall(u, p, n, top().ctxName, top().key, allow)...)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}
+
+// checkCtxCall inspects one call expression given the innermost in-scope
+// context parameter name (or "") and the enclosing function's allowlist key.
+func checkCtxCall(u *Unit, p *Package, call *ast.CallExpr, ctxName, key string, allow map[string]bool) []Finding {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	var out []Finding
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO") {
+		if allow[key] {
+			return nil
+		}
+		fnd := u.finding("ctxflow", call.Pos(),
+			"context."+fn.Name()+"() re-roots the context tree; thread the caller's ctx instead",
+			"accept a context.Context parameter, or allowlist this function in ctxflow_allowlist.txt")
+		if ctxName != "" && ctxName != "_" {
+			fnd.Suggestion = "use the in-scope context " + ctxName
+			fnd.Edits = []TextEdit{replaceRange(u, call.Pos(), call.End(), ctxName)}
+		}
+		return append(out, fnd)
+	}
+	// Ctx-variant check: only meaningful when a context is in scope and the
+	// callee has no context parameter of its own.
+	if ctxName == "" || ctxName == "_" {
+		return nil
+	}
+	if takesContext(fn) {
+		return nil
+	}
+	variant := ctxVariant(fn)
+	if variant == nil {
+		return nil
+	}
+	fnd := u.finding("ctxflow", call.Pos(),
+		"call to "+fn.Name()+" drops the in-scope context; "+fn.Pkg().Name()+"."+variant.Name()+" accepts one",
+		"call "+variant.Name()+"("+ctxName+", ...) instead")
+	// The mechanical fix renames the callee and prepends the context
+	// argument. Variadic or argless calls rewrite the same way.
+	calleeEnd := call.Fun.End()
+	insert := ctxName
+	if len(call.Args) > 0 {
+		insert += ", "
+	}
+	fnd.Edits = []TextEdit{
+		replaceRange(u, lastSelPos(call.Fun), calleeEnd, variant.Name()),
+		replaceRange(u, call.Lparen+1, call.Lparen+1, insert),
+	}
+	return append(out, fnd)
+}
+
+// calleeFunc resolves a call's callee to its *types.Func, or nil for
+// builtins, conversions, and indirect calls.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lastSelPos returns the position of the final identifier of a callee
+// expression (the Sel of a selector, or the ident itself), so edits rename
+// only the function name and keep any package qualifier.
+func lastSelPos(fun ast.Expr) token.Pos {
+	switch fun := unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Pos()
+	default:
+		return fun.Pos()
+	}
+}
+
+// ctxParamName returns the name of the first context.Context parameter of a
+// function type, or "".
+func ctxParamName(p *Package, ft *ast.FuncType) string {
+	if ft == nil || ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		if !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// takesContext reports whether any parameter of fn is a context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxVariant looks up an exported <Name>Ctx sibling of fn in fn's package
+// whose signature is fn's with a context.Context prepended (and identical
+// results). Methods have no variant lookup.
+func ctxVariant(fn *types.Func) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || fn.Pkg() == nil {
+		return nil
+	}
+	obj := fn.Pkg().Scope().Lookup(fn.Name() + "Ctx")
+	variant, ok := obj.(*types.Func)
+	if !ok || !variant.Exported() {
+		return nil
+	}
+	vsig, ok := variant.Type().(*types.Signature)
+	if !ok || vsig.Recv() != nil {
+		return nil
+	}
+	if vsig.Params().Len() != sig.Params().Len()+1 ||
+		!isContextType(vsig.Params().At(0).Type()) ||
+		vsig.Variadic() != sig.Variadic() {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if !types.Identical(sig.Params().At(i).Type(), vsig.Params().At(i+1).Type()) {
+			return nil
+		}
+	}
+	if vsig.Results().Len() != sig.Results().Len() {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !types.Identical(sig.Results().At(i).Type(), vsig.Results().At(i).Type()) {
+			return nil
+		}
+	}
+	return variant
+}
+
+// replaceRange builds a TextEdit covering [from, to) in the file holding
+// from.
+func replaceRange(u *Unit, from, to token.Pos, text string) TextEdit {
+	fp := u.Fset.Position(from)
+	tp := u.Fset.Position(to)
+	return TextEdit{File: fp.Filename, Start: fp.Offset, End: tp.Offset, Text: text}
+}
+
+// loadCtxflowAllowlist reads ctxflow_allowlist.txt (in-tree location first,
+// unit root as the fixture fallback). Entries are pkgpath.Func, one per
+// line; # starts a comment.
+func loadCtxflowAllowlist(u *Unit) (map[string]bool, string) {
+	allow := make(map[string]bool)
+	candidates := []string{
+		filepath.Join(u.Root, "internal", "lintcheck", "ctxflow_allowlist.txt"),
+		filepath.Join(u.Root, "ctxflow_allowlist.txt"),
+	}
+	for _, path := range candidates {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			allow[line] = true
+		}
+		return allow, path
+	}
+	return allow, candidates[0]
+}

@@ -1,6 +1,7 @@
 package lintcheck
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"os"
@@ -15,18 +16,29 @@ import (
 // deliberate non-exports — engine plumbing, experiment internals — so the
 // facade can only drift with an explicit, reviewed edit.
 //
+// The allowlist itself is kept honest: an entry that no longer matches any
+// loaded package or exported symbol is a stale finding (with a fix that
+// deletes the line), and entries must stay in sorted order so diffs are
+// reviewable and duplicates are impossible to miss.
+//
 // Allowlist format (facade_allowlist.txt next to this file, or at the unit
-// root for fixture trees): one entry per line, # comments. An entry is
-// either a full package path ("torusnet/internal/graph", excusing the whole
-// package) or path.Symbol ("torusnet/internal/lee.BallSize").
+// root for fixture trees): one entry per line, # starts a comment (full
+// line or trailing). An entry is either a full package path
+// ("torusnet/internal/graph", excusing the whole package) or path.Symbol
+// ("torusnet/internal/lee.BallSize"). Entries sort lexicographically.
 func runFacade(u *Unit) []Finding {
 	root := u.Package(u.ModulePath)
 	if root == nil {
 		return nil // no facade package in this unit (plain fixture tree)
 	}
-	allow, allowFile := loadAllowlist(u)
+	entries, allowFile := loadAllowlist(u)
+	allow := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		allow[e.text] = true
+	}
+	relAllowFile := allowFile
 	if rel, err := filepath.Rel(u.Root, allowFile); err == nil {
-		allowFile = filepath.ToSlash(rel)
+		relAllowFile = filepath.ToSlash(rel)
 	}
 
 	// Collect every internal symbol the facade references: selector
@@ -70,16 +82,74 @@ func runFacade(u *Unit) []Finding {
 			}
 			out = append(out, u.finding("facade-complete", obj.Pos(),
 				key+" is exported but neither re-exported by the facade nor allowlisted",
-				"re-export it in torusnet.go or add it to "+allowFile))
+				"re-export it in torusnet.go or add it to "+relAllowFile))
+		}
+	}
+
+	// Staleness and ordering of the allowlist itself.
+	prev := ""
+	for _, e := range entries {
+		if prev != "" && e.text < prev {
+			out = append(out, Finding{
+				Analyzer:   "facade-complete",
+				File:       allowFile,
+				Line:       e.line,
+				Col:        1,
+				Message:    fmt.Sprintf("allowlist entry %q is not in sorted order (follows %q)", e.text, prev),
+				Suggestion: "keep " + relAllowFile + " sorted so diffs stay reviewable",
+			})
+		}
+		prev = e.text
+		if stale, why := allowEntryStale(u, e.text); stale {
+			out = append(out, Finding{
+				Analyzer:   "facade-complete",
+				File:       allowFile,
+				Line:       e.line,
+				Col:        1,
+				Message:    fmt.Sprintf("stale allowlist entry %q: %s", e.text, why),
+				Suggestion: "delete the line (or fix the symbol name)",
+				Edits:      []TextEdit{{File: allowFile, Start: e.start, End: e.end, Text: ""}},
+			})
 		}
 	}
 	return out
 }
 
+// allowEntryStale reports whether an allowlist entry still matches a loaded
+// package or exported symbol, with a reason when it does not.
+func allowEntryStale(u *Unit, entry string) (bool, string) {
+	if u.Package(entry) != nil {
+		return false, ""
+	}
+	dot := strings.LastIndexByte(entry, '.')
+	if dot < 0 || dot == len(entry)-1 {
+		return true, "no such package in the module"
+	}
+	pkgPath, sym := entry[:dot], entry[dot+1:]
+	p := u.Package(pkgPath)
+	if p == nil || p.Types == nil {
+		return true, "no such package in the module"
+	}
+	obj := p.Types.Scope().Lookup(sym)
+	if obj == nil || !obj.Exported() {
+		return true, "package " + pkgPath + " exports no symbol " + sym
+	}
+	return false, ""
+}
+
+// allowEntry is one non-comment line of the facade allowlist, with its line
+// number and the byte range of the whole line (newline included) for
+// delete-line fixes.
+type allowEntry struct {
+	text       string
+	line       int
+	start, end int
+}
+
 // loadAllowlist reads the facade allowlist, preferring the in-tree
-// internal/lintcheck location and falling back to the unit root.
-func loadAllowlist(u *Unit) (map[string]bool, string) {
-	allow := make(map[string]bool)
+// internal/lintcheck location and falling back to the unit root. Entries
+// are returned in file order.
+func loadAllowlist(u *Unit) ([]allowEntry, string) {
 	candidates := []string{
 		filepath.Join(u.Root, "internal", "lintcheck", "facade_allowlist.txt"),
 		filepath.Join(u.Root, "facade_allowlist.txt"),
@@ -89,14 +159,25 @@ func loadAllowlist(u *Unit) (map[string]bool, string) {
 		if err != nil {
 			continue
 		}
-		for _, line := range strings.Split(string(data), "\n") {
-			line = strings.TrimSpace(line)
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
+		var entries []allowEntry
+		offset := 0
+		for i, raw := range strings.Split(string(data), "\n") {
+			lineLen := len(raw) + 1 // the final line has no \n; end is clamped below
+			line := raw
+			if j := strings.IndexByte(line, '#'); j >= 0 {
+				line = line[:j]
 			}
-			allow[line] = true
+			line = strings.TrimSpace(line)
+			if line != "" {
+				end := offset + lineLen
+				if end > len(data) {
+					end = len(data)
+				}
+				entries = append(entries, allowEntry{text: line, line: i + 1, start: offset, end: end})
+			}
+			offset += lineLen
 		}
-		return allow, path
+		return entries, path
 	}
-	return allow, candidates[0]
+	return nil, candidates[0]
 }

@@ -1,0 +1,115 @@
+package lintcheck
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes pass.
+type FixResult struct {
+	// FilesChanged lists the files rewritten, sorted.
+	FilesChanged []string
+	// Applied counts the findings whose edits were written out.
+	Applied int
+	// Skipped counts findings whose edits were dropped because they
+	// overlapped an earlier-applied edit in the same file; rerunning the
+	// suite (and -fix) picks them up once offsets have settled.
+	Skipped int
+}
+
+// ApplyFixes writes the mechanical edits attached to the findings back to
+// disk. Edits are grouped per file and applied from the highest offset down
+// so earlier offsets stay valid; a finding whose edits overlap an already
+// accepted edit is skipped atomically (all of its edits or none). Findings
+// without edits are ignored. The caller reruns the analyzers afterwards to
+// see what remains.
+func ApplyFixes(findings []Finding) (FixResult, error) {
+	type span struct {
+		start, end int
+		text       string
+	}
+	// Collect per-file edit groups, one group per finding, so a finding's
+	// edits are accepted or rejected together.
+	type group struct {
+		file  string
+		spans []span
+	}
+	byFile := make(map[string][]group)
+	var res FixResult
+	for _, f := range findings {
+		if len(f.Edits) == 0 {
+			continue
+		}
+		perFile := make(map[string][]span)
+		for _, e := range f.Edits {
+			if e.Start < 0 || e.End < e.Start {
+				return res, fmt.Errorf("lintcheck: invalid edit range [%d,%d) in %s", e.Start, e.End, e.File)
+			}
+			perFile[e.File] = append(perFile[e.File], span{e.Start, e.End, e.Text})
+		}
+		for file, spans := range perFile {
+			byFile[file] = append(byFile[file], group{file, spans})
+		}
+		res.Applied++
+	}
+	if len(byFile) == 0 {
+		return res, nil
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return res, err
+		}
+		// Accept groups greedily in offset order, rejecting any group that
+		// overlaps an accepted span. Insertions at the same offset from two
+		// different findings also conflict (ordering would be arbitrary).
+		var accepted []span
+		overlaps := func(s span) bool {
+			for _, a := range accepted {
+				if s.start < a.end && a.start < s.end {
+					return true
+				}
+				if s.start == s.end && a.start == a.end && s.start == a.start {
+					return true
+				}
+			}
+			return false
+		}
+		for _, g := range byFile[file] {
+			ok := true
+			for _, s := range g.spans {
+				if s.end > len(data) || overlaps(s) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				res.Skipped++
+				res.Applied--
+				continue
+			}
+			accepted = append(accepted, g.spans...)
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		sort.Slice(accepted, func(i, j int) bool { return accepted[i].start > accepted[j].start })
+		for _, s := range accepted {
+			data = append(data[:s.start], append([]byte(s.text), data[s.end:]...)...)
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return res, err
+		}
+		res.FilesChanged = append(res.FilesChanged, file)
+	}
+	sort.Strings(res.FilesChanged)
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runGoroutineLifecycle flags naked go statements in library packages. A
+// goroutine with no owner outlives its caller silently: it leaks on early
+// return, keeps running after test teardown, and hides panics. A launch is
+// considered owned when the launching function calls Add on a
+// sync.WaitGroup (directly or via a struct that embeds one) before the go
+// statement, or when the launched function literal itself calls Done — the
+// two halves of the WaitGroup protocol the worker pool uses. Anything else
+// (including handoffs joined by channel receives, which this pass cannot
+// see) needs a //lint:ignore goroutinelifecycle directive stating who joins
+// the goroutine. Package main is exempt: top-level daemons own their
+// goroutines by construction.
+func runGoroutineLifecycle(u *Unit, p *Package) []Finding {
+	if p.Types == nil || p.Types.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			out = append(out, checkGoStmts(u, p, fd.Body)...)
+			return false
+		})
+	}
+	return out
+}
+
+// checkGoStmts inspects one function body (including nested literals, which
+// share the enclosing function's WaitGroup discipline).
+func checkGoStmts(u *Unit, p *Package, body *ast.BlockStmt) []Finding {
+	// Collect every wg.Add call position in the function first: the launch
+	// is fine when any Add precedes it textually (loops make true ordering
+	// undecidable; textual order matches how the protocol is written).
+	var adds []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(p, call, "Add") {
+			adds = append(adds, call)
+		}
+		return true
+	})
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, a := range adds {
+			if a.Pos() < g.Pos() {
+				return true
+			}
+		}
+		if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok && callsWaitGroupDone(p, lit.Body) {
+			return true
+		}
+		out = append(out, u.finding("goroutinelifecycle", g.Pos(),
+			"naked go statement: no WaitGroup ties this goroutine to an owner",
+			"call wg.Add before the launch and Done inside, or add //lint:ignore goroutinelifecycle <who joins it>"))
+		return true
+	})
+	return out
+}
+
+// callsWaitGroupDone reports whether the block calls Done on a WaitGroup.
+func callsWaitGroupDone(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(p, call, "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is method `name` on sync.WaitGroup.
+func isWaitGroupCall(p *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

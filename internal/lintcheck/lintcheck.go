@@ -5,11 +5,38 @@
 // paths, overflow-guarded volume computations, no silently discarded errors,
 // sound sync primitive usage, package doc comments everywhere (with
 // documented facade re-exports), and a facade that re-exports (or explicitly
-// allowlists) every exported internal symbol.
+// allowlists) every exported internal symbol. On top of the syntactic
+// checks, the dataflow suite polices the serving stack's lifecycle
+// disciplines: contexts must flow (ctxflow), spans must end on every path
+// (spanend), metrics must match the promSchema table (metricschema),
+// failpoint sites must resolve (failpointsite), and goroutines must have an
+// owner (goroutinelifecycle).
 //
 // Findings can be silenced per line with a //lint:ignore <analyzer> <reason>
-// directive; the facade analyzer additionally honors the allowlist file
-// facade_allowlist.txt (see that file for format).
+// directive — the reason is mandatory, and a directive without one is
+// itself a finding and suppresses nothing. The facade analyzer additionally
+// honors the allowlist file facade_allowlist.txt, and ctxflow honors
+// ctxflow_allowlist.txt (see those files for format).
+//
+// # Writing a new analyzer
+//
+// An analyzer is one run<Name> function returning []Finding plus an entry
+// in All(). Set the entry's Package field for per-package checks (it runs
+// once per loaded package, with the shared Unit for position/suppression
+// helpers) or Unitwide for cross-package checks (facade-complete,
+// metricschema, and failpointsite are the models — they see every package,
+// and failpointsite shows how to fold in raw non-Go files like scripts and
+// docs). Build findings with u.finding(name, pos, message, suggestion);
+// when the repair is purely mechanical, attach TextEdit byte-range edits so
+// `toruslint -fix` can apply it — edits must be idempotent: applying them
+// has to make the finding (and so the edit) disappear on the next run.
+// Every analyzer needs a seeded-bad and a known-good fixture package under
+// testdata/src/<name>/{bad,good}, where each bad line carries a
+// `// want "message fragment"` comment, and a golden file regenerated with
+// `go test ./internal/lintcheck -run TestGolden -update`. The harness
+// fails on unexpected, missing, or mismatched findings, and
+// TestNewAnalyzersHonorSuppression pins that the analyzer respects
+// //lint:ignore.
 package lintcheck
 
 import (
@@ -28,6 +55,20 @@ type Finding struct {
 	Col        int    `json:"col"`
 	Message    string `json:"message"`
 	Suggestion string `json:"suggestion,omitempty"`
+	// Edits, when non-empty, is a mechanical fix for the finding that
+	// `toruslint -fix` can apply. Applying the edits must make the finding
+	// disappear on the next run (fixes are idempotent).
+	Edits []TextEdit `json:"edits,omitempty"`
+}
+
+// TextEdit replaces the byte range [Start, End) of File with Text. Offsets
+// are 0-based byte offsets into the file as loaded (token.Position.Offset).
+// An insertion has Start == End.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -84,8 +125,33 @@ func All() []*Analyzer {
 		},
 		{
 			Name:     "facade-complete",
-			Doc:      "cross-checks that every exported internal symbol is re-exported by the facade package or allowlisted",
+			Doc:      "cross-checks that every exported internal symbol is re-exported by the facade package or allowlisted; stale or unsorted allowlist entries are findings",
 			Unitwide: runFacade,
+		},
+		{
+			Name:    "ctxflow",
+			Doc:     "flags re-rooted contexts (context.Background/TODO outside main, tests, and the allowlist) and calls that drop an in-scope ctx when the package exports a Ctx-variant of the callee",
+			Package: runCtxflow,
+		},
+		{
+			Name:    "spanend",
+			Doc:     "flags spans (obs.Start / Tracer.Root results) that are discarded or not ended on every return path; fix with defer sp.End()",
+			Package: runSpanend,
+		},
+		{
+			Name:     "metricschema",
+			Doc:      "cross-checks expvar counter names against the promSchema table (no orphan or phantom metrics), Prometheus family-name uniqueness, and ascending histogram bucket tables",
+			Unitwide: runMetricschema,
+		},
+		{
+			Name:     "failpointsite",
+			Doc:      "checks failpoint.New sites for uniqueness and pkg.stage naming, and resolves every site referenced by chaos tests, smoke scripts, and docs against the registry",
+			Unitwide: runFailpointsite,
+		},
+		{
+			Name:    "goroutinelifecycle",
+			Doc:     "flags naked go statements in library packages: goroutines must be tied to a sync.WaitGroup (Add before launch or Done inside) or carry a //lint:ignore with rationale",
+			Package: runGoroutineLifecycle,
 		},
 	}
 }
@@ -131,7 +197,9 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 
 // Run executes the analyzers over the unit. A non-nil match restricts
 // per-package analyzers to matching packages. Suppressed findings are
-// dropped; the rest are sorted by position.
+// dropped; the rest are sorted by position. Malformed //lint:ignore
+// directives recorded at load time are always reported (as analyzer
+// "lint-ignore") and cannot themselves be suppressed.
 func Run(u *Unit, analyzers []*Analyzer, match func(*Package) bool) []Finding {
 	var all []Finding
 	for _, a := range analyzers {
@@ -153,6 +221,7 @@ func Run(u *Unit, analyzers []*Analyzer, match func(*Package) bool) []Finding {
 			kept = append(kept, f)
 		}
 	}
+	kept = append(kept, u.DirectiveFindings...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.File != b.File {

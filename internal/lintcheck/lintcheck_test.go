@@ -28,6 +28,11 @@ var fixtureTrees = []struct {
 	{"doccomment", "doccomment"},
 	{"facade-bad", "facade-complete"},
 	{"facade-good", "facade-complete"},
+	{"ctxflow", "ctxflow"},
+	{"spanend", "spanend"},
+	{"metricschema", "metricschema"},
+	{"failpointsite", "failpointsite"},
+	{"goroutinelifecycle", "goroutinelifecycle"},
 }
 
 func fixtureDir(t *testing.T, tree string) string {
@@ -52,14 +57,29 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
 
-// collectWants scans every .go file under dir for // want "frag" comments
-// and returns file -> line -> expected message fragment.
+// wantSuffixes are the file kinds that may carry want comments: Go sources,
+// plus the raw files the failpointsite scanner and the facade allowlist
+// checks produce findings in.
+var wantSuffixes = []string{".go", ".md", ".sh", ".txt"}
+
+// collectWants scans every fixture file under dir for // want "frag"
+// comments and returns file -> line -> expected message fragment.
 func collectWants(t *testing.T, dir string) map[string]map[int]string {
 	t.Helper()
 	wants := make(map[string]map[int]string)
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+		if err != nil || d.IsDir() {
 			return err
+		}
+		hit := false
+		for _, suf := range wantSuffixes {
+			if strings.HasSuffix(path, suf) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return nil
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -201,6 +221,160 @@ func TestSuppressionDirective(t *testing.T) {
 	if raw == 0 {
 		t.Error("expected the raw analyzer to flag the canonical helper in good/")
 	}
+}
+
+// TestNewAnalyzersHonorSuppression pins that every dataflow analyzer goes
+// through the shared suppression table: each one's fixture findings vanish
+// when a //lint:ignore entry is injected for their exact file and line.
+func TestNewAnalyzersHonorSuppression(t *testing.T) {
+	cases := []struct{ tree, analyzer string }{
+		{"ctxflow", "ctxflow"},
+		{"spanend", "spanend"},
+		{"metricschema", "metricschema"},
+		{"failpointsite", "failpointsite"},
+		{"goroutinelifecycle", "goroutinelifecycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			u, err := Load(fixtureDir(t, tc.tree))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := analyzerByName(t, tc.analyzer)
+			var found []Finding
+			for _, f := range Run(u, []*Analyzer{a}, nil) {
+				if f.Analyzer == tc.analyzer {
+					found = append(found, f)
+				}
+			}
+			if len(found) == 0 {
+				t.Fatalf("analyzer %s produced no findings over its bad fixture", tc.analyzer)
+			}
+			for _, f := range found {
+				m := u.suppress[f.File]
+				if m == nil {
+					m = make(map[int]map[string]bool)
+					u.suppress[f.File] = m
+				}
+				if m[f.Line] == nil {
+					m[f.Line] = make(map[string]bool)
+				}
+				m[f.Line][tc.analyzer] = true
+			}
+			for _, f := range Run(u, []*Analyzer{a}, nil) {
+				if f.Analyzer == tc.analyzer {
+					t.Errorf("finding survived suppression: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestIgnoreMultiAnalyzer pins that one //lint:ignore directive naming two
+// analyzers silences both on the line below.
+func TestIgnoreMultiAnalyzer(t *testing.T) {
+	u, err := Load(fixtureDir(t, "ignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := u.Package("fixture/multi")
+	if multi == nil {
+		t.Fatal("fixture/multi did not load")
+	}
+	// Both raw analyzers flag the naked go statement...
+	if n := len(runSyncmisuse(u, multi)); n == 0 {
+		t.Error("expected raw syncmisuse findings in fixture/multi")
+	}
+	if n := len(runGoroutineLifecycle(u, multi)); n == 0 {
+		t.Error("expected raw goroutinelifecycle findings in fixture/multi")
+	}
+	// ...and the single two-name directive silences both through Run.
+	analyzers := []*Analyzer{
+		analyzerByName(t, "syncmisuse"),
+		analyzerByName(t, "goroutinelifecycle"),
+	}
+	for _, f := range Run(u, analyzers, nil) {
+		if strings.Contains(filepath.ToSlash(f.File), "/multi/") {
+			t.Errorf("finding survived the multi-analyzer directive: %s", f)
+		}
+	}
+}
+
+// TestIgnoreMissingReason pins that a reasonless directive suppresses
+// nothing and surfaces as an unsuppressible lint-ignore finding.
+func TestIgnoreMissingReason(t *testing.T) {
+	u, err := Load(fixtureDir(t, "ignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(u, []*Analyzer{analyzerByName(t, "modmath")}, nil)
+	var sawModmath, sawDirective bool
+	for _, f := range findings {
+		if !strings.Contains(filepath.ToSlash(f.File), "/missing/") {
+			continue
+		}
+		switch f.Analyzer {
+		case "modmath":
+			sawModmath = true
+		case "lint-ignore":
+			sawDirective = true
+			if !strings.Contains(f.Message, "missing a reason") {
+				t.Errorf("lint-ignore message %q does not mention the missing reason", f.Message)
+			}
+		}
+	}
+	if !sawModmath {
+		t.Error("reasonless directive still suppressed the modmath finding")
+	}
+	if !sawDirective {
+		t.Error("malformed directive produced no lint-ignore finding")
+	}
+}
+
+// FuzzLintIgnoreDirective hammers the directive parser: it must never
+// panic, and a well-formed parse must yield non-empty analyzer names and a
+// non-empty reason.
+func FuzzLintIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		"lint:ignore modmath reason",
+		"lint:ignore a,b two analyzers",
+		"lint:ignore all everything",
+		"lint:ignore",
+		"lint:ignore modmath",
+		"lint:ignore modmath, trailing comma",
+		"lint:ignore ,lead comma",
+		"lint:ignoreX not a directive",
+		"not a directive at all",
+		"  lint:ignore\tmodmath\ttabbed reason",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, reason, err, ok := parseIgnoreDirective(text)
+		if !ok {
+			if names != nil || reason != "" || err != nil {
+				t.Errorf("non-directive %q returned (%v, %q, %v)", text, names, reason, err)
+			}
+			return
+		}
+		if err != nil {
+			return // malformed: rejected, nothing else to hold
+		}
+		if len(names) == 0 {
+			t.Errorf("well-formed directive %q parsed to no analyzer names", text)
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Errorf("well-formed directive %q contains an empty analyzer name", text)
+			}
+			if strings.ContainsAny(n, " \t") {
+				t.Errorf("analyzer name %q from %q contains whitespace", n, text)
+			}
+		}
+		if reason == "" {
+			t.Errorf("well-formed directive %q parsed to an empty reason", text)
+		}
+	})
 }
 
 func TestSelect(t *testing.T) {

@@ -51,6 +51,12 @@ type Unit struct {
 	// suppress maps file name -> line -> analyzer names silenced there
 	// (the //lint:ignore mechanism; see Suppressed).
 	suppress map[string]map[int]map[string]bool
+
+	// DirectiveFindings collects malformed //lint:ignore directives seen
+	// during loading (missing analyzer list or missing reason). Such a
+	// directive suppresses nothing; Run always reports these and they are
+	// not themselves suppressible.
+	DirectiveFindings []Finding
 }
 
 // Load discovers, parses, and type-checks every package under root. A go.mod
@@ -229,24 +235,64 @@ func (im *unitImporter) Import(path string) (*types.Package, error) {
 	return u.fallback.Import(path)
 }
 
+// parseIgnoreDirective interprets one comment's text (without the leading
+// //). It returns ok=false when the comment is not a lint:ignore directive
+// at all. For a directive, names holds the comma-separated analyzer list
+// (possibly the wildcard "all") and reason the remaining free text; a
+// directive with an empty analyzer list, an empty list element (e.g.
+// "modmath,,errcheck-lite" or a trailing comma), or a missing reason is
+// malformed: err is non-nil, names is what could be salvaged, and the
+// directive must not suppress anything.
+func parseIgnoreDirective(text string) (names []string, reason string, err error, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+	if !found {
+		return nil, "", nil, false
+	}
+	// Require a word boundary so e.g. "lint:ignoreX" is not a directive.
+	if rest != "" && !(rest[0] == ' ' || rest[0] == '\t') {
+		return nil, "", nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", fmt.Errorf("lint:ignore directive names no analyzer"), true
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name == "" {
+			err = fmt.Errorf("lint:ignore directive has an empty analyzer name in %q", fields[0])
+			continue
+		}
+		names = append(names, name)
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if err == nil && reason == "" {
+		err = fmt.Errorf("lint:ignore %s is missing a reason", fields[0])
+	}
+	return names, reason, err, true
+}
+
 // recordSuppressions scans a file's comments for //lint:ignore directives.
-// A directive names one analyzer (or "all") and silences findings on its own
-// line and the line directly below, so it can sit inline or above the code:
+// A directive names one or more comma-separated analyzers (or "all"),
+// requires a reason, and silences findings on its own line and the line
+// directly below, so it can sit inline or above the code:
 //
 //	x := a % k //lint:ignore modmath reason
-//	//lint:ignore errcheck-lite best-effort output
+//	//lint:ignore errcheck-lite,syncmisuse best-effort output
 //	fmt.Fprintln(w, msg)
+//
+// A malformed directive (no analyzers, or no reason) suppresses nothing and
+// is recorded as a lint-ignore finding instead.
 func (u *Unit) recordSuppressions(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			rest, ok := strings.CutPrefix(text, "lint:ignore")
+			names, _, err, ok := parseIgnoreDirective(text)
 			if !ok {
 				continue
 			}
-			fields := strings.Fields(rest)
-			if len(fields) == 0 {
+			if err != nil {
+				fnd := u.finding("lint-ignore", c.Pos(), err.Error(),
+					"write //lint:ignore <analyzer>[,<analyzer>] <reason>; the reason is mandatory")
+				u.DirectiveFindings = append(u.DirectiveFindings, fnd)
 				continue
 			}
 			pos := u.Fset.Position(c.Pos())
@@ -259,7 +305,7 @@ func (u *Unit) recordSuppressions(f *ast.File) {
 				if m[line] == nil {
 					m[line] = make(map[string]bool)
 				}
-				for _, name := range strings.Split(fields[0], ",") {
+				for _, name := range names {
 					m[line][name] = true
 				}
 			}

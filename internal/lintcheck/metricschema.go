@@ -1,0 +1,330 @@
+package lintcheck
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// runMetricschema cross-checks the metrics surface of every package that
+// declares a promSchema table (the convention from internal/service: a
+// package-level `var promSchema = []struct{...}{...}` whose rows map expvar
+// counter names onto Prometheus families):
+//
+//   - orphan metrics: a string constant in a const group referenced by the
+//     schema that appears in no schema row — the counter is published at
+//     /debug/vars but never exported to Prometheus;
+//   - phantom metrics: a schema row whose source name is a raw literal
+//     backed by no counter constant — the row exports a counter that
+//     nothing increments;
+//   - duplicate Prometheus family names, across the schema rows and every
+//     direct obs.PromCounter/PromGauge/PromHistogram/PromLabeledCounter
+//     call in the package (the exposition format forbids repeating a
+//     family);
+//
+// and, in every package, that NewHistogram bucket tables are strictly
+// ascending (misordered buckets silently corrupt the cumulative counts; the
+// fix reorders the arguments) and that gated NewCounter family names are
+// unique unit-wide (a duplicate panics at registration time).
+func runMetricschema(u *Unit) []Finding {
+	var out []Finding
+	counters := make(map[string]token.Pos) // NewCounter name -> first site
+	for _, p := range u.Pkgs {
+		if p.Types == nil {
+			continue
+		}
+		out = append(out, checkPromSchema(u, p)...)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil {
+					return true
+				}
+				switch fn.Name() {
+				case "NewHistogram":
+					out = append(out, checkBuckets(u, p, call)...)
+				case "NewCounter":
+					if len(call.Args) == 0 {
+						return true
+					}
+					name, ok := stringConst(p, call.Args[0])
+					if !ok {
+						return true
+					}
+					if first, dup := counters[name]; dup {
+						out = append(out, u.finding("metricschema", call.Pos(),
+							fmt.Sprintf("gated counter %q is already registered (line %d); duplicate registration panics",
+								name, u.Fset.Position(first).Line), ""))
+					} else {
+						counters[name] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkPromSchema validates one package's promSchema table, if present.
+func checkPromSchema(u *Unit, p *Package) []Finding {
+	schema := findPromSchema(p)
+	if schema == nil {
+		return nil
+	}
+	var out []Finding
+	srcs := make(map[string]bool) // counter names covered by the schema
+	families := make(map[string]token.Pos)
+	srcConsts := make(map[*ast.Ident]bool) // idents used in src position
+
+	for _, elt := range schema.Elts {
+		row, ok := unparen(elt).(*ast.CompositeLit)
+		if !ok || len(row.Elts) < 2 {
+			continue
+		}
+		srcExpr, nameExpr := unparen(row.Elts[0]), unparen(row.Elts[1])
+		if src, ok := stringConst(p, srcExpr); ok {
+			srcs[src] = true
+		}
+		if id, ok := srcExpr.(*ast.Ident); ok {
+			srcConsts[id] = true
+		} else {
+			src, _ := stringConst(p, srcExpr)
+			out = append(out, u.finding("metricschema", row.Pos(),
+				fmt.Sprintf("phantom metric: promSchema row %q is a raw literal backed by no counter constant", src),
+				"declare the counter name as a const alongside the others and seed it"))
+		}
+		if name, ok := stringConst(p, nameExpr); ok {
+			if first, dup := families[name]; dup {
+				out = append(out, u.finding("metricschema", row.Pos(),
+					fmt.Sprintf("Prometheus family %q emitted more than once (first at line %d)",
+						name, u.Fset.Position(first).Line), ""))
+			} else {
+				families[name] = row.Pos()
+			}
+		}
+	}
+
+	// Orphans: every string const in a const group the schema draws from
+	// must appear as a schema src.
+	for _, group := range schemaConstGroups(p, srcConsts) {
+		for _, spec := range group.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				val, ok := stringConstOf(p, name)
+				if !ok {
+					continue
+				}
+				if !srcs[val] {
+					out = append(out, u.finding("metricschema", name.Pos(),
+						fmt.Sprintf("orphan metric: counter const %s (%q) is missing from promSchema", name.Name, val),
+						"add a promSchema row exporting it, or delete the counter"))
+				}
+			}
+		}
+	}
+
+	// Direct Prom* emission calls share the family namespace with the
+	// schema rows.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || len(call.Args) < 2 {
+				return true
+			}
+			switch fn.Name() {
+			case "PromCounter", "PromGauge", "PromHistogram", "PromLabeledCounter":
+			default:
+				return true
+			}
+			name, ok := stringConst(p, call.Args[1])
+			if !ok {
+				return true
+			}
+			if first, dup := families[name]; dup {
+				out = append(out, u.finding("metricschema", call.Args[1].Pos(),
+					fmt.Sprintf("Prometheus family %q emitted more than once (first at line %d)",
+						name, u.Fset.Position(first).Line), ""))
+			} else {
+				families[name] = call.Args[1].Pos()
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findPromSchema locates a package-level `var promSchema = ...composite...`.
+func findPromSchema(p *Package) *ast.CompositeLit {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "promSchema" || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// schemaConstGroups returns the const GenDecls containing at least one
+// constant referenced from the schema's src column.
+func schemaConstGroups(p *Package, srcConsts map[*ast.Ident]bool) []*ast.GenDecl {
+	wanted := make(map[types.Object]bool)
+	for id := range srcConsts {
+		if obj := p.Info.Uses[id]; obj != nil {
+			wanted[obj] = true
+		}
+	}
+	var groups []*ast.GenDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			hit := false
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if wanted[p.Info.Defs[name]] {
+						hit = true
+					}
+				}
+			}
+			if hit {
+				groups = append(groups, gd)
+			}
+		}
+	}
+	return groups
+}
+
+// checkBuckets verifies a NewHistogram call's bucket arguments are strictly
+// ascending, with a reordering fix when they are merely shuffled.
+func checkBuckets(u *Unit, p *Package, call *ast.CallExpr) []Finding {
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return nil
+	}
+	type bucket struct {
+		expr ast.Expr
+		val  float64
+	}
+	buckets := make([]bucket, 0, len(call.Args))
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Value == nil {
+			return nil // non-constant buckets: nothing to check statically
+		}
+		f, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+		if !ok {
+			return nil
+		}
+		buckets = append(buckets, bucket{arg, f})
+	}
+	sortedOK := true
+	dup := false
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].val < buckets[i-1].val {
+			sortedOK = false
+		}
+		if buckets[i].val == buckets[i-1].val {
+			dup = true
+		}
+	}
+	// A second pass over the sorted order catches duplicates hidden by the
+	// shuffle.
+	vals := make([]float64, len(buckets))
+	for i, b := range buckets {
+		vals[i] = b.val
+	}
+	sort.Float64s(vals)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			dup = true
+		}
+	}
+	if sortedOK && !dup {
+		return nil
+	}
+	if dup {
+		return []Finding{u.finding("metricschema", call.Args[0].Pos(),
+			"histogram bucket table contains duplicate bounds; buckets must be strictly ascending", "")}
+	}
+	fnd := u.finding("metricschema", call.Args[0].Pos(),
+		"histogram bucket table is not sorted ascending; cumulative bucket counts will be wrong",
+		"reorder the bucket bounds ascending")
+	sorted := make([]bucket, len(buckets))
+	copy(sorted, buckets)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].val < sorted[j].val })
+	var buf bytes.Buffer
+	for i, b := range sorted {
+		if i > 0 {
+			buf.WriteString(", ")
+		}
+		//lint:ignore errcheck-lite printing a parsed expr to a buffer cannot fail
+		printer.Fprint(&buf, u.Fset, b.expr)
+	}
+	fnd.Edits = []TextEdit{replaceRange(u, call.Args[0].Pos(), call.Args[len(call.Args)-1].End(), buf.String())}
+	return []Finding{fnd}
+}
+
+// stringConst resolves an expression to its constant string value.
+func stringConst(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// stringConstOf resolves a declared identifier (a const name) to its string
+// value.
+func stringConstOf(p *Package, id *ast.Ident) (string, bool) {
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		return "", false
+	}
+	c, ok := obj.(interface{ Val() constant.Value })
+	if !ok {
+		return "", false
+	}
+	v := c.Val()
+	if v == nil || v.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(v), true
+}

@@ -1,0 +1,553 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runSpanend enforces the span lifecycle discipline: every span produced by
+// obs.Start, (*Tracer).Root, or any other call returning a *Span must have
+// End called on every path out of the function that owns it — either a
+// dominating explicit End before each return, or (preferred) a defer right
+// after the Start. Discarding the span result outright is always a finding.
+//
+// The analysis is per-function and deliberately modest: a span that escapes
+// its function (returned, stored, passed to another call, or captured by a
+// non-deferred closure) is assumed to be managed elsewhere and skipped.
+// Within a function the walk tracks, per statement, whether End dominates,
+// merging over if/else branches; `if sp == nil` / `if sp != nil` guards are
+// understood (End is nil-receiver-safe, so a nil span never needs ending).
+// The fix inserts `defer sp.End()` after the Start — End is idempotent, so
+// the defer is safe even when explicit Ends remain on some paths.
+func runSpanend(u *Unit, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, checkSpansInFunc(u, p, body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spanResultIndexes returns the result-tuple indexes of a call that carry a
+// span (pointer to a named type with a niladic End method, conventionally
+// named Span), or nil when the call produces none.
+func spanResultIndexes(p *Package, call *ast.CallExpr) []int {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	var idx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isSpanType(t.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		if isSpanType(tv.Type) {
+			idx = []int{0}
+		}
+	}
+	return idx
+}
+
+// isSpanType reports whether t is a pointer to a named type called Span
+// whose pointer method set includes a niladic End.
+func isSpanType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "Span" {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "End" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		return ok && sig.Params().Len() == 0
+	}
+	return false
+}
+
+// spanName extracts a human label for the span: the first string literal
+// argument of the producing call (obs.Start(ctx, "cache.get")), else the
+// bound variable name.
+func spanName(call *ast.CallExpr, fallback string) string {
+	for _, arg := range call.Args {
+		if lit, ok := unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return strings.Trim(lit.Value, "`\"")
+		}
+	}
+	return fallback
+}
+
+// checkSpansInFunc finds span-producing calls directly inside the function
+// body (not in nested function literals — those are visited separately) and
+// verifies each span's lifecycle.
+func checkSpansInFunc(u *Unit, p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	var visitBlock func(b *ast.BlockStmt)
+	var visitStmts func(stmts []ast.Stmt)
+	visitStmts = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				out = append(out, checkSpanAssign(u, p, s, stmts[i+1:])...)
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok && len(spanResultIndexes(p, call)) > 0 {
+					out = append(out, u.finding("spanend", call.Pos(),
+						"span "+quoteName(spanName(call, "result"))+" is discarded; its End can never run",
+						"bind the span and defer its End"))
+				}
+			case *ast.BlockStmt:
+				visitBlock(s)
+				continue
+			case *ast.IfStmt:
+				visitBlock(s.Body)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					visitBlock(els)
+				} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+					visitStmts([]ast.Stmt{elif})
+				}
+				continue
+			case *ast.ForStmt:
+				visitBlock(s.Body)
+				continue
+			case *ast.RangeStmt:
+				visitBlock(s.Body)
+				continue
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						visitStmts(cc.Body)
+					}
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						visitStmts(cc.Body)
+					}
+				}
+				continue
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						visitStmts(cc.Body)
+					}
+				}
+				continue
+			case *ast.LabeledStmt:
+				visitStmts([]ast.Stmt{s.Stmt})
+				continue
+			}
+		}
+	}
+	visitBlock = func(b *ast.BlockStmt) { visitStmts(b.List) }
+	visitBlock(body)
+	return out
+}
+
+func quoteName(s string) string { return "\"" + s + "\"" }
+
+// checkSpanAssign verifies one `... := spanProducingCall(...)` statement.
+// rest is the statement list following the assignment in its block.
+func checkSpanAssign(u *Unit, p *Package, as *ast.AssignStmt, rest []ast.Stmt) []Finding {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	idxs := spanResultIndexes(p, call)
+	if len(idxs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, idx := range idxs {
+		if idx >= len(as.Lhs) {
+			continue
+		}
+		lhs, ok := unparen(as.Lhs[idx]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if lhs.Name == "_" {
+			out = append(out, u.finding("spanend", call.Pos(),
+				"span "+quoteName(spanName(call, "result"))+" is discarded; its End can never run",
+				"bind the span and defer its End"))
+			continue
+		}
+		if as.Tok != token.DEFINE {
+			continue // reassignment of an outer variable: managed elsewhere
+		}
+		obj := p.Info.Defs[lhs]
+		if obj == nil {
+			continue
+		}
+		if spanEscapes(p, rest, obj) {
+			continue
+		}
+		ended, leak, terminated := walkSpanPath(p, rest, obj, false)
+		exit := token.NoPos
+		switch {
+		case leak.IsValid():
+			exit = leak
+		case !ended && !terminated:
+			// Fell off the end of the declaring block without End: for the
+			// function body that is an implicit return; for a nested block
+			// the span variable is dead from here on either way.
+			exit = as.End()
+			if len(rest) > 0 {
+				exit = rest[len(rest)-1].End()
+			}
+		}
+		if !exit.IsValid() {
+			continue
+		}
+		fnd := u.finding("spanend", call.Pos(),
+			"span "+quoteName(spanName(call, lhs.Name))+" is not ended on every path (unended exit at line "+
+				itoa(u.Fset.Position(exit).Line)+")",
+			"defer "+lhs.Name+".End() right after the Start (End is idempotent and nil-safe)")
+		indent := strings.Repeat("\t", u.Fset.Position(as.Pos()).Column-1)
+		fnd.Edits = []TextEdit{replaceRange(u, as.End(), as.End(),
+			"\n"+indent+"defer "+lhs.Name+".End()")}
+		out = append(out, fnd)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// spanEscapes reports whether the span object is used in a way the
+// per-function walk cannot follow: passed to a call, returned, stored,
+// address-taken, or captured by a closure that is not an immediately
+// deferred End. Escaped spans are someone else's responsibility.
+func spanEscapes(p *Package, stmts []ast.Stmt, obj types.Object) bool {
+	escaped := false
+	for _, s := range stmts {
+		var stack []ast.Node
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok || p.Info.Uses[id] != obj {
+				return true
+			}
+			if !spanUseIsLocal(stack) {
+				escaped = true
+			}
+			return !escaped
+		})
+		if escaped {
+			return true
+		}
+	}
+	return false
+}
+
+// spanUseIsLocal classifies one use of the span variable given the ancestor
+// stack (outermost first, the ident itself last). Local (followable) uses:
+// the receiver of an End call, a nil comparison, and either of those inside
+// a deferred closure.
+func spanUseIsLocal(stack []ast.Node) bool {
+	id := stack[len(stack)-1]
+	// Direct parent must be sp.End(...) receiver position or a nil
+	// comparison.
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	okUse := false
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		if pn.X == id && pn.Sel.Name == "End" {
+			okUse = true
+		}
+	case *ast.BinaryExpr:
+		if (pn.Op == token.EQL || pn.Op == token.NEQ) && (isNilIdent(pn.X) || isNilIdent(pn.Y)) {
+			okUse = true
+		}
+	}
+	if !okUse {
+		return false
+	}
+	// Any enclosing closure must be an immediately deferred func literal;
+	// capture by a go statement or a stored closure escapes.
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			// Expect FuncLit <- CallExpr <- DeferStmt.
+			if i < 2 {
+				return false
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			if !ok || call.Fun != stack[i] {
+				return false
+			}
+			if _, ok := stack[i-2].(*ast.DeferStmt); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// walkSpanPath walks a statement list tracking whether End dominates.
+// Returns (ended at fall-through, first unended function exit, terminated:
+// the list cannot fall through). ended means every path reaching the end of
+// the list has called (or deferred) End.
+func walkSpanPath(p *Package, stmts []ast.Stmt, obj types.Object, ended bool) (bool, token.Pos, bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if isSpanEndCall(p, s.X, obj) {
+				ended = true
+			} else if isPanicCall(s.X) {
+				// panic unwinds without running non-deferred Ends; treat as
+				// a terminator but do not flag — crash paths are out of
+				// scope for span accounting.
+				return ended, token.NoPos, true
+			}
+		case *ast.DeferStmt:
+			if isSpanEndCall(p, s.Call, obj) || deferClosureEnds(p, s, obj) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			if !ended {
+				return ended, s.Pos(), true
+			}
+			return ended, token.NoPos, true
+		case *ast.BranchStmt:
+			// break/continue/goto leave the block; conservatively assume the
+			// jump target handles the span (no finding).
+			return ended, token.NoPos, true
+		case *ast.BlockStmt:
+			var leak token.Pos
+			var term bool
+			ended, leak, term = walkSpanPath(p, s.List, obj, ended)
+			if leak.IsValid() {
+				return ended, leak, false
+			}
+			if term {
+				return ended, token.NoPos, true
+			}
+		case *ast.IfStmt:
+			var leak token.Pos
+			ended, leak = walkSpanIf(p, s, obj, ended)
+			if leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.ForStmt:
+			if leak := walkSpanLoop(p, s.Body, obj, ended); leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.RangeStmt:
+			if leak := walkSpanLoop(p, s.Body, obj, ended); leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.SwitchStmt:
+			if leak := walkSpanClauses(p, s.Body, obj, ended); leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.TypeSwitchStmt:
+			if leak := walkSpanClauses(p, s.Body, obj, ended); leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.SelectStmt:
+			if leak := walkSpanClauses(p, s.Body, obj, ended); leak.IsValid() {
+				return ended, leak, false
+			}
+		case *ast.LabeledStmt:
+			var leak token.Pos
+			var term bool
+			ended, leak, term = walkSpanPath(p, []ast.Stmt{s.Stmt}, obj, ended)
+			if leak.IsValid() {
+				return ended, leak, false
+			}
+			if term {
+				return ended, token.NoPos, true
+			}
+		}
+	}
+	return ended, token.NoPos, false
+}
+
+// walkSpanIf merges End-domination over an if/else. Nil guards are special:
+// End is nil-receiver-safe, so on the `sp == nil` arm the span counts as
+// ended.
+func walkSpanIf(p *Package, s *ast.IfStmt, obj types.Object, ended bool) (bool, token.Pos) {
+	thenEntry, elseEntry := ended, ended
+	switch nilGuard(p, s.Cond, obj) {
+	case token.EQL: // if sp == nil { ... } — nil inside then
+		thenEntry = true
+	case token.NEQ: // if sp != nil { ... } — nil on the else path
+		elseEntry = true
+	}
+	thenEnd, thenLeak, thenTerm := walkSpanPath(p, s.Body.List, obj, thenEntry)
+	if thenLeak.IsValid() {
+		return ended, thenLeak
+	}
+	elseEnd, elseTerm := elseEntry, false
+	switch els := s.Else.(type) {
+	case *ast.BlockStmt:
+		var leak token.Pos
+		elseEnd, leak, elseTerm = walkSpanPath(p, els.List, obj, elseEntry)
+		if leak.IsValid() {
+			return ended, leak
+		}
+	case *ast.IfStmt:
+		var leak token.Pos
+		elseEnd, leak = walkSpanIf(p, els, obj, elseEntry)
+		if leak.IsValid() {
+			return ended, leak
+		}
+	case nil:
+		// No else: the fall-through path keeps elseEntry.
+	}
+	// Merge: a terminated branch imposes no constraint on the code after
+	// the if.
+	switch {
+	case thenTerm && elseTerm:
+		// Both branches exit; statements after the if are unreachable, but
+		// keep walking with the pre-if state (harmlessly conservative).
+		return ended, token.NoPos
+	case thenTerm:
+		return elseEnd, token.NoPos
+	case elseTerm:
+		return thenEnd, token.NoPos
+	default:
+		return thenEnd && elseEnd, token.NoPos
+	}
+}
+
+// walkSpanLoop scans a loop body only for unended exits (returns); End
+// inside a possibly-zero-trip loop never upgrades the fall-through state.
+func walkSpanLoop(p *Package, body *ast.BlockStmt, obj types.Object, ended bool) token.Pos {
+	_, leak, _ := walkSpanPath(p, body.List, obj, ended)
+	return leak
+}
+
+// walkSpanClauses scans switch/select clause bodies for unended exits; like
+// loops, clause-local Ends do not upgrade the fall-through state (a clause
+// may not run).
+func walkSpanClauses(p *Package, body *ast.BlockStmt, obj types.Object, ended bool) token.Pos {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+		}
+		if _, leak, _ := walkSpanPath(p, stmts, obj, ended); leak.IsValid() {
+			return leak
+		}
+	}
+	return token.NoPos
+}
+
+// nilGuard classifies cond as `obj == nil` (token.EQL), `obj != nil`
+// (token.NEQ), or neither (token.ILLEGAL).
+func nilGuard(p *Package, cond ast.Expr, obj types.Object) token.Token {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return token.ILLEGAL
+	}
+	x, y := unparen(be.X), unparen(be.Y)
+	var other ast.Expr
+	switch {
+	case isNilIdent(x):
+		other = y
+	case isNilIdent(y):
+		other = x
+	default:
+		return token.ILLEGAL
+	}
+	id, ok := other.(*ast.Ident)
+	if !ok || p.Info.Uses[id] != obj {
+		return token.ILLEGAL
+	}
+	return be.Op
+}
+
+// isSpanEndCall reports whether e is `sp.End()` for the given span object.
+func isSpanEndCall(p *Package, e ast.Expr, obj types.Object) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// deferClosureEnds reports whether a defer statement defers a function
+// literal whose body calls sp.End() for the given object.
+func deferClosureEnds(p *Package, d *ast.DeferStmt, obj types.Object) bool {
+	lit, ok := unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isSpanEndCall(p, e, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

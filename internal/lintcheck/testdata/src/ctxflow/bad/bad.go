@@ -1,0 +1,38 @@
+// Package bad re-roots the context tree and drops in-scope contexts, the
+// two hazards ctxflow flags.
+package bad
+
+import "context"
+
+// Work does work without a context.
+func Work(n int) int { return n + 1 }
+
+// WorkCtx is the context-threading variant of Work.
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n + 1
+}
+
+func reroot() context.Context {
+	return context.Background() // want "re-roots the context tree"
+}
+
+func todoInside(ctx context.Context) context.Context {
+	c := context.TODO() // want "re-roots the context tree"
+	_ = ctx
+	return c
+}
+
+func dropsCtx(ctx context.Context) int {
+	_ = ctx
+	return Work(1) // want "drops the in-scope context"
+}
+
+func dropsCtxInClosure(ctx context.Context) func() int {
+	_ = ctx
+	return func() int {
+		return Work(2) // want "drops the in-scope context"
+	}
+}

@@ -1,0 +1,32 @@
+// Package good threads contexts the way ctxflow demands: downstream hops
+// carry the caller's ctx, and the only re-root is the allowlisted Seed.
+package good
+
+import "context"
+
+// Step does work without a context; callers that have one use StepCtx.
+func Step(n int) int { return n + 1 }
+
+// StepCtx is the context-threading variant of Step.
+func StepCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n + 1
+}
+
+// Run threads its context to StepCtx.
+func Run(ctx context.Context, n int) int {
+	return StepCtx(ctx, n)
+}
+
+// stepless has no context in scope, so calling Step directly is fine.
+func stepless(n int) int {
+	return Step(n)
+}
+
+// Seed builds the process root context; allowlisted in
+// ctxflow_allowlist.txt at the tree root.
+func Seed() context.Context {
+	return context.Background()
+}

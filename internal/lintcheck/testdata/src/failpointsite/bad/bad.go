@@ -1,0 +1,18 @@
+// Package bad registers failpoint sites that break every registry rule:
+// duplicates, naming-convention violations, wrong package prefixes, and a
+// non-literal site name.
+package bad
+
+import "fixture/failpoint"
+
+var (
+	fpGet  = failpoint.New("bad.cache.get")
+	fpDup  = failpoint.New("bad.cache.get")  // want "already registered"
+	fpCase = failpoint.New("Bad.Cache.Get")  // want "convention"
+	fpPkg  = failpoint.New("other.pool.run") // want "must start with its declaring package name"
+)
+
+// siteName builds a dynamic name, defeating greppability.
+func siteName() string { return "bad." + "dyn" }
+
+var fpDyn = failpoint.New(siteName()) // want "must be a string literal"

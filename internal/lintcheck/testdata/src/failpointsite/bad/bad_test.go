@@ -1,0 +1,27 @@
+package bad
+
+import (
+	"testing"
+
+	"fixture/failpoint"
+)
+
+// chaosTable drives the chaos matrix; dotted keys whose first segment is a
+// registering package must resolve.
+var chaosTable = []struct{ site, spec string }{
+	{"bad.cache.get", "error"},
+	{"bad.flight.ooo", "panic"}, // want "registered nowhere"
+	{"span.cache.get", "sleep"}, // unflagged: "span" registers no failpoints
+}
+
+func TestChaos(t *testing.T) {
+	if err := failpoint.Enable("bad.cache.get", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("bad.cache.drop", "error"); err != nil { // want "registered nowhere"
+		t.Fatal(err)
+	}
+	_ = chaosTable
+	_, _, _, _ = fpGet, fpDup, fpCase, fpPkg
+	_ = fpDyn
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Chaos smoke for the bad fixtures.
+TORUSNET_FAILPOINTS='bad.cache.get=error' ./run.sh
+TORUSNET_FAILPOINTS='bad.boot.missing=error' ./run.sh # // want "registered nowhere"

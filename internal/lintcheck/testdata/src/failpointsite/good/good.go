@@ -1,0 +1,9 @@
+// Package good registers failpoint sites that follow every registry rule.
+package good
+
+import "fixture/failpoint"
+
+var (
+	fpGet = failpoint.New("good.cache.get")
+	fpPut = failpoint.New("good.cache.put")
+)

@@ -1,0 +1,24 @@
+package good
+
+import (
+	"testing"
+
+	"fixture/failpoint"
+)
+
+// Sites may also be registered from test files.
+var fpExtra = failpoint.New("good.test.extra")
+
+func TestChaos(t *testing.T) {
+	if err := failpoint.Enable("good.cache.get", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("good.test.extra", "error"); err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore failpointsite deliberately unknown site: this asserts rejection
+	if err := failpoint.Enable("good.cache.nope", "error"); err == nil {
+		t.Fatal("expected unknown site")
+	}
+	_, _, _ = fpGet, fpPut, fpExtra
+}

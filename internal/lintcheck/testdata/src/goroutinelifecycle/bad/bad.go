@@ -1,0 +1,18 @@
+// Package bad launches goroutines that no WaitGroup ties to an owner.
+package bad
+
+// run fires a worker and forgets it.
+func run(work func()) {
+	go work() // want "naked go statement"
+}
+
+type worker struct{ ch chan int }
+
+func (w worker) loop() { w.ch <- 1 }
+
+// spawn launches the worker loop with a channel join but no WaitGroup; the
+// channel receive satisfies syncmisuse but not the lifecycle discipline.
+func spawn(w worker) {
+	go w.loop() // want "naked go statement"
+	<-w.ch
+}

@@ -1,0 +1,9 @@
+// Package missing carries a malformed directive: an analyzer list but no
+// reason. It must suppress nothing and surface as a lint-ignore finding.
+package missing
+
+// wrap misuses raw %; the reasonless directive must not silence modmath.
+func wrap(a, k int) int {
+	//lint:ignore modmath
+	return (a - 1) % k
+}

@@ -1,0 +1,9 @@
+// Package multi exercises one //lint:ignore directive naming two analyzers.
+package multi
+
+// fire launches a goroutine nothing joins; the directive below must silence
+// both the syncmisuse and the goroutinelifecycle finding on the go line.
+func fire(job func()) {
+	//lint:ignore syncmisuse,goroutinelifecycle fixture: the process owns this goroutine
+	go job()
+}

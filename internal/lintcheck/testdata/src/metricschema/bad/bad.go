@@ -1,0 +1,50 @@
+// Package bad violates the promSchema contract in every way metricschema
+// flags: orphan and phantom counters, duplicate families, shuffled and
+// duplicated histogram buckets, and a double-registered gated counter.
+package bad
+
+// NewHistogram registers a histogram with the given bucket bounds; a local
+// stand-in for the obs metrics surface (the analyzer matches by name).
+func NewHistogram(bounds ...float64) int { return len(bounds) }
+
+// NewCounter registers a gated counter.
+func NewCounter(name, help string) int {
+	_ = help
+	return len(name)
+}
+
+// PromCounter renders one counter family.
+func PromCounter(buf []byte, name, help string, v int) []byte {
+	_ = name
+	_ = help
+	_ = v
+	return buf
+}
+
+const (
+	mHits   = "fx_hits"
+	mMisses = "fx_misses" // want "orphan metric"
+)
+
+var promSchema = []struct {
+	src, name, help string
+}{
+	{mHits, "fx_hits_total", "cache hits"},
+	{"fx_ghost", "fx_ghost_total", "ghost"}, // want "phantom metric"
+	{mHits, "fx_hits_total", "dup family"},  // want "emitted more than once"
+}
+
+func emit(buf []byte) []byte {
+	buf = PromCounter(buf, "fx_hits_total", "hits again", 1) // want "emitted more than once"
+	return buf
+}
+
+func histograms() {
+	NewHistogram(0.1, 0.05, 1)  // want "not sorted ascending"
+	NewHistogram(0.1, 0.1, 0.5) // want "duplicate bounds"
+}
+
+func counters() {
+	NewCounter("fx_gated_total", "gated")
+	NewCounter("fx_gated_total", "gated twice") // want "already registered"
+}

@@ -1,0 +1,42 @@
+// Package good keeps its metrics surface consistent: every counter const
+// has a promSchema row, families are unique, and buckets ascend.
+package good
+
+// NewHistogram registers a histogram with the given bucket bounds; a local
+// stand-in for the obs metrics surface (the analyzer matches by name).
+func NewHistogram(bounds ...float64) int { return len(bounds) }
+
+// NewCounter registers a gated counter.
+func NewCounter(name, help string) int {
+	_ = help
+	return len(name)
+}
+
+// PromCounter renders one counter family.
+func PromCounter(buf []byte, name, help string, v int) []byte {
+	_ = name
+	_ = help
+	_ = v
+	return buf
+}
+
+const (
+	gHits   = "fy_hits"
+	gMisses = "fy_misses"
+)
+
+var promSchema = []struct {
+	src, name, help string
+}{
+	{gHits, "fy_hits_total", "cache hits"},
+	{gMisses, "fy_misses_total", "cache misses"},
+}
+
+func emit(buf []byte) []byte {
+	return PromCounter(buf, "fy_errors_total", "errors", 0)
+}
+
+func setup() {
+	NewHistogram(0.05, 0.1, 1)
+	NewCounter("fy_gated_total", "gated")
+}

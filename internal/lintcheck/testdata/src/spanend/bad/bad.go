@@ -1,0 +1,34 @@
+// Package bad mishandles span lifecycles in every way spanend flags:
+// discarded spans and spans that miss End on some path.
+package bad
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func discarded(ctx context.Context) {
+	obs.Start(ctx, "bad.discarded") // want "is discarded"
+}
+
+func blanked(ctx context.Context) {
+	_, _ = obs.Start(ctx, "bad.blanked") // want "is discarded"
+}
+
+func leaksOnError(ctx context.Context, fail bool) error {
+	ctx, sp := obs.Start(ctx, "bad.leaky") // want "not ended on every path"
+	_ = ctx
+	if fail {
+		return context.Canceled
+	}
+	sp.End()
+	return nil
+}
+
+func fallsOffEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, "bad.falloff") // want "not ended on every path"
+	if sp != nil {
+		_ = ctx
+	}
+}

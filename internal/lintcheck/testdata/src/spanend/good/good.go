@@ -1,0 +1,43 @@
+// Package good ends every span on every path: deferred Ends, dominating
+// explicit Ends, nil guards, deferred closures, and escaping spans.
+package good
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+func deferred(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "good.deferred")
+	defer sp.End()
+	_ = ctx
+}
+
+func bothBranches(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "good.branches")
+	if fail {
+		sp.End()
+		return context.Canceled
+	}
+	sp.End()
+	return nil
+}
+
+func nilGuarded(ctx context.Context) {
+	_, sp := obs.Start(ctx, "good.nilguard")
+	if sp == nil {
+		return
+	}
+	defer sp.End()
+}
+
+func deferredClosure(ctx context.Context) {
+	_, sp := obs.Start(ctx, "good.closure")
+	defer func() { sp.End() }()
+}
+
+// escapes hands the span to its caller, who owns the End from here on.
+func escapes(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.Start(ctx, "good.escape")
+}

@@ -29,6 +29,7 @@ func fanOut(work []func()) {
 
 func viaChannel(f func() int) int {
 	ch := make(chan int, 1)
+	//lint:ignore goroutinelifecycle joined by the channel receive below
 	go func() { ch <- f() }()
 	return <-ch
 }

@@ -190,7 +190,7 @@ func (p *workerPool) runJob(j *poolJob) (outcome jobOutcome) {
 			p.wg.Done()
 			return
 		}
-		//lint:ignore syncmisuse replacement inherits this worker's WaitGroup slot, joined in close
+		//lint:ignore syncmisuse,goroutinelifecycle replacement inherits this worker's WaitGroup slot, joined in close
 		go p.worker()
 	}()
 	fpPoolDispatch.InjectHard()

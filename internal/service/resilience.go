@@ -265,7 +265,7 @@ func (r *resilience) attempt(ctx context.Context, c *Client, method, path string
 	}
 	results := make(chan rtResult, 2) // buffered: losers never block
 	launch := func(hedge bool) {
-		//lint:ignore syncmisuse joined by the results receive below; the buffered channel lets a cancelled loser exit freely
+		//lint:ignore syncmisuse,goroutinelifecycle joined by the results receive below; the buffered channel lets a cancelled loser exit freely
 		go func() {
 			status, data, retryAfter, err := c.roundTrip(hctx, method, path, payload)
 			results <- rtResult{hedge, status, data, retryAfter, err}
