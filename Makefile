@@ -8,9 +8,10 @@ FUZZ_TARGETS := \
 	./internal/torus:FuzzWrapCoord \
 	./internal/torus:FuzzTranslateEdge \
 	./internal/service:FuzzDecodeAnalyzeRequest \
+	./internal/cluster:FuzzHashRing \
 	./internal/lintcheck:FuzzLintIgnoreDirective
 
-.PHONY: all build test race vet lint lint-fix fuzz-smoke serve bench bench-smoke bench-service smoke-torusd chaos profile ci
+.PHONY: all build test race vet lint lint-fix fuzz-smoke serve bench bench-smoke bench-service smoke-torusd smoke-cluster chaos profile ci
 
 all: build
 
@@ -74,6 +75,15 @@ bench-service:
 smoke-torusd:
 	./scripts/ci_torusd_smoke.sh
 
+# smoke-cluster runs the full smoke plus the 3-node cluster leg: boot a
+# sharded cluster, assert a hot key computes once cluster-wide and
+# peer-fills everywhere else, kill its home shard mid-load, and assert the
+# survivors stay available with exact local-compute fallback. The in-process
+# multi-node suite (internal/cluster/harness) runs under -race first.
+smoke-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/...
+	TORUSD_SMOKE_CLUSTER=1 ./scripts/ci_torusd_smoke.sh
+
 # profile captures a CPU profile from a running torusd's debug sidecar
 # while streaming uncached analyze load at the API, then prints the top
 # functions and the pprof label breakdown (endpoint/engine/experiment
@@ -83,13 +93,16 @@ profile:
 	./scripts/profile_torusd.sh
 
 # chaos runs the fault-injection suite under the race detector: every
-# registered failpoint fires against a live server, pool workers are
-# crashed and wedged, degraded answers are replayed against the exact
-# engine, and each test asserts a goroutine-leak-free recovery.
+# registered failpoint (including the cluster.* sites) fires against a live
+# server, pool workers are crashed and wedged, degraded answers are
+# replayed against the exact engine, a multi-node cluster is churned with
+# kills, partitions, and armed cluster faults, and each test asserts a
+# goroutine-leak-free recovery.
 chaos:
 	$(GO) test -race -count=1 ./internal/failpoint
 	$(GO) test -race -count=1 \
 		-run 'TestChaos|TestDegraded|TestRetry|TestBreaker|TestHedged|TestClientDrains|TestNonRetryable' \
 		./internal/service
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/cluster/harness
 
 ci: build vet test race lint chaos

@@ -20,6 +20,16 @@
 //	torusd -addr :8080 -slow-threshold 250ms        # warn-log slow requests
 //	torusd -selfbench results/BENCH_service.json    # micro-benchmark, then exit
 //	torusd -failpoints 'service.cache.get=error'    # boot with chaos faults armed
+//	torusd -cluster -self http://10.0.0.1:8080 \
+//	       -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// Cluster mode shards canonical cache keys across the -peers membership on
+// a consistent-hash ring: a local cache miss for a key homed on another
+// peer is fetched from that peer (falling back to local compute if it
+// cannot answer), so the cluster computes each answer once globally.
+// /readyz reports readiness (ring joined); /healthz stays pure liveness.
+// The debug sidecar gains /debug/cluster (ring status, and ?key=... for a
+// key's home peer).
 //
 // Under sustained pool pressure (past -degrade-at utilization) /v1/analyze
 // answers with a Monte Carlo estimate tagged "degraded": true instead of
@@ -44,9 +54,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"torusnet/internal/cluster"
 	"torusnet/internal/failpoint"
 	"torusnet/internal/obs"
 	"torusnet/internal/service"
@@ -72,6 +84,10 @@ func main() {
 		failpoints = flag.String("failpoints", "", "semicolon-separated site=spec failpoints to arm at boot (see /debug/failpoints for sites)")
 		traceBuf   = flag.Int("trace-buf", 0, "finished request traces retained for /debug/traces (0 = 256, negative = tracing off)")
 		slowThresh = flag.Duration("slow-threshold", 0, "warn-log requests slower than this (0 = disabled)")
+		clusterOn  = flag.Bool("cluster", false, "enable sharded cluster mode (requires -self and -peers)")
+		selfURL    = flag.String("self", "", "this node's advertised base URL in cluster mode (e.g. http://10.0.0.1:8080)")
+		peersList  = flag.String("peers", "", "comma-separated base URLs of the full cluster membership (self included)")
+		replicas   = flag.Int("ring-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = 64)")
 	)
 	flag.Parse()
 
@@ -99,6 +115,14 @@ func main() {
 		Tracer:           tracer,
 		SlowThreshold:    *slowThresh,
 	}
+	if *clusterOn {
+		cl, err := buildCluster(*selfURL, *peersList, *replicas)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "torusd:", err)
+			os.Exit(1)
+		}
+		cfg.Cluster = cl
+	}
 
 	// Arm chaos faults before serving: env first, then the flag (the flag
 	// wins on conflicting sites).
@@ -125,6 +149,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "torusd:", err)
 		os.Exit(1)
 	}
+}
+
+// buildCluster assembles this node's shard-ring view from the
+// -self/-peers flags. Each remote peer gets its own resilient fill client
+// (per-peer breaker state); the fill policy retries once with short
+// backoff and no hedging, because every fill failure has a cheap local
+// fallback — computing the answer ourselves.
+func buildCluster(self, peers string, replicas int) (*cluster.Cluster, error) {
+	if self == "" || peers == "" {
+		return nil, errors.New("-cluster requires -self and -peers")
+	}
+	var members []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			members = append(members, strings.TrimRight(p, "/"))
+		}
+	}
+	rcfg := service.ResilienceConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+	}
+	return cluster.New(cluster.Config{
+		Self:     strings.TrimRight(self, "/"),
+		Peers:    members,
+		Replicas: replicas,
+		Dial: func(u string) cluster.PeerTransport {
+			return service.NewPeerFillClient(u, rcfg)
+		},
+	})
 }
 
 // run serves until SIGINT/SIGTERM, then drains gracefully. When debugAddr
@@ -159,6 +213,9 @@ func run(cfg service.Config, addr, debugAddr string) error {
 		mux.Handle("/debug/failpoints/", fph)
 		if cfg.Tracer != nil {
 			mux.Handle("/debug/traces", cfg.Tracer.Handler())
+		}
+		if cfg.Cluster != nil {
+			mux.Handle("/debug/cluster", cfg.Cluster.Handler())
 		}
 		debugSrv = &http.Server{Handler: mux}
 		fmt.Fprintf(os.Stderr, "torusd: pprof + failpoints + traces on %s\n", dln.Addr())

@@ -1,0 +1,327 @@
+// Package cluster shards the torusd analysis service across a static set
+// of peers. A consistent-hash ring over the canonical cache key gives every
+// key exactly one home shard, mirroring the paper's placement discipline:
+// assign work so no link — here, no node — carries avoidable duplicate
+// load, and the cluster computes each E_max answer once globally.
+//
+// The fill path is groupcache-shaped. On a local cache miss for a key
+// homed elsewhere, the serving node fetches the answer from the home peer
+// over the ordinary service API (each peer reached through its own
+// resilient client, so breaker state is per peer) and only computes
+// locally when the peer cannot answer. Fill requests carry a one-hop loop
+// guard: a node serving a fill never fills in turn, so requests traverse
+// at most one peer edge regardless of membership skew. Every failure mode
+// — ring fault, peer down, dial error, corrupt fill body — degrades to
+// local compute, trading cluster-wide dedup for availability.
+//
+// Membership is static (flag-configured) with per-peer health: a peer that
+// fails FailureThreshold consecutive fills is marked down for DownCooldown
+// and re-admitted only after a successful readiness probe (GET /readyz),
+// so a live-but-still-joining process stays out of the fill path.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PeerTransport is the wire surface the cluster needs to one peer. The
+// service package's Client implements it (see NewPeerFillClient); the test
+// harness wraps it to inject partitions. Implementations must be safe for
+// concurrent use.
+type PeerTransport interface {
+	// FillPeer POSTs payload (a canonical request body) to path on the
+	// peer and returns the raw 200 response body. Any non-200 or
+	// transport failure is an error.
+	FillPeer(ctx context.Context, path string, payload []byte) ([]byte, error)
+	// Ready probes the peer's GET /readyz, returning nil only when the
+	// peer reports itself ready to serve.
+	Ready(ctx context.Context) error
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Self is this node's advertised base URL; it must appear in the ring
+	// so every node agrees which keys are local. If absent from Peers it
+	// is added.
+	Self string
+	// Peers is the full static membership list (base URLs), normally
+	// including Self; every node of a cluster must be configured with the
+	// same set.
+	Peers []string
+	// Replicas is the virtual-node count per peer; <= 0 means
+	// DefaultReplicas.
+	Replicas int
+	// Dial builds the transport for one remote peer, called once per peer
+	// at construction. Required when the membership has any remote peer.
+	Dial func(baseURL string) PeerTransport
+	// FailureThreshold is how many consecutive fill failures mark a peer
+	// down; <= 0 means 3.
+	FailureThreshold int
+	// DownCooldown is how long a down peer is skipped before a readiness
+	// probe may re-admit it; <= 0 means 5s.
+	DownCooldown time.Duration
+}
+
+// peer is the health and transport state for one remote member.
+type peer struct {
+	url string
+	tr  PeerTransport
+
+	mu        sync.Mutex
+	failures  int       // consecutive fill failures
+	downUntil time.Time // skip fills until then once failures >= threshold
+
+	fills      atomic.Int64
+	fillErrors atomic.Int64
+}
+
+// Cluster is one node's view of the shard ring plus per-peer health and
+// fill counters. All methods are safe for concurrent use.
+type Cluster struct {
+	self      string
+	ring      *Ring
+	threshold int
+	cooldown  time.Duration
+	peers     map[string]*peer // remote members only, keyed by URL
+	vars      *expvar.Map
+}
+
+// Counter names in the cluster expvar map (exposed under the server's
+// "cluster" key in /debug/vars).
+const (
+	vFills            = "fills"             // successful peer fills
+	vFillErrors       = "fill_errors"       // fills lost to dial/decode/ring faults
+	vFillSkips        = "fill_skips"        // fills skipped because the home peer is down
+	vLocalKeys        = "local_keys"        // misses whose home is this node
+	vReadyProbes      = "ready_probes"      // /readyz probes of cooled-down peers
+	vRingLookupErrors = "ring_lookup_errors"
+	vWriteErrors      = "write_errors" // debug-handler response writes that failed
+)
+
+// New builds a Cluster from cfg. The ring is ready as soon as New returns:
+// with static membership, "joined" means constructed and serving, which is
+// exactly what /readyz reports once the listener is up.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self must be set")
+	}
+	members := append([]string(nil), cfg.Peers...)
+	found := false
+	for _, p := range members {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		members = append(members, cfg.Self)
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.DownCooldown <= 0 {
+		cfg.DownCooldown = 5 * time.Second
+	}
+	c := &Cluster{
+		self:      cfg.Self,
+		ring:      NewRing(members, cfg.Replicas),
+		threshold: cfg.FailureThreshold,
+		cooldown:  cfg.DownCooldown,
+		peers:     make(map[string]*peer),
+		vars:      new(expvar.Map).Init(),
+	}
+	for _, name := range []string{
+		vFills, vFillErrors, vFillSkips, vLocalKeys, vReadyProbes,
+		vRingLookupErrors, vWriteErrors,
+	} {
+		c.vars.Set(name, new(expvar.Int))
+	}
+	c.vars.Set("peers", expvar.Func(func() any { return len(c.ring.Peers()) }))
+	c.vars.Set("peers_down", expvar.Func(func() any { return c.DownPeers() }))
+	for _, u := range c.ring.Peers() {
+		if u == c.self {
+			continue
+		}
+		if cfg.Dial == nil {
+			return nil, errors.New("cluster: Config.Dial must be set when the membership has remote peers")
+		}
+		c.peers[u] = &peer{url: u, tr: cfg.Dial(u)}
+	}
+	return c, nil
+}
+
+// Self returns this node's advertised base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Ready reports whether this node has joined the ring and can place keys.
+// With static membership that holds from construction on; /readyz stays
+// meaningful because it cannot answer before the node actually serves.
+func (c *Cluster) Ready() bool { return len(c.ring.Peers()) > 0 }
+
+// Vars returns the cluster's expvar map for embedding in a server's
+// /debug/vars output.
+func (c *Cluster) Vars() *expvar.Map { return c.vars }
+
+// Owner returns the home peer URL for key, through the cluster.ring.lookup
+// failpoint (an armed fault makes the home unknowable for this call).
+func (c *Cluster) Owner(key string) (string, error) {
+	if err := fpRingLookup.Inject(); err != nil {
+		c.vars.Add(vRingLookupErrors, 1)
+		return "", err
+	}
+	return c.ring.Owner(key), nil
+}
+
+// Fill attempts a peer fill for key: if key is homed on a healthy remote
+// peer, fetch the answer by POSTing payload to path there and decode the
+// response body with decode. served reports whether the returned value
+// came from a peer; when served is false the caller must compute locally
+// (err, when non-nil, says why the fill was lost — a nil err means the key
+// is local or its home is down, which is not an error).
+func (c *Cluster) Fill(ctx context.Context, key, path string, payload []byte, decode func([]byte) (any, error)) (v any, served bool, err error) {
+	owner, err := c.Owner(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if owner == "" || owner == c.self {
+		c.vars.Add(vLocalKeys, 1)
+		return nil, false, nil
+	}
+	p := c.peers[owner]
+	if p == nil {
+		// Unreachable with a consistent Config; treat as local.
+		c.vars.Add(vLocalKeys, 1)
+		return nil, false, nil
+	}
+	if !c.admit(ctx, p) {
+		c.vars.Add(vFillSkips, 1)
+		return nil, false, nil
+	}
+	if err := fpPeerDial.Inject(); err != nil {
+		c.fail(p)
+		return nil, false, err
+	}
+	body, err := p.tr.FillPeer(ctx, path, payload)
+	if err != nil {
+		c.fail(p)
+		return nil, false, err
+	}
+	c.ok(p)
+	if err := fpFillDecode.Inject(); err != nil {
+		c.vars.Add(vFillErrors, 1)
+		p.fillErrors.Add(1)
+		return nil, false, err
+	}
+	v, err = decode(body)
+	if err != nil {
+		c.vars.Add(vFillErrors, 1)
+		p.fillErrors.Add(1)
+		return nil, false, fmt.Errorf("cluster: decoding fill from %s: %w", owner, err)
+	}
+	c.vars.Add(vFills, 1)
+	p.fills.Add(1)
+	return v, true, nil
+}
+
+// admit reports whether p may be dialed right now. Healthy peers pass
+// immediately. A down peer is skipped until its cooldown expires, then
+// must answer one readiness probe before fills resume — so a process that
+// restarts but is not yet serving stays out of the fill path. Concurrent
+// callers may race to probe; the probes are cheap idempotent GETs.
+func (c *Cluster) admit(ctx context.Context, p *peer) bool {
+	p.mu.Lock()
+	if p.failures < c.threshold {
+		p.mu.Unlock()
+		return true
+	}
+	if time.Now().Before(p.downUntil) {
+		p.mu.Unlock()
+		return false
+	}
+	p.mu.Unlock()
+	c.vars.Add(vReadyProbes, 1)
+	if err := p.tr.Ready(ctx); err != nil {
+		c.fail(p)
+		return false
+	}
+	c.ok(p)
+	return true
+}
+
+// fail records one fill failure against p, marking it down for the
+// cooldown once the consecutive-failure threshold is reached.
+func (c *Cluster) fail(p *peer) {
+	c.vars.Add(vFillErrors, 1)
+	p.fillErrors.Add(1)
+	p.mu.Lock()
+	p.failures++
+	if p.failures >= c.threshold {
+		p.downUntil = time.Now().Add(c.cooldown)
+	}
+	p.mu.Unlock()
+}
+
+// ok resets p's health after a successful exchange.
+func (c *Cluster) ok(p *peer) {
+	p.mu.Lock()
+	p.failures = 0
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+}
+
+// DownPeers counts remote peers currently marked down.
+func (c *Cluster) DownPeers() int {
+	n := 0
+	for _, p := range c.peers {
+		p.mu.Lock()
+		if p.failures >= c.threshold && time.Now().Before(p.downUntil) {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// PeerStatus is one member's row in Status.
+type PeerStatus struct {
+	URL        string `json:"url"`
+	Self       bool   `json:"self,omitempty"`
+	Down       bool   `json:"down"`
+	Failures   int    `json:"failures"`
+	Fills      int64  `json:"fills"`
+	FillErrors int64  `json:"fill_errors"`
+}
+
+// Status is a point-in-time snapshot of the ring and peer health, served
+// by the /debug/cluster handler.
+type Status struct {
+	Self     string       `json:"self"`
+	Ready    bool         `json:"ready"`
+	Replicas int          `json:"replicas"`
+	Peers    []PeerStatus `json:"peers"`
+}
+
+// Status snapshots the cluster: membership in ring order, per-peer health
+// and fill counters.
+func (c *Cluster) Status() Status {
+	st := Status{Self: c.self, Ready: c.Ready(), Replicas: c.ring.Replicas()}
+	for _, u := range c.ring.Peers() {
+		ps := PeerStatus{URL: u, Self: u == c.self}
+		if p := c.peers[u]; p != nil {
+			p.mu.Lock()
+			ps.Failures = p.failures
+			ps.Down = p.failures >= c.threshold && time.Now().Before(p.downUntil)
+			p.mu.Unlock()
+			ps.Fills = p.fills.Load()
+			ps.FillErrors = p.fillErrors.Load()
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}

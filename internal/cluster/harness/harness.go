@@ -1,0 +1,289 @@
+// Package harness boots an in-process multi-node torusd cluster for
+// tests. It follows the network-context + availability-checker pattern of
+// multi-node test frameworks (kurtosis-style, described in DESIGN.md §12):
+// a Network owns N full torusd instances on real loopback listeners, every
+// directed peer link passes through a blockable transport edge (the
+// network context — Partition and Heal flip edges without touching the
+// nodes), and WaitReady is the availability checker that polls each
+// node's /readyz before the test drives load.
+//
+// Nodes are real service.Servers with real cluster views, so harness
+// tests exercise the same ring lookup, peer fill, loop guard, and health
+// tracking code paths production runs — only the wire between peers is
+// swapped for an interceptable in-process edge.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"torusnet/internal/cluster"
+	"torusnet/internal/service"
+)
+
+// Options parameterizes Start. The zero value boots a 3-node cluster with
+// default service configuration.
+type Options struct {
+	// Nodes is the cluster size; 0 means 3.
+	Nodes int
+	// Replicas is the ring's virtual-node count per peer; 0 means
+	// cluster.DefaultReplicas.
+	Replicas int
+	// Service is the base per-node configuration. Cluster and OnCompute
+	// are overwritten per node; everything else applies to every node.
+	Service service.Config
+	// OnCompute, when set, observes every pooled computation cluster-wide
+	// as (node index, cache key) — the hook single-global-compute
+	// assertions count.
+	OnCompute func(node int, key string)
+	// FailureThreshold and DownCooldown tune per-peer health tracking;
+	// zero values mean 2 consecutive failures and 100ms, kept tight so
+	// tests exercise down/recover cycles quickly.
+	FailureThreshold int
+	DownCooldown     time.Duration
+}
+
+// errPartitioned is what a blocked edge returns, standing in for the
+// connection failure a real network partition would produce.
+var errPartitioned = errors.New("harness: network partitioned")
+
+// edge is one directed peer link: the real peer-fill client wrapped with a
+// blockable gate. Partition flips the gate without the owning node's
+// cluster view knowing anything changed — exactly like losing the wire.
+type edge struct {
+	inner   cluster.PeerTransport
+	blocked atomic.Bool
+}
+
+func (e *edge) FillPeer(ctx context.Context, path string, payload []byte) ([]byte, error) {
+	if e.blocked.Load() {
+		return nil, errPartitioned
+	}
+	return e.inner.FillPeer(ctx, path, payload)
+}
+
+func (e *edge) Ready(ctx context.Context) error {
+	if e.blocked.Load() {
+		return errPartitioned
+	}
+	return e.inner.Ready(ctx)
+}
+
+// Node is one in-process torusd instance: its server, cluster view, a
+// plain client pointed at it, and the outgoing transport edges the
+// harness can block.
+type Node struct {
+	Index   int
+	URL     string
+	Server  *service.Server
+	Cluster *cluster.Cluster
+	Client  *service.Client
+
+	ln       net.Listener
+	edges    map[string]*edge // outgoing, keyed by target URL
+	killed   atomic.Bool
+	serveErr atomic.Value // error from Serve, nil/ErrServerClosed excluded
+}
+
+// Killed reports whether the node was stopped by Kill.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// Network is a running in-process cluster.
+type Network struct {
+	Nodes []*Node
+	wg    sync.WaitGroup
+}
+
+// Start boots opts.Nodes torusd instances on loopback listeners, each
+// with a cluster view over the full membership, and begins serving. Call
+// Stop (usually via defer) to shut the cluster down.
+func Start(opts Options) (*Network, error) {
+	count := opts.Nodes
+	if count <= 0 {
+		count = 3
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 2
+	}
+	if opts.DownCooldown <= 0 {
+		opts.DownCooldown = 100 * time.Millisecond
+	}
+	// Bind every listener first so the full membership's URLs exist
+	// before any cluster view is built.
+	listeners := make([]net.Listener, 0, count)
+	urls := make([]string, 0, count)
+	closeAll := func() {
+		for _, ln := range listeners {
+			if cerr := ln.Close(); cerr != nil {
+				// Best effort: the construction error below wins.
+				_ = cerr
+			}
+		}
+	}
+	for i := 0; i < count; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("harness: listener %d: %w", i, err)
+		}
+		listeners = append(listeners, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+
+	// Peer fills retry once with short backoff; every failure has a local
+	// fallback, so a patient policy only hides partitions from tests.
+	rcfg := service.ResilienceConfig{
+		MaxAttempts: 2,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	}
+
+	nw := &Network{}
+	for i := 0; i < count; i++ {
+		node := &Node{
+			Index: i,
+			URL:   urls[i],
+			ln:    listeners[i],
+			edges: make(map[string]*edge),
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:             urls[i],
+			Peers:            urls,
+			Replicas:         opts.Replicas,
+			FailureThreshold: opts.FailureThreshold,
+			DownCooldown:     opts.DownCooldown,
+			Dial: func(u string) cluster.PeerTransport {
+				e := &edge{inner: service.NewPeerFillClient(u, rcfg)}
+				node.edges[u] = e
+				return e
+			},
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("harness: cluster view %d: %w", i, err)
+		}
+		cfg := opts.Service
+		cfg.Cluster = cl
+		if opts.OnCompute != nil {
+			idx, hook := i, opts.OnCompute
+			cfg.OnCompute = func(key string) { hook(idx, key) }
+		}
+		node.Cluster = cl
+		node.Server = service.New(cfg)
+		node.Client = service.NewClient(urls[i])
+		nw.Nodes = append(nw.Nodes, node)
+	}
+	for _, node := range nw.Nodes {
+		node := node
+		nw.wg.Add(1)
+		//lint:ignore syncmisuse joined in Stop: nw.wg.Wait runs after every node's Shutdown.
+		go func() {
+			defer nw.wg.Done()
+			if err := node.Server.Serve(node.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				node.serveErr.Store(err)
+			}
+		}()
+	}
+	return nw, nil
+}
+
+// WaitReady is the availability checker: it polls every live node's
+// /readyz until all answer ready or ctx expires.
+func (nw *Network) WaitReady(ctx context.Context) error {
+	for _, n := range nw.Nodes {
+		if n.Killed() {
+			continue
+		}
+		if err := n.WaitReady(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitReady polls this node's /readyz until it answers ready or ctx
+// expires.
+func (n *Node) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if err := n.Client.Ready(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("harness: node %d never became ready: %w", n.Index, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Owner resolves the home node index for a canonical cache key, asking
+// the first live node's ring (every view agrees by construction).
+func (nw *Network) Owner(key string) (int, error) {
+	for _, n := range nw.Nodes {
+		owner, err := n.Cluster.Owner(key)
+		if err != nil {
+			return -1, err
+		}
+		for _, m := range nw.Nodes {
+			if m.URL == owner {
+				return m.Index, nil
+			}
+		}
+		return -1, fmt.Errorf("harness: owner %q is not a member", owner)
+	}
+	return -1, errors.New("harness: empty network")
+}
+
+// Kill stops node i — it drains and leaves the cluster, its listener
+// closes, and subsequent fills homed there fail over to local compute on
+// the survivors. Idempotent.
+func (nw *Network) Kill(ctx context.Context, i int) error {
+	n := nw.Nodes[i]
+	if n.killed.Swap(true) {
+		return nil
+	}
+	return n.Server.Shutdown(ctx)
+}
+
+// Partition severs both directions of the i↔j link: fills and readiness
+// probes between the two nodes fail while every other link stays up —
+// the network-context primitive for asymmetric failure tests.
+func (nw *Network) Partition(i, j int) { nw.setBlocked(i, j, true) }
+
+// Heal restores the i↔j link.
+func (nw *Network) Heal(i, j int) { nw.setBlocked(i, j, false) }
+
+func (nw *Network) setBlocked(i, j int, blocked bool) {
+	if e := nw.Nodes[i].edges[nw.Nodes[j].URL]; e != nil {
+		e.blocked.Store(blocked)
+	}
+	if e := nw.Nodes[j].edges[nw.Nodes[i].URL]; e != nil {
+		e.blocked.Store(blocked)
+	}
+}
+
+// Stop shuts down every live node, joins the serve goroutines, and
+// returns the first abnormal serve error, if any.
+func (nw *Network) Stop(ctx context.Context) error {
+	var firstErr error
+	for i := range nw.Nodes {
+		if err := nw.Kill(ctx, i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	nw.wg.Wait()
+	for _, n := range nw.Nodes {
+		if err, ok := n.serveErr.Load().(error); ok && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

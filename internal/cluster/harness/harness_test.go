@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"torusnet/internal/failpoint"
+	"torusnet/internal/service"
+)
+
+// testConfig is the per-node service config every harness test uses:
+// degradation disabled so fills are always exact (a degraded fill would be
+// rejected and recomputed, breaking exactly-one-compute counts), and a
+// small pool to keep -race runs light.
+func testConfig() service.Config {
+	return service.Config{Workers: 4, DegradeWatermark: -1}
+}
+
+// computeCounter records every pooled computation cluster-wide.
+type computeCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newComputeCounter() *computeCounter {
+	return &computeCounter{counts: make(map[string]int)}
+}
+
+func (c *computeCounter) hook(node int, key string) {
+	c.mu.Lock()
+	c.counts[key]++
+	c.mu.Unlock()
+}
+
+func (c *computeCounter) get(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[key]
+}
+
+// analyzeFixture returns a small analyze request and its canonical cache
+// key (k nodes per dimension on T^d_k, linear placement, ODR routing).
+func analyzeFixture(t *testing.T, k, d int, routing string) (service.AnalyzeRequest, string) {
+	t.Helper()
+	req := service.AnalyzeRequest{K: k, D: d, Placement: "linear", Routing: routing}
+	canon := req
+	if err := canon.Canonicalize(service.DefaultMaxNodes); err != nil {
+		t.Fatalf("canonicalize k=%d d=%d: %v", k, d, err)
+	}
+	return req, canon.CacheKey()
+}
+
+// intVar reads one integer counter from a /debug/vars snapshot.
+func intVar(t *testing.T, vars map[string]any, name string) int64 {
+	t.Helper()
+	v, ok := vars[name].(float64)
+	if !ok {
+		t.Fatalf("counter %q missing from /debug/vars snapshot", name)
+	}
+	return int64(v)
+}
+
+// startNetwork boots a cluster and registers cleanup that fails the test
+// on abnormal serve errors.
+func startNetwork(t *testing.T, ctx context.Context, opts Options) *Network {
+	t.Helper()
+	nw, err := Start(opts)
+	if err != nil {
+		t.Fatalf("start network: %v", err)
+	}
+	t.Cleanup(func() {
+		// The test's own ctx is already cancelled by its deferred cancel
+		// when cleanups run; shutdown needs a live deadline of its own.
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		if err := nw.Stop(sctx); err != nil {
+			t.Errorf("stop network: %v", err)
+		}
+	})
+	if err := nw.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// singleNodeTruth computes the reference answer on an isolated 1-node
+// cluster (every key local), giving the "identical to single-node
+// results" baseline the acceptance criteria demand.
+func singleNodeTruth(t *testing.T, ctx context.Context, req service.AnalyzeRequest) *service.AnalyzeResponse {
+	t.Helper()
+	nw := startNetwork(t, ctx, Options{Nodes: 1, Service: testConfig()})
+	resp, err := nw.Nodes[0].Client.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("single-node truth: %v", err)
+	}
+	return resp
+}
+
+// sameAnswer compares the analysis fields that must agree across nodes
+// (Cached varies per caller by design).
+func sameAnswer(a, b *service.AnalyzeResponse) bool {
+	ac, bc := *a, *b
+	ac.Cached, bc.Cached = false, false
+	// Engine may differ between the symmetry fast path and a peer's choice
+	// only if configs diverge; harness nodes share one config, so keep it
+	// in the comparison.
+	return ac == bc
+}
+
+// TestClusterSingleGlobalCompute is the headline acceptance test: three
+// nodes, concurrent identical requests to all of them, exactly one
+// computation cluster-wide — the peer-fill stage threads the singleflight
+// through the ring so the home shard's leader is the only one that ever
+// runs the analysis.
+func TestClusterSingleGlobalCompute(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	const perNode = 4
+	results := make([]*service.AnalyzeResponse, 3*perNode)
+	errs := make([]error, 3*perNode)
+	var wg sync.WaitGroup
+	for ni, n := range nw.Nodes {
+		for j := 0; j < perNode; j++ {
+			idx := ni*perNode + j
+			cl := n.Client
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[idx], errs[idx] = cl.Analyze(ctx, req)
+			}()
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	for i, r := range results {
+		if r.Degraded {
+			t.Fatalf("request %d answered degraded", i)
+		}
+		if !sameAnswer(r, results[0]) {
+			t.Fatalf("request %d disagrees: %+v vs %+v", i, r, results[0])
+		}
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("cluster-wide computations for %q = %d, want exactly 1", key, got)
+	}
+
+	// The compute happened on the home shard; every other node was served
+	// by a peer fill, and the home saw their hop requests.
+	owner, err := nw.Owner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nw.Nodes {
+		vars, verr := n.Client.Vars(ctx)
+		if verr != nil {
+			t.Fatalf("vars node %d: %v", n.Index, verr)
+		}
+		if n.Index == owner {
+			if hops := intVar(t, vars, "peer_hops"); hops < 2 {
+				t.Errorf("home node %d served %d hops, want >= 2", n.Index, hops)
+			}
+			continue
+		}
+		if fills := intVar(t, vars, "peer_fills"); fills != 1 {
+			t.Errorf("node %d peer_fills = %d, want 1", n.Index, fills)
+		}
+		if ferr := intVar(t, vars, "peer_fill_errors"); ferr != 0 {
+			t.Errorf("node %d peer_fill_errors = %d, want 0", n.Index, ferr)
+		}
+	}
+}
+
+// findKeyOwnedBy scans small analyze fixtures for one homed on the given
+// node, excluding keys already in exclude.
+func findKeyOwnedBy(t *testing.T, nw *Network, owner int, exclude map[string]bool) (service.AnalyzeRequest, string) {
+	t.Helper()
+	for _, d := range []int{2, 3} {
+		for _, routing := range []string{"odr", "udr"} {
+			for k := 4; k <= 14; k++ {
+				req, key := analyzeFixture(t, k, d, routing)
+				if exclude[key] {
+					continue
+				}
+				idx, err := nw.Owner(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if idx == owner {
+					return req, key
+				}
+			}
+		}
+	}
+	t.Fatalf("no small fixture is homed on node %d", owner)
+	return service.AnalyzeRequest{}, ""
+}
+
+// TestClusterKillHomeMidLoad kills the home shard of a hot key while
+// survivors serve it under load: availability must stay 100% and every
+// answer must equal the single-node result — no staleness, no divergence.
+func TestClusterKillHomeMidLoad(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	truth := singleNodeTruth(t, ctx, req)
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig()})
+
+	owner, err := nw.Owner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every node: the home computes once, the others fill from it.
+	for _, n := range nw.Nodes {
+		resp, aerr := n.Client.Analyze(ctx, req)
+		if aerr != nil {
+			t.Fatalf("warm node %d: %v", n.Index, aerr)
+		}
+		if !sameAnswer(resp, truth) {
+			t.Fatalf("node %d warm answer diverges from single-node truth: %+v vs %+v", n.Index, resp, truth)
+		}
+	}
+
+	// Hammer the survivors while the home shard dies mid-run.
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for _, n := range nw.Nodes {
+		if n.Index == owner {
+			continue
+		}
+		cl := n.Client
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, herr := cl.Analyze(ctx, req)
+				if herr != nil || !sameAnswer(resp, truth) {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	if err := nw.Kill(ctx, owner); err != nil {
+		t.Fatalf("kill node %d: %v", owner, err)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d survivor requests failed or diverged during the kill", n)
+	}
+
+	// A fresh key homed on the dead node must still be answerable: the
+	// fill fails over to local compute on whichever survivor is asked.
+	survivor := (owner + 1) % len(nw.Nodes)
+	freshReq, freshKey := findKeyOwnedBy(t, nw, owner, map[string]bool{key: true})
+	freshTruth := singleNodeTruth(t, ctx, freshReq)
+	resp, err := nw.Nodes[survivor].Client.Analyze(ctx, freshReq)
+	if err != nil {
+		t.Fatalf("fresh key %q on survivor %d: %v", freshKey, survivor, err)
+	}
+	if !sameAnswer(resp, freshTruth) {
+		t.Fatalf("survivor answer for %q diverges from single-node truth: %+v vs %+v", freshKey, resp, freshTruth)
+	}
+	vars, err := nw.Nodes[survivor].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := intVar(t, vars, "peer_fill_errors"); ferr < 1 {
+		t.Errorf("survivor peer_fill_errors = %d, want >= 1 (fill to the dead home must have failed)", ferr)
+	}
+}
+
+// TestClusterPartitionFallsBackLocal partitions a requester from a key's
+// home shard: the request still succeeds via local compute, and healing
+// the link restores peer fills.
+func TestClusterPartitionFallsBackLocal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	owner, err := nw.Owner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requester := (owner + 1) % len(nw.Nodes)
+
+	nw.Partition(requester, owner)
+	resp, err := nw.Nodes[requester].Client.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("partitioned request: %v", err)
+	}
+	if resp.Degraded {
+		t.Fatal("partitioned request answered degraded")
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("computes for %q under partition = %d, want 1 (local fallback)", key, got)
+	}
+	vars, err := nw.Nodes[requester].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills := intVar(t, vars, "peer_fills"); fills != 0 {
+		t.Fatalf("peer_fills across a partition = %d, want 0", fills)
+	}
+	if ferr := intVar(t, vars, "peer_fill_errors"); ferr < 1 {
+		t.Fatalf("peer_fill_errors = %d, want >= 1", ferr)
+	}
+
+	// Heal and verify fills resume on a fresh key homed on the same peer.
+	nw.Heal(requester, owner)
+	freshReq, freshKey := findKeyOwnedBy(t, nw, owner, map[string]bool{key: true})
+	if _, err := nw.Nodes[requester].Client.Analyze(ctx, freshReq); err != nil {
+		t.Fatalf("healed request: %v", err)
+	}
+	if got := counter.get(freshKey); got != 1 {
+		t.Fatalf("computes for %q after heal = %d, want 1", freshKey, got)
+	}
+	vars, err = nw.Nodes[requester].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills := intVar(t, vars, "peer_fills"); fills != 1 {
+		t.Fatalf("peer_fills after heal = %d, want 1", fills)
+	}
+}
+
+// TestClusterChaosFailpointsUnderChurn arms the cluster failpoint sites
+// against a live 3-node network: every fill path fault must degrade to
+// local compute (availability stays 100%), and disarming must let fills
+// and peer health recover.
+func TestClusterChaosFailpointsUnderChurn(t *testing.T) {
+	defer failpoint.DisableAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	sites := []string{"cluster.ring.lookup", "cluster.peer.dial", "cluster.fill.decode"}
+	k := 4
+	for _, site := range sites {
+		if err := failpoint.Enable(site, "error"); err != nil {
+			t.Fatalf("arm %s: %v", site, err)
+		}
+		// With the site armed, every node must still answer every request
+		// (distinct keys per site so nothing is pre-cached).
+		req, key := analyzeFixture(t, k, 2, "odr")
+		k++
+		for _, n := range nw.Nodes {
+			resp, err := n.Client.Analyze(ctx, req)
+			if err != nil {
+				t.Fatalf("site %s armed: node %d failed: %v", site, n.Index, err)
+			}
+			if resp.Degraded {
+				t.Fatalf("site %s armed: node %d answered degraded", site, n.Index)
+			}
+		}
+		if failpoint.Hits(site) == 0 {
+			t.Fatalf("site %s never fired", site)
+		}
+		if err := failpoint.Disable(site); err != nil {
+			t.Fatalf("disarm %s: %v", site, err)
+		}
+		if got := counter.get(key); got < 1 {
+			t.Fatalf("site %s armed: no compute recorded for %q", site, key)
+		}
+	}
+
+	// Recovery: repeated dial faults marked peers down; once disarmed, the
+	// cooldown + readiness probe must re-admit them. Poll with fresh keys
+	// until a fill lands (each key is only filled on its first miss).
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	requester := nw.Nodes[0]
+	for {
+		vars, err := requester.Client.Vars(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillsBefore := intVar(t, vars, "peer_fills")
+		req, _ := analyzeFixture(t, k, 2, "udr")
+		k++
+		if _, err := requester.Client.Analyze(ctx, req); err != nil {
+			t.Fatalf("recovery request: %v", err)
+		}
+		vars, err = requester.Client.Vars(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if intVar(t, vars, "peer_fills") > fillsBefore {
+			return // a fill landed: the cluster healed
+		}
+		select {
+		case <-deadline.C:
+			t.Fatal("peer fills never resumed after disarming the chaos sites")
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Chaos smoke for the cluster fixture: armed sites must exist in the registry.
+TORUSNET_FAILPOINTS='cluster.peer.dial=error' ./run.sh
+TORUSNET_FAILPOINTS='cluster.peer.probe=error' ./run.sh # // want "registered nowhere"

@@ -8,6 +8,8 @@ package service
 import (
 	"context"
 	"errors"
+	"expvar"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -16,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"torusnet/internal/cluster"
 	"torusnet/internal/failpoint"
 	"torusnet/internal/obs"
 )
@@ -67,6 +70,90 @@ func analyzeStatus(t *testing.T, c *Client, req AnalyzeRequest) (int, *AnalyzeRe
 type chaosScenario struct {
 	spec  string
 	drive func(t *testing.T, s *Server, c *Client)
+}
+
+// newChaosClusterPair boots two cluster-mode servers on loopback listeners
+// so the cluster.* failpoints have a real peer-fill path to break. The
+// returned stop shuts both servers down and joins the serve goroutines, so
+// the leak checker sees a quiet runtime again. (The full multi-node suite
+// lives in internal/cluster/harness; it cannot be used here because harness
+// imports this package.)
+func newChaosClusterPair(t *testing.T) (clients [2]*Client, views [2]*cluster.Cluster, stop func()) {
+	t.Helper()
+	var lns [2]net.Listener
+	var urls []string
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("pair listener %d: %v", i, err)
+		}
+		lns[i] = ln
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	rcfg := ResilienceConfig{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	var servers [2]*Server
+	var wg sync.WaitGroup
+	for i := range lns {
+		cl, err := cluster.New(cluster.Config{
+			Self:  urls[i],
+			Peers: urls,
+			Dial:  func(u string) cluster.PeerTransport { return NewPeerFillClient(u, rcfg) },
+		})
+		if err != nil {
+			t.Fatalf("pair cluster view %d: %v", i, err)
+		}
+		views[i] = cl
+		servers[i] = New(Config{Workers: 2, DegradeWatermark: -1, Cluster: cl})
+		clients[i] = NewClient(urls[i])
+		wg.Add(1)
+		go func(s *Server, ln net.Listener) {
+			defer wg.Done()
+			if err := s.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				t.Errorf("pair serve: %v", err)
+			}
+		}(servers[i], lns[i])
+	}
+	return clients, views, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("pair shutdown: %v", err)
+			}
+		}
+		wg.Wait()
+	}
+}
+
+// remoteHomedRequest finds an analyze request whose canonical cache key is
+// homed on owner according to view — the precondition for the peer dial and
+// fill decode faults to be reachable from the other node.
+func remoteHomedRequest(t *testing.T, view *cluster.Cluster, owner string) AnalyzeRequest {
+	t.Helper()
+	for k := 4; k <= 40; k++ {
+		req := AnalyzeRequest{K: k, D: 2, Placement: "linear", Routing: "ODR"}
+		canon := req
+		if err := canon.Canonicalize(DefaultMaxNodes); err != nil {
+			continue
+		}
+		o, err := view.Owner(canon.CacheKey())
+		if err != nil {
+			t.Fatalf("owner lookup: %v", err)
+		}
+		if o == owner {
+			return req
+		}
+	}
+	t.Fatalf("no analyze key homed on %s among K=4..40", owner)
+	return AnalyzeRequest{}
+}
+
+// clusterVar reads one int counter out of a cluster's expvar map.
+func clusterVar(m *expvar.Map, name string) int64 {
+	if v, ok := m.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
 }
 
 // TestChaosAllSites arms every registered failpoint in turn, asserts the
@@ -163,6 +250,69 @@ func TestChaosAllSites(t *testing.T) {
 			st, _, err := analyzeStatus(t, c, AnalyzeRequest{K: 12, D: 2, Placement: "linear", Routing: "ODR"})
 			if st != http.StatusInternalServerError || !strings.Contains(err.Error(), "panicked") {
 				t.Errorf("compute.merge error: status %d err %v, want 500 panicked", st, err)
+			}
+		}},
+		"cluster.ring.lookup": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// With the ring unreadable, a cluster node cannot place any key —
+			// every request must still answer exactly, computed locally.
+			clients, views, stop := newChaosClusterPair(t)
+			defer stop()
+			resp, err := clients[0].Analyze(context.Background(), baselineReq)
+			if err != nil {
+				t.Fatalf("analyze with ring fault: %v", err)
+			}
+			if resp.Degraded || resp.EMax != baseline.EMax {
+				t.Errorf("ring-fault answer: EMax=%v degraded=%v, want exact %v", resp.EMax, resp.Degraded, baseline.EMax)
+			}
+			if n := clusterVar(views[0].Vars(), "ring_lookup_errors"); n == 0 {
+				t.Error("ring_lookup_errors = 0, want the fault counted")
+			}
+		}},
+		"cluster.peer.dial": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// An unreachable home peer costs the fill, not the request: the
+			// serving node computes locally and records the failure against
+			// the peer's health.
+			clients, views, stop := newChaosClusterPair(t)
+			defer stop()
+			req := remoteHomedRequest(t, views[0], views[1].Self())
+			resp, err := clients[0].Analyze(context.Background(), req)
+			if err != nil {
+				t.Fatalf("analyze with dial fault: %v", err)
+			}
+			if resp.Degraded || resp.Cached {
+				t.Errorf("dial-fault answer degraded=%v cached=%v, want a fresh exact local compute", resp.Degraded, resp.Cached)
+			}
+			var failures int
+			for _, ps := range views[0].Status().Peers {
+				if ps.URL == views[1].Self() {
+					failures = ps.Failures
+				}
+			}
+			if failures == 0 {
+				t.Error("home peer shows 0 failures after a dial fault, want >= 1 (dial faults count toward health)")
+			}
+		}},
+		"cluster.fill.decode": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// A corrupt fill body is discarded and the node computes locally —
+			// but the wire exchange succeeded, so the peer's health must stay
+			// clean (only dial/transport failures count toward down-marking).
+			clients, views, stop := newChaosClusterPair(t)
+			defer stop()
+			req := remoteHomedRequest(t, views[0], views[1].Self())
+			resp, err := clients[0].Analyze(context.Background(), req)
+			if err != nil {
+				t.Fatalf("analyze with decode fault: %v", err)
+			}
+			if resp.Degraded || resp.Cached {
+				t.Errorf("decode-fault answer degraded=%v cached=%v, want a fresh exact local compute", resp.Degraded, resp.Cached)
+			}
+			if n := clusterVar(views[0].Vars(), "fill_errors"); n == 0 {
+				t.Error("fill_errors = 0, want the discarded fill counted")
+			}
+			for _, ps := range views[0].Status().Peers {
+				if ps.URL == views[1].Self() && ps.Failures != 0 {
+					t.Errorf("home peer failures = %d after decode fault, want 0 (health is transport-only)", ps.Failures)
+				}
 			}
 		}},
 		"sweep.experiment": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {

@@ -47,6 +47,9 @@ type Client struct {
 	maxBody int64
 	// res enables the resilience policy; nil means single-attempt.
 	res *resilience
+	// peerHop marks every request with PeerHopHeader — the cluster fill
+	// loop guard. Only NewPeerFillClient sets it.
+	peerHop bool
 }
 
 // NewClient builds a client for the given base URL (e.g.
@@ -67,6 +70,18 @@ func NewResilientClient(baseURL string, cfg ResilienceConfig) *Client {
 	return c
 }
 
+// NewPeerFillClient builds the client a cluster node uses to fetch answers
+// from a key's home peer: a resilient client (each peer gets its own
+// Client, so breaker state is per peer) whose every request carries the
+// PeerHopHeader loop guard — the home peer answers from its own cache or
+// compute and never fills onward. It satisfies cluster.PeerTransport via
+// FillPeer and Ready.
+func NewPeerFillClient(baseURL string, cfg ResilienceConfig) *Client {
+	c := NewResilientClient(baseURL, cfg)
+	c.peerHop = true
+	return c
+}
+
 // roundTrip performs one HTTP exchange and fully consumes the response:
 // the body is read up to maxBody, any remainder is drained, and the body
 // is closed on every path — leaving the underlying connection reusable.
@@ -83,6 +98,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.peerHop {
+		req.Header.Set(PeerHopHeader, "1")
 	}
 	if traceID := obs.TraceIDFromContext(ctx); traceID != "" {
 		// Propagate the caller's trace downstream: the trace ID rides the
@@ -215,6 +233,38 @@ func (c *Client) RunExperiment(ctx context.Context, id string, req ExperimentReq
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Ready probes GET /readyz, returning nil only when the server reports
+// itself ready to serve (a not-ready node answers 503, which surfaces as
+// *APIError). The cluster layer uses it to re-admit cooled-down peers, and
+// resilient clients honor a not-ready backend the same way as any 503:
+// retry with backoff, eventually tripping the breaker.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Readyz fetches the full GET /readyz body regardless of status (the body
+// decodes only on 200; a 503 surfaces as *APIError like any call).
+func (c *Client) Readyz(ctx context.Context) (*ReadyResponse, error) {
+	var out ReadyResponse
+	if err := c.do(ctx, http.MethodGet, "/readyz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FillPeer POSTs a raw canonical request body to path on the peer and
+// returns the raw 200 response body, satisfying cluster.PeerTransport.
+// The bytes ride the ordinary do path — resilience policy, trace
+// propagation, body drain/close — as json.RawMessage in both directions,
+// so nothing is re-encoded.
+func (c *Client) FillPeer(ctx context.Context, path string, payload []byte) ([]byte, error) {
+	var out json.RawMessage
+	if err := c.do(ctx, http.MethodPost, path, json.RawMessage(payload), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Health runs GET /healthz.

@@ -35,6 +35,10 @@ type metrics struct {
 	// Carlo answers. Mass drifting into the large buckets means load
 	// shedding is costing answer quality.
 	degradedErr *obs.Histogram
+	// peerFill observes the latency of successful cluster peer fills — one
+	// intra-cluster HTTP round trip, so buckets span the same range as
+	// reqSeconds minus the timeout tail.
+	peerFill *obs.Histogram
 }
 
 // Counter names. Pre-seeded to zero so /debug/vars always shows the full
@@ -53,6 +57,9 @@ const (
 	mLatencyMSTotal = "latency_ms_total"
 	mDegraded       = "degraded"
 	mSlow           = "slow_requests"
+	mPeerFills      = "peer_fills"
+	mPeerFillErrors = "peer_fill_errors"
+	mPeerHops       = "peer_hops"
 )
 
 func newMetrics() *metrics {
@@ -63,11 +70,13 @@ func newMetrics() *metrics {
 		queueWait:   obs.NewHistogram(0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
 		cacheAge:    obs.NewHistogram(1, 5, 15, 60, 120, 300, 600, 900),
 		degradedErr: obs.NewHistogram(0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 25),
+		peerFill:    obs.NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
 	}
 	for _, name := range []string{
 		mRequests, mErrors, mPanics, mQueueFull, mTimeouts,
 		mCacheHits, mCacheMisses, mCoalesced, mInFlight,
 		mWriteErrors, mLatencyMSTotal, mDegraded, mSlow,
+		mPeerFills, mPeerFillErrors, mPeerHops,
 	} {
 		m.vars.Set(name, new(expvar.Int))
 	}
@@ -125,6 +134,9 @@ var promSchema = []struct {
 	{mLatencyMSTotal, "torusd_latency_ms_total", "summed request latency in milliseconds", false},
 	{mDegraded, "torusd_degraded_total", "load-shed Monte Carlo answers served by /v1/analyze", false},
 	{mSlow, "torusd_slow_requests_total", "requests slower than the configured slow threshold", false},
+	{mPeerFills, "torusd_peer_fills_total", "cache misses served by the key's home cluster peer", false},
+	{mPeerFillErrors, "torusd_peer_fill_errors_total", "peer fills lost to ring, dial, or decode failures", false},
+	{mPeerHops, "torusd_peer_hops_total", "fill requests served on behalf of cluster peers", false},
 	{mInFlight, "torusd_in_flight", "requests currently being served", true},
 }
 
@@ -163,6 +175,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"age of served result-cache hits", s.metrics.cacheAge)
 	obs.PromHistogram(&buf, "torusd_degraded_error_bound",
 		"3-sigma error bound reported on degraded Monte Carlo answers", s.metrics.degradedErr)
+	if cl := s.cfg.Cluster; cl != nil {
+		obs.PromGauge(&buf, "torusd_cluster_peers", "cluster membership size including self",
+			float64(len(cl.Status().Peers)))
+		obs.PromGauge(&buf, "torusd_cluster_peers_down", "remote peers currently marked down",
+			float64(cl.DownPeers()))
+		obs.PromHistogram(&buf, "torusd_peer_fill_seconds",
+			"latency of successful cluster peer fills", s.metrics.peerFill)
+	}
 	obs.PromCounters(&buf)
 	if tr := s.tracer(); tr != nil {
 		st := tr.Stats()

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -128,9 +129,68 @@ type HealthResponse struct {
 	Experiments   int     `json:"experiments"`
 }
 
+// ReadyResponse is the GET /readyz body. Mode is "single" (always ready)
+// or "cluster" (ready reflects ring join state); the peer fields are
+// cluster-mode only.
+type ReadyResponse struct {
+	Ready     bool   `json:"ready"`
+	Mode      string `json:"mode"`
+	Self      string `json:"self,omitempty"`
+	Peers     int    `json:"peers,omitempty"`
+	PeersDown int    `json:"peers_down"`
+}
+
 // ErrorResponse is the uniform error body of every non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// Peer-fill decoders: each turns a home peer's 200 body into the same
+// immutable value type local computation stores in the result cache, so a
+// filled entry is indistinguishable from a locally computed one. The
+// handler stamps per-caller fields (Cached) after the cache read, exactly
+// as for local values.
+
+// decodeAnalyzeFill decodes a peer /v1/analyze fill. A degraded body is
+// rejected: degraded answers are never cached locally on the home peer and
+// must not become cached-exact anywhere else — the filler falls back to
+// computing the exact answer itself.
+func decodeAnalyzeFill(data []byte) (any, error) {
+	var r AnalyzeResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.Degraded {
+		return nil, errors.New("service: peer fill answered degraded; computing exactly instead")
+	}
+	return r, nil
+}
+
+// decodeBoundsFill decodes a peer /v1/bounds fill.
+func decodeBoundsFill(data []byte) (any, error) {
+	var r BoundsResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// decodeBisectFill decodes a peer /v1/bisect fill.
+func decodeBisectFill(data []byte) (any, error) {
+	var r BisectResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// decodeExperimentFill decodes a peer /v1/experiments/{id} fill.
+func decodeExperimentFill(data []byte) (any, error) {
+	var r ExperimentRunResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // jsonSafe clamps non-finite bound values (e.g. a separator bound over an

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"torusnet/internal/cluster"
 	"torusnet/internal/failpoint"
 	"torusnet/internal/load"
 	"torusnet/internal/obs"
@@ -80,6 +81,17 @@ type Config struct {
 	// log lines and counts them in torusd_slow_requests_total. 0 disables
 	// slow-request detection.
 	SlowThreshold time.Duration
+	// Cluster, when non-nil, enables the sharded peer-fill stage: on a
+	// local cache miss for a key homed on another peer, the flight leader
+	// fetches the answer from that peer before falling back to local
+	// compute. Nil (the default) is single-node mode, which adds zero
+	// allocations to the request path. See internal/cluster.
+	Cluster *cluster.Cluster
+	// OnCompute, when set, is invoked inside the pooled computation with
+	// the cache key before any work runs. It exists for tests and the
+	// multi-node harness (proving exactly-one-compute cluster-wide);
+	// production leaves it nil.
+	OnCompute func(key string)
 }
 
 // loadOptions returns the load-engine options the server pins per analysis.
@@ -177,6 +189,10 @@ func New(cfg Config) *Server {
 	s.metrics.vars.Set("pool_running", expvar.Func(func() any { return s.pool.running.Load() }))
 	s.metrics.vars.Set("pool_queued", expvar.Func(func() any { return s.pool.queued.Load() }))
 	s.metrics.vars.Set("degraded_inline_running", expvar.Func(func() any { return s.inlineRunning.Load() }))
+	if cfg.Cluster != nil {
+		s.metrics.vars.Set("cluster", cfg.Cluster.Vars())
+	}
+	s.onCompute = cfg.OnCompute
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
@@ -186,6 +202,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.httpSrv = &http.Server{Handler: s.Handler()}
@@ -205,6 +222,14 @@ func (s *Server) tracer() *obs.Tracer {
 // which cannot see response bodies — can log and trace degradation without
 // re-parsing JSON. Clients may also read it.
 const degradedHeader = "X-Torusd-Degraded"
+
+// PeerHopHeader marks a request as a cluster fill hop: it was sent by a
+// peer filling its own cache, not by an end client. A server receiving it
+// answers from local cache or compute and never fills from a peer in turn,
+// bounding every request to at most one intra-cluster hop even when ring
+// views disagree during membership skew. NewPeerFillClient sets it on
+// every request.
+const PeerHopHeader = "X-Torusd-Peer-Hop"
 
 // Handler returns the full middleware-wrapped handler, suitable for
 // httptest servers and embedding. The middleware owns request identity and
@@ -349,12 +374,74 @@ func (s *Server) cachePut(key string, v any) {
 	s.cache.put(key, v)
 }
 
-// execute is the shared cache → coalesce → pool path of every POST
-// endpoint, with one span per pipeline stage (cache.get, flight.do,
-// pool.submit, pool.run) recorded under any active trace. compute receives
-// the trace-carrying context and must return an immutable value; cached
-// reports whether this caller was served from the result cache.
-func (s *Server) execute(ctx context.Context, key string, compute func(context.Context) (any, error)) (val any, cached bool, err error) {
+// peerFill is the cluster fill stage's per-request plan, built by fillFor
+// only when clustering is enabled (single-node requests carry nil and pay
+// nothing). hop means the request is itself a fill from a peer, so the
+// loop guard forbids filling again.
+type peerFill struct {
+	path    string
+	payload []byte
+	decode  func([]byte) (any, error)
+	hop     bool
+}
+
+// fillFor plans the peer-fill stage for one request: nil outside cluster
+// mode, a hop-marked no-fill plan for requests arriving from peers (each
+// counted in peer_hops), and otherwise the path + canonical payload +
+// decoder the flight leader needs to fetch the key from its home peer.
+// req must be a pointer to the canonicalized request (a pointer converts
+// to any without allocating; the canonical form keeps peer cache keys
+// byte-identical to local ones).
+func (s *Server) fillFor(r *http.Request, path string, req any, decode func([]byte) (any, error)) *peerFill {
+	if s.cfg.Cluster == nil {
+		return nil
+	}
+	if r.Header.Get(PeerHopHeader) != "" {
+		s.metrics.add(mPeerHops, 1)
+		return &peerFill{hop: true}
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		// A canonical request that fails to marshal cannot be forwarded;
+		// serve it locally.
+		return &peerFill{hop: true}
+	}
+	return &peerFill{path: path, payload: payload, decode: decode}
+}
+
+// runPeerFill executes the fill plan inside the flight leader under the
+// cluster.peer_fill span. ok reports a successful fill (the value is
+// cached and served); false means compute locally — the availability-first
+// contract of the cluster layer.
+func (s *Server) runPeerFill(ctx context.Context, key string, f *peerFill) (any, bool) {
+	start := time.Now()
+	pctx, sp := obs.Start(ctx, "cluster.peer_fill")
+	defer sp.End()
+	v, served, err := s.cfg.Cluster.Fill(pctx, key, f.path, f.payload, f.decode)
+	sp.SetAttrBool("served", served)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		s.metrics.add(mPeerFillErrors, 1)
+	}
+	if !served {
+		return nil, false
+	}
+	s.metrics.peerFill.ObserveDuration(time.Since(start))
+	s.metrics.add(mPeerFills, 1)
+	s.cachePut(key, v)
+	return v, true
+}
+
+// execute is the shared cache → coalesce → [peer fill] → pool path of
+// every POST endpoint, with one span per pipeline stage (cache.get,
+// flight.do, cluster.peer_fill, pool.submit, pool.run) recorded under any
+// active trace. fill is the peer-fill plan from fillFor (nil in
+// single-node mode); placing the fill inside the flight leader threads the
+// singleflight through the cluster, so N nodes asking for one key still
+// yield one computation cluster-wide. compute receives the trace-carrying
+// context and must return an immutable value; cached reports whether this
+// caller was served from the result cache.
+func (s *Server) execute(ctx context.Context, key string, fill *peerFill, compute func(context.Context) (any, error)) (val any, cached bool, err error) {
 	_, csp := obs.Start(ctx, "cache.get")
 	v, ok, err := s.cacheGet(key)
 	csp.SetAttrBool("hit", ok)
@@ -381,6 +468,11 @@ func (s *Server) execute(ctx context.Context, key string, compute func(context.C
 		} else if ok {
 			s.metrics.add(mCacheHits, 1)
 			return v, nil
+		}
+		if fill != nil && !fill.hop {
+			if v, ok := s.runPeerFill(fctx, key, fill); ok {
+				return v, nil
+			}
 		}
 		pctx, psp := obs.Start(fctx, "pool.submit")
 		defer psp.End()
@@ -521,7 +613,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	v, cached, err := s.execute(ctx, key, func(cctx context.Context) (any, error) {
+	v, cached, err := s.execute(ctx, key, s.fillFor(r, "/v1/analyze", &req, decodeAnalyzeFill), func(cctx context.Context) (any, error) {
 		resp, err := computeAnalyze(cctx, req, s.cfg.loadOptions())
 		if err != nil {
 			return nil, err
@@ -548,7 +640,7 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	v, cached, err := s.execute(ctx, req.CacheKey(), func(cctx context.Context) (any, error) {
+	v, cached, err := s.execute(ctx, req.CacheKey(), s.fillFor(r, "/v1/bounds", &req, decodeBoundsFill), func(cctx context.Context) (any, error) {
 		resp, err := computeBounds(cctx, req)
 		if err != nil {
 			return nil, err
@@ -575,7 +667,7 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	v, cached, err := s.execute(ctx, req.CacheKey(), func(cctx context.Context) (any, error) {
+	v, cached, err := s.execute(ctx, req.CacheKey(), s.fillFor(r, "/v1/bisect", &req, decodeBisectFill), func(cctx context.Context) (any, error) {
 		resp, err := computeBisect(cctx, req)
 		if err != nil {
 			return nil, err
@@ -628,7 +720,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	key := fmt.Sprintf("experiment|%s|%s", e.ID, req.Scale)
-	v, cached, err := s.execute(ctx, key, func(cctx context.Context) (any, error) {
+	v, cached, err := s.execute(ctx, key, s.fillFor(r, "/v1/experiments/"+id, &req, decodeExperimentFill), func(cctx context.Context) (any, error) {
 		resp, err := computeExperiment(cctx, e, req.Scale)
 		if err != nil {
 			return nil, err
@@ -650,6 +742,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Experiments:   len(sweep.All()),
 	})
+}
+
+// handleReadyz is the readiness half of the liveness/readiness split:
+// /healthz answers "the process is alive" and never fails; /readyz
+// answers "route traffic here". In single-node mode a serving process is
+// always ready. In cluster mode readiness reflects ring join state, and a
+// not-ready node answers 503 so load balancers and the peer readiness
+// probe (cluster.PeerTransport.Ready) keep it out of rotation.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Ready: true, Mode: "single"}
+	if cl := s.cfg.Cluster; cl != nil {
+		resp.Mode = "cluster"
+		resp.Ready = cl.Ready()
+		resp.Self = cl.Self()
+		resp.Peers = len(cl.Status().Peers)
+		resp.PeersDown = cl.DownPeers()
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
 }
 
 // handleDebugVars serves the server's own expvar map under the "torusd"

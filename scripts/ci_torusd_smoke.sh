@@ -173,3 +173,158 @@ kill -TERM "$PID"
 wait "$PID"
 trap 'rm -rf "$(dirname "$BIN")"' EXIT
 echo "smoke: OK"
+
+# ---------------------------------------------------------------------------
+# Cluster leg (TORUSD_SMOKE_CLUSTER=1, run via `make smoke-cluster`): boot a
+# 3-node cluster, verify a hot key is computed exactly once cluster-wide and
+# peer-filled everywhere else, then kill the key's home shard mid-load and
+# assert the survivors stay fully available with local-compute fallback.
+# ---------------------------------------------------------------------------
+if [ "${TORUSD_SMOKE_CLUSTER:-0}" != "1" ]; then
+    exit 0
+fi
+
+CPORTS=(18090 18091 18092)
+CDEBUG=(18095 18096 18097)
+PEERS="http://127.0.0.1:${CPORTS[0]},http://127.0.0.1:${CPORTS[1]},http://127.0.0.1:${CPORTS[2]}"
+CPIDS=()
+
+echo "smoke-cluster: booting 3 nodes"
+for i in 0 1 2; do
+    "$BIN" -addr "127.0.0.1:${CPORTS[$i]}" -debug-addr "127.0.0.1:${CDEBUG[$i]}" \
+        -cluster -self "http://127.0.0.1:${CPORTS[$i]}" -peers "$PEERS" &
+    CPIDS[$i]=$!
+done
+trap 'for p in "${CPIDS[@]}"; do kill "$p" 2>/dev/null || true; done; wait 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+echo "smoke-cluster: waiting for /readyz on all nodes"
+for i in 0 1 2; do
+    ready=""
+    for _ in $(seq 1 60); do
+        if curl -fsS "http://127.0.0.1:${CPORTS[$i]}/readyz" >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.5
+    done
+    if [ -z "$ready" ]; then
+        echo "smoke-cluster: FAIL — node $i never became ready" >&2
+        exit 1
+    fi
+done
+
+# The hot key: {"k":8,...,"routing":"odr"} canonicalizes to this cache key.
+hot_body='{"k":8,"d":2,"placement":"linear","routing":"odr"}'
+hot_key='analyze|k=8|d=2|p=linear:0|a=odr'
+
+echo "smoke-cluster: resolving the hot key's home shard via /debug/cluster"
+owner_url=$(curl -fsS --get --data-urlencode "key=${hot_key}" \
+    "http://127.0.0.1:${CDEBUG[0]}/debug/cluster" | jq -r '.owner')
+owner_idx=""
+for i in 0 1 2; do
+    if [ "$owner_url" = "http://127.0.0.1:${CPORTS[$i]}" ]; then
+        owner_idx=$i
+    fi
+done
+if [ -z "$owner_idx" ]; then
+    echo "smoke-cluster: FAIL — owner '${owner_url}' is not a member" >&2
+    exit 1
+fi
+echo "smoke-cluster: hot key homed on node ${owner_idx} (${owner_url})"
+
+echo "smoke-cluster: driving the hot key through every node"
+emaxes=()
+for i in "$owner_idx" $(for j in 0 1 2; do [ "$j" != "$owner_idx" ] && echo "$j"; done); do
+    status=$(curl -sS -o /tmp/torusd_smoke_cluster.json -w '%{http_code}' \
+        -H 'Content-Type: application/json' -d "$hot_body" "http://127.0.0.1:${CPORTS[$i]}/v1/analyze")
+    if [ "$status" != "200" ]; then
+        echo "smoke-cluster: FAIL — node $i analyze returned ${status}" >&2
+        exit 1
+    fi
+    emaxes+=("$(jq -r '.e_max' /tmp/torusd_smoke_cluster.json)")
+done
+if [ "${emaxes[0]}" != "${emaxes[1]}" ] || [ "${emaxes[0]}" != "${emaxes[2]}" ]; then
+    echo "smoke-cluster: FAIL — nodes disagree on e_max: ${emaxes[*]}" >&2
+    exit 1
+fi
+
+echo "smoke-cluster: asserting one compute cluster-wide (fills everywhere else)"
+# The owner computed the key once (one cache miss; the two hop requests hit
+# its warm cache) and served two hops; each non-owner answered with one fill.
+curl -fsS "http://127.0.0.1:${CPORTS[$owner_idx]}/debug/vars" \
+    | jq -e '.torusd.cache_misses == 1 and .torusd.peer_hops >= 2' >/dev/null || {
+    echo "smoke-cluster: FAIL — owner counters do not show a single coalesced compute" >&2
+    curl -fsS "http://127.0.0.1:${CPORTS[$owner_idx]}/debug/vars" | jq '.torusd' >&2
+    exit 1
+}
+for i in 0 1 2; do
+    [ "$i" = "$owner_idx" ] && continue
+    curl -fsS "http://127.0.0.1:${CPORTS[$i]}/debug/vars" \
+        | jq -e '.torusd.peer_fills == 1 and .torusd.cluster.fills == 1 and .torusd.cluster.fill_errors == 0' >/dev/null || {
+        echo "smoke-cluster: FAIL — node $i did not answer the hot key via one peer fill" >&2
+        curl -fsS "http://127.0.0.1:${CPORTS[$i]}/debug/vars" | jq '.torusd' >&2
+        exit 1
+    }
+done
+
+echo "smoke-cluster: killing the home shard (node ${owner_idx}) mid-load"
+kill -TERM "${CPIDS[$owner_idx]}"
+failures=0
+for _ in $(seq 1 10); do
+    for i in 0 1 2; do
+        [ "$i" = "$owner_idx" ] && continue
+        status=$(curl -sS -o /dev/null -w '%{http_code}' \
+            -H 'Content-Type: application/json' -d "$hot_body" "http://127.0.0.1:${CPORTS[$i]}/v1/analyze")
+        [ "$status" != "200" ] && failures=$((failures + 1))
+    done
+done
+wait "${CPIDS[$owner_idx]}" 2>/dev/null || true
+if [ "$failures" != "0" ]; then
+    echo "smoke-cluster: FAIL — ${failures} hot-key requests failed while the home shard died" >&2
+    exit 1
+fi
+
+echo "smoke-cluster: fresh key homed on the dead node must fall back to local compute"
+survivor=""
+for i in 0 1 2; do
+    [ "$i" != "$owner_idx" ] && survivor=$i && break
+done
+dead_body=""
+for k in $(seq 4 20); do
+    key="analyze|k=${k}|d=2|p=linear:0|a=odr"
+    o=$(curl -fsS --get --data-urlencode "key=${key}" \
+        "http://127.0.0.1:${CDEBUG[$survivor]}/debug/cluster" | jq -r '.owner')
+    if [ "$o" = "$owner_url" ] && [ "$k" != "8" ]; then
+        dead_body="{\"k\":${k},\"d\":2,\"placement\":\"linear\",\"routing\":\"odr\"}"
+        break
+    fi
+done
+if [ -z "$dead_body" ]; then
+    echo "smoke-cluster: FAIL — no fresh key homed on the dead node among k=4..20" >&2
+    exit 1
+fi
+status=$(curl -sS -o /tmp/torusd_smoke_cluster.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$dead_body" "http://127.0.0.1:${CPORTS[$survivor]}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke-cluster: FAIL — survivor fallback returned ${status}" >&2
+    exit 1
+fi
+jq -e '.e_max > 0 and (.degraded // false) == false' /tmp/torusd_smoke_cluster.json >/dev/null || {
+    echo "smoke-cluster: FAIL — survivor fallback answer malformed:" >&2
+    cat /tmp/torusd_smoke_cluster.json >&2
+    exit 1
+}
+curl -fsS "http://127.0.0.1:${CPORTS[$survivor]}/debug/vars" \
+    | jq -e '.torusd.cluster.fill_errors >= 1' >/dev/null || {
+    echo "smoke-cluster: FAIL — survivor never recorded the lost fill" >&2
+    exit 1
+}
+
+echo "smoke-cluster: graceful shutdown of survivors"
+for i in 0 1 2; do
+    [ "$i" = "$owner_idx" ] && continue
+    kill -TERM "${CPIDS[$i]}"
+    wait "${CPIDS[$i]}" 2>/dev/null || true
+done
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+echo "smoke-cluster: OK"

@@ -6,6 +6,7 @@ import (
 	"torusnet/internal/bisect"
 	"torusnet/internal/bounds"
 	"torusnet/internal/bsp"
+	"torusnet/internal/cluster"
 	"torusnet/internal/core"
 	"torusnet/internal/cover"
 	"torusnet/internal/failpoint"
@@ -457,6 +458,9 @@ type (
 	ExperimentRunResponse = service.ExperimentRunResponse
 	// HealthResponse is the GET /healthz reply.
 	HealthResponse = service.HealthResponse
+	// ReadyResponse is the GET /readyz reply (readiness, distinct from
+	// /healthz liveness; in cluster mode it reports ring join state).
+	ReadyResponse = service.ReadyResponse
 	// ErrorResponse is the error envelope every non-2xx reply uses.
 	ErrorResponse = service.ErrorResponse
 )
@@ -490,6 +494,54 @@ var ErrServiceCircuitOpen = service.ErrCircuitOpen
 // Carlo ErrorBound.
 func NewResilientServiceClient(baseURL string, cfg ClientResilienceConfig) *ServiceClient {
 	return service.NewResilientClient(baseURL, cfg)
+}
+
+// Sharded cluster (package cluster): consistent-hash routing of canonical
+// cache keys across a static torusd membership with groupcache-style peer
+// fill — on a local miss for a key homed elsewhere, the answer is fetched
+// from the home peer (one hop at most, guarded by PeerHopHeader) before
+// falling back to local compute, so a cluster computes each answer once
+// globally. See DESIGN.md §12 and "Running a cluster" in README.md.
+type (
+	// Cluster is one node's view of the shard ring plus per-peer health.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a Cluster (self URL, membership, ring
+	// replicas, per-peer transport dialer, health thresholds).
+	ClusterConfig = cluster.Config
+	// ClusterPeerTransport is the wire surface the cluster needs to one
+	// peer; NewPeerFillServiceClient returns an implementation.
+	ClusterPeerTransport = cluster.PeerTransport
+	// ClusterStatus is a point-in-time ring/health snapshot.
+	ClusterStatus = cluster.Status
+	// ClusterPeerStatus is one member's row in a ClusterStatus.
+	ClusterPeerStatus = cluster.PeerStatus
+	// HashRing is the deterministic consistent-hash ring under a Cluster.
+	HashRing = cluster.Ring
+)
+
+// DefaultRingReplicas is the virtual-node count per peer used when a ring
+// is built with replicas <= 0.
+const DefaultRingReplicas = cluster.DefaultReplicas
+
+// PeerHopHeader marks a request as a peer fill hop; a torusd serving a
+// request that carries it never fills onward (the cluster loop guard).
+const PeerHopHeader = service.PeerHopHeader
+
+// NewCluster builds one node's cluster view; pass it to
+// ServiceConfig.Cluster to enable sharded peer fill on that server.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewHashRing builds a deterministic consistent-hash ring over peer base
+// URLs with the given virtual-node count per peer (<= 0 selects
+// DefaultRingReplicas).
+func NewHashRing(peers []string, replicas int) *HashRing { return cluster.NewRing(peers, replicas) }
+
+// NewPeerFillServiceClient returns the resilient client a cluster node
+// uses to fetch answers from a key's home peer: every request carries the
+// PeerHopHeader loop guard, and each peer gets its own breaker state. It
+// satisfies ClusterPeerTransport.
+func NewPeerFillServiceClient(baseURL string, cfg ClientResilienceConfig) *ServiceClient {
+	return service.NewPeerFillClient(baseURL, cfg)
 }
 
 // Observability (package obs): zero-dependency context-propagated span
