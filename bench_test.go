@@ -158,6 +158,53 @@ func BenchmarkLoadComputeFAR(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAnalytic pins the analytic tier end to end on the same
+// workload as BenchmarkLoadComputeODR/Generic: dispatch recognizes the
+// linear placement and answers from the Theorem 2 closed form, so the
+// ratio against those two is the closed-form speedup.
+func BenchmarkAnalyzeAnalytic(b *testing.B) {
+	t := NewTorus(16, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ComputeLoad(p, ODR{}, LoadOptions{Analytic: AnalyticAuto})
+		if res.Engine != EngineAnalytic || res.Max <= 0 {
+			b.Fatalf("engine %q max %g", res.Engine, res.Max)
+		}
+	}
+}
+
+// benchAnalyticK drives the recognize+evaluate core (cached classification
+// plus the theorem map) at one torus size. Zero allocations per op, and
+// latency must stay flat in k — the whole point of the closed forms.
+func benchAnalyticK(b *testing.B, k int) {
+	t := NewTorus(k, 3)
+	p, err := (Linear{C: 0}).Build(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cls := p.LinearClass(); !cls.Recognized {
+		b.Fatal("linear placement not recognized")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls := p.LinearClass()
+		ev, ok := AnalyticEMax(k, 3, cls.T, "ODR", true)
+		if !ok || ev.EMax <= 0 {
+			b.Fatalf("no analytic answer for k=%d", k)
+		}
+	}
+}
+
+func BenchmarkAnalyzeAnalyticK16(b *testing.B)  { benchAnalyticK(b, 16) }
+func BenchmarkAnalyzeAnalyticK64(b *testing.B)  { benchAnalyticK(b, 64) }
+func BenchmarkAnalyzeAnalyticK256(b *testing.B) { benchAnalyticK(b, 256) }
+
 func BenchmarkSweepBisection(b *testing.B) {
 	t := NewTorus(8, 3)
 	p, err := (Linear{C: 0}).Build(t)
@@ -248,3 +295,4 @@ func BenchmarkE28Annealing(b *testing.B)   { benchExperiment(b, "E28") }
 func BenchmarkE29Adaptive(b *testing.B)    { benchExperiment(b, "E29") }
 func BenchmarkE30OpenLoop(b *testing.B)    { benchExperiment(b, "E30") }
 func BenchmarkE31FastPath(b *testing.B)    { benchExperiment(b, "E31") }
+func BenchmarkE32Analytic(b *testing.B)    { benchExperiment(b, "E32") }

@@ -1,6 +1,6 @@
 // Command torusd serves the torusnet analyses over HTTP: exact E_max loads
 // (POST /v1/analyze), the paper's lower bounds (POST /v1/bounds), bisection
-// constructions (POST /v1/bisect), and the E1–E31 experiment registry
+// constructions (POST /v1/bisect), and the E1–E32 experiment registry
 // (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz, expvar
 // metrics at /debug/vars, and Prometheus text metrics at /metrics.
 // Identical requests are cached (LRU + TTL) and concurrent identical
@@ -17,6 +17,7 @@
 //	torusd -addr 127.0.0.1:8080 -workers 8 -queue 32 -cache 1024 -ttl 10m
 //	torusd -addr :8080 -debug-addr 127.0.0.1:6060   # pprof + failpoints + /debug/traces sidecar
 //	torusd -addr :8080 -no-fastpath                 # force the generic load engine
+//	torusd -addr :8080 -no-analytic                 # disable the closed-form fast lane
 //	torusd -addr :8080 -slow-threshold 250ms        # warn-log slow requests
 //	torusd -selfbench results/BENCH_service.json    # micro-benchmark, then exit
 //	torusd -failpoints 'service.cache.get=error'    # boot with chaos faults armed
@@ -75,6 +76,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
 		maxNodes   = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
 		noFastPath = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
+		noAnalytic = flag.Bool("no-analytic", false, "disable the closed-form analytic fast lane for /v1/analyze")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/failpoints on this separate address (empty = disabled)")
 		selfbench  = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
 		selfbenchN = flag.Int("selfbench-n", 200, "requests per selfbench series")
@@ -108,6 +110,7 @@ func main() {
 		RequestTimeout:   *timeout,
 		MaxNodes:         *maxNodes,
 		DisableFastPath:  *noFastPath,
+		EnableAnalytic:   !*noAnalytic,
 		DegradeWatermark: *degradeAt,
 		DegradedRounds:   *degradedN,
 		WedgeTimeout:     *wedge,

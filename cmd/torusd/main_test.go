@@ -45,6 +45,36 @@ func TestRunSelfBench(t *testing.T) {
 	if rep.Cached.CacheHitShare != 1 {
 		t.Errorf("cached series hit share = %v, want 1 (primed)", rep.Cached.CacheHitShare)
 	}
+	if rep.Analytic != nil {
+		t.Errorf("analytic series reported with the lane disabled: %+v", rep.Analytic)
+	}
+}
+
+// TestRunSelfBenchAnalytic checks the lane-enabled config (the torusd
+// default) still primes the cached series to a 100% hit share and adds
+// the analytic series, which never touches the cache.
+func TestRunSelfBenchAnalytic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	if err := runSelfBench(service.Config{Workers: 2, EnableAnalytic: true}, out, 3); err != nil {
+		t.Fatalf("runSelfBench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Cached.CacheHitShare != 1 {
+		t.Errorf("cached series hit share = %v, want 1 (lane must not intercept it)", rep.Cached.CacheHitShare)
+	}
+	if rep.Analytic == nil {
+		t.Fatal("analytic series missing with the lane enabled")
+	}
+	if rep.Analytic.Requests != 3 || rep.Analytic.CacheHitShare != 0 {
+		t.Errorf("analytic series: %+v, want 3 uncached-lane requests", rep.Analytic)
+	}
 }
 
 // TestRunSelfBenchBadPath checks write failures surface as errors.

@@ -23,7 +23,8 @@ type benchSeries struct {
 }
 
 // benchReport is the BENCH_service.json schema: the serving-layer
-// micro-benchmark for /v1/analyze on T²₈, cached vs uncached.
+// micro-benchmark for /v1/analyze on T²₈ — cached vs uncached compute
+// answers, plus the closed-form analytic lane when it is enabled.
 type benchReport struct {
 	Benchmark string      `json:"benchmark"`
 	Torus     string      `json:"torus"`
@@ -31,6 +32,10 @@ type benchReport struct {
 	Routing   string      `json:"routing"`
 	Uncached  benchSeries `json:"uncached"`
 	Cached    benchSeries `json:"cached"`
+	// Analytic measures linear:0 answered by the closed-form lane; nil
+	// when the server config leaves the lane disabled. Analytic answers
+	// never touch the result cache, so its hit share is always 0.
+	Analytic *benchSeries `json:"analytic,omitempty"`
 }
 
 // runSelfBench boots an in-process torusd on an ephemeral port, drives one
@@ -77,8 +82,12 @@ func runSelfBench(cfg service.Config, outPath string, n int) error {
 	}
 
 	// Cached: one fixed request repeated; after the priming miss every
-	// request is a cache hit.
-	fixed := service.AnalyzeRequest{K: 8, D: 2, Placement: "linear:0", Routing: "odr"}
+	// request is a cache hit. The placement is a random one (seed 0,
+	// disjoint from the uncached seeds) rather than linear:0 so the
+	// series still exercises the cache when the analytic lane is on —
+	// the lane would otherwise intercept a linear placement before the
+	// cache lookup.
+	fixed := service.AnalyzeRequest{K: 8, D: 2, Placement: "random:8:0", Routing: "odr"}
 	if _, err := client.Analyze(ctx, fixed); err != nil {
 		return err
 	}
@@ -90,10 +99,21 @@ func runSelfBench(cfg service.Config, outPath string, n int) error {
 	report := benchReport{
 		Benchmark: "torusd /v1/analyze",
 		Torus:     "T^2_8",
-		Placement: "linear:0 (cached) / random:8:<seed> (uncached)",
+		Placement: "random:8:0 (cached) / random:8:<seed> (uncached)",
 		Routing:   "odr",
 		Uncached:  uncached,
 		Cached:    cached,
+	}
+
+	// Analytic: the closed-form lane answers linear:0 without touching
+	// the pool or the cache; measured only when the lane is enabled.
+	if cfg.EnableAnalytic {
+		linear := service.AnalyzeRequest{K: 8, D: 2, Placement: "linear:0", Routing: "odr"}
+		analytic, err := measure(ctx, client, n, func(int) service.AnalyzeRequest { return linear })
+		if err != nil {
+			return err
+		}
+		report.Analytic = &analytic
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -105,6 +125,10 @@ func runSelfBench(cfg service.Config, outPath string, n int) error {
 	fmt.Fprintf(os.Stderr, "torusd: selfbench wrote %s (uncached %.0f req/s p99 %.2fms, cached %.0f req/s p99 %.2fms)\n",
 		outPath, report.Uncached.RequestsPerS, report.Uncached.P99MS,
 		report.Cached.RequestsPerS, report.Cached.P99MS)
+	if report.Analytic != nil {
+		fmt.Fprintf(os.Stderr, "torusd: selfbench analytic lane %.0f req/s p99 %.2fms\n",
+			report.Analytic.RequestsPerS, report.Analytic.P99MS)
+	}
 	return nil
 }
 

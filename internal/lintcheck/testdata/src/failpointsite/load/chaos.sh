@@ -1,0 +1,4 @@
+#!/bin/sh
+# Chaos smoke for the load fixture: the soft analytic-dispatch site falls
+# back to the computed path when armed, so arming it must be a known site.
+TORUSNET_FAILPOINTS='load.analytic.dispatch=error' ./run.sh

@@ -1,0 +1,14 @@
+// Package load mirrors the real internal/load failpoint layout: the soft
+// analytic-dispatch site is declared here (first segment == declaring
+// package), and the chaos script arms it by literal name so the registry
+// scan ties declaration and reference together.
+package load
+
+import "fixture/failpoint"
+
+var fpAnalyticDispatch = failpoint.New("load.analytic.dispatch")
+
+// Touch keeps the site variable referenced.
+func Touch() {
+	_ = fpAnalyticDispatch
+}

@@ -21,8 +21,9 @@ func PromCounter(buf []byte, name, help string, v int) []byte {
 }
 
 const (
-	gHits   = "fy_hits"
-	gMisses = "fy_misses"
+	gHits     = "fy_hits"
+	gMisses   = "fy_misses"
+	gAnalytic = "fy_analytic_hits"
 )
 
 var promSchema = []struct {
@@ -30,6 +31,7 @@ var promSchema = []struct {
 }{
 	{gHits, "fy_hits_total", "cache hits"},
 	{gMisses, "fy_misses_total", "cache misses"},
+	{gAnalytic, "fy_analytic_hits_total", "closed-form fast lane answers"},
 }
 
 func emit(buf []byte) []byte {

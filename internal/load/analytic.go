@@ -1,6 +1,9 @@
 package load
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // ODRLinearInteriorMax returns the closed-form expression of §6.1 for the
 // maximum load of a linear placement of size k^{d-1} under restricted ODR:
@@ -10,16 +13,22 @@ import "math"
 //
 // The paper presents this as E_max, but its busiest-edge census multiplies
 // the ring-pair count by k^{s−2}·k^{d−s−1} residue solutions, which
-// presumes an *interior* correction dimension 2 ≤ s ≤ d−1. Measurement
-// (experiment E6) confirms the expression exactly — for edges of interior
-// dimensions. The global maximum is attained on the first/last dimension
-// instead, where ODR funnels (see ODRLinearMax); both are Θ(k^{d-1}), so
-// Theorem 2's linearity claim is unaffected.
-func ODRLinearInteriorMax(k, d int) float64 {
-	if k%2 == 0 {
-		return math.Pow(float64(k), float64(d-1))/8 + math.Pow(float64(k), float64(d-2))/4
+// presumes an *interior* correction dimension 2 ≤ s ≤ d−1 — so the
+// expression only exists for d ≥ 3, and the function errors below that
+// rather than silently evaluating the odd-k k^{d−3} term at a fractional
+// power (d = 2 used to yield k/8 − 1/(8k), which is no census of anything).
+// Measurement (experiment E6) confirms the expression exactly — for edges
+// of interior dimensions. The global maximum is attained on the first/last
+// dimension instead, where ODR funnels (see ODRLinearMax); both are
+// Θ(k^{d-1}), so Theorem 2's linearity claim is unaffected.
+func ODRLinearInteriorMax(k, d int) (float64, error) {
+	if d < 3 {
+		return 0, fmt.Errorf("load: ODRLinearInteriorMax needs an interior dimension (d >= 3), got d=%d", d)
 	}
-	return math.Pow(float64(k), float64(d-1))/8 - math.Pow(float64(k), float64(d-3))/8
+	if k%2 == 0 {
+		return math.Pow(float64(k), float64(d-1))/8 + math.Pow(float64(k), float64(d-2))/4, nil
+	}
+	return math.Pow(float64(k), float64(d-1))/8 - math.Pow(float64(k), float64(d-3))/8, nil
 }
 
 // ODRLinearMax returns the measured-and-derived global maximum load of a

@@ -1,0 +1,283 @@
+package load
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"torusnet/internal/failpoint"
+	"torusnet/internal/placement"
+	"torusnet/internal/routing"
+	"torusnet/internal/torus"
+)
+
+func TestAnalyticModeString(t *testing.T) {
+	cases := map[AnalyticMode]string{
+		AnalyticOff:     "off",
+		AnalyticAuto:    "auto",
+		AnalyticForce:   "force",
+		AnalyticMode(9): "AnalyticMode(9)",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("AnalyticMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+// TestAnalyticEMaxCellMap pins the theorem map cell by cell: which
+// (algorithm, t, k parity) combinations answer, with which theorem, and
+// whether exactOnly filters them.
+func TestAnalyticEMaxCellMap(t *testing.T) {
+	cases := []struct {
+		name              string
+		k, d, t           int
+		alg               string
+		exactOnly, wantOK bool
+		wantExact         bool
+		wantTheorem       string
+		wantEMax          float64
+	}{
+		{"odr-t1-even", 8, 3, 1, "ODR", true, true, true, "theorem2", ODRLinearMax(8, 3)},
+		{"odr-t1-odd", 5, 2, 1, "ODR", true, true, true, "theorem2", ODRLinearMax(5, 2)},
+		{"odr-t2-exactonly", 8, 3, 2, "ODR", true, false, false, "", 0},
+		{"odr-t2-force", 8, 3, 2, "ODR", false, true, false, "theorem3", MultiODRUpperBound(8, 3, 2)},
+		{"odrmulti-t1-odd", 7, 2, 1, "ODR-multi", true, true, true, "theorem2", ODRLinearMax(7, 2)},
+		{"odrmulti-t1-even-exactonly", 8, 2, 1, "ODR-multi", true, false, false, "", 0},
+		{"odrmulti-t1-even-force", 8, 2, 1, "ODR-multi", false, true, false, "theorem3", MultiODRUpperBound(8, 2, 1)},
+		{"odrmulti-t3-force", 6, 2, 3, "ODR-multi", false, true, false, "theorem3", MultiODRUpperBound(6, 2, 3)},
+		{"udr-t1-exactonly", 6, 2, 1, "UDR", true, false, false, "", 0},
+		{"udr-t1-force", 6, 2, 1, "UDR", false, true, false, "theorem4", UDRUpperBound(6, 2)},
+		{"udr-t2-force", 6, 2, 2, "UDR", false, true, false, "theorem5", MultiUDRUpperBound(6, 2, 2)},
+		{"udrmulti-t1-force", 5, 3, 1, "UDR-multi", false, true, false, "theorem4", UDRUpperBound(5, 3)},
+		{"udrmulti-t4-force", 5, 3, 4, "UDR-multi", false, true, false, "theorem5", MultiUDRUpperBound(5, 3, 4)},
+		{"unknown-alg", 5, 2, 1, "FAR", false, false, false, "", 0},
+		{"d-too-small", 5, 1, 1, "ODR", false, false, false, "", 0},
+		{"t-too-small", 5, 2, 0, "ODR", false, false, false, "", 0},
+		{"k-too-small", 1, 2, 1, "ODR", false, false, false, "", 0},
+	}
+	for _, c := range cases {
+		ev, ok := AnalyticEMax(c.k, c.d, c.t, c.alg, c.exactOnly)
+		if ok != c.wantOK {
+			t.Errorf("%s: ok = %v, want %v", c.name, ok, c.wantOK)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if ev.Exact != c.wantExact || ev.Theorem != c.wantTheorem || ev.EMax != c.wantEMax {
+			t.Errorf("%s: got %+v, want exact=%v theorem=%q emax=%g",
+				c.name, ev, c.wantExact, c.wantTheorem, c.wantEMax)
+		}
+	}
+}
+
+// TestAnalyticExactMatchesComputed is the acceptance property: on every
+// Theorem 2 equality cell — single linear placements under ODR for all k,
+// and under ODR-multi for odd k — the analytic answer equals the computed
+// E_max with zero divergence, across parities, d ∈ {2,3}, and translates.
+func TestAnalyticExactMatchesComputed(t *testing.T) {
+	for _, dims := range []struct{ k, d int }{{4, 2}, {5, 2}, {6, 2}, {7, 2}, {4, 3}, {5, 3}, {6, 3}} {
+		tr := torus.New(dims.k, dims.d)
+		for _, c := range []int{0, dims.k - 1} {
+			p := mustBuild(t, placement.Linear{C: c}, tr)
+			algs := []routing.Algorithm{routing.ODR{}}
+			if dims.k%2 == 1 {
+				algs = append(algs, routing.ODRMulti{})
+			}
+			for _, alg := range algs {
+				an := Compute(p, alg, Options{Analytic: AnalyticAuto})
+				if an.Engine != EngineAnalytic || !an.Exact || an.Theorem != "theorem2" {
+					t.Fatalf("T^%d_%d c=%d %s: engine=%q exact=%v theorem=%q",
+						dims.d, dims.k, c, alg.Name(), an.Engine, an.Exact, an.Theorem)
+				}
+				gen := Compute(p, alg, Options{FastPath: FastPathOff})
+				if an.Max != gen.Max {
+					t.Errorf("T^%d_%d c=%d %s: analytic %g, computed %g (diff %g)",
+						dims.d, dims.k, c, alg.Name(), an.Max, gen.Max, an.Max-gen.Max)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyticAutoSkipsBoundCells checks AnalyticAuto never serves a
+// Theorem 3–5 bound as an answer: those shapes run the computed engines.
+func TestAnalyticAutoSkipsBoundCells(t *testing.T) {
+	tr := torus.New(6, 2)
+	cases := []struct {
+		spec placement.Spec
+		alg  routing.Algorithm
+	}{
+		{placement.Linear{C: 0}, routing.ODRMulti{}}, // even k: paths split
+		{placement.Linear{C: 0}, routing.UDR{}},
+		{placement.Linear{C: 0}, routing.UDRMulti{}},
+		{placement.MultipleLinear{T: 2}, routing.ODR{}},
+	}
+	for _, c := range cases {
+		p := mustBuild(t, c.spec, tr)
+		res := Compute(p, c.alg, Options{Analytic: AnalyticAuto})
+		if res.Engine == EngineAnalytic {
+			t.Errorf("%s/%s: bound cell answered analytically under AnalyticAuto", c.spec.Name(), c.alg.Name())
+		}
+		if !res.Exact {
+			t.Errorf("%s/%s: computed engines are always exact", c.spec.Name(), c.alg.Name())
+		}
+	}
+}
+
+// TestAnalyticForceBounds checks AnalyticForce serves the Theorem 3–5
+// upper bounds with Exact == false, and that each bound dominates the
+// computed E_max.
+func TestAnalyticForceBounds(t *testing.T) {
+	tr := torus.New(6, 2)
+	cases := []struct {
+		spec    placement.Spec
+		alg     routing.Algorithm
+		theorem string
+	}{
+		{placement.MultipleLinear{T: 2}, routing.ODR{}, "theorem3"},
+		{placement.Linear{C: 0}, routing.ODRMulti{}, "theorem3"}, // even k
+		{placement.Linear{C: 0}, routing.UDR{}, "theorem4"},
+		{placement.MultipleLinear{T: 3}, routing.UDRMulti{}, "theorem5"},
+	}
+	for _, c := range cases {
+		p := mustBuild(t, c.spec, tr)
+		res := Compute(p, c.alg, Options{Analytic: AnalyticForce})
+		if res.Engine != EngineAnalytic || res.Exact || res.Theorem != c.theorem {
+			t.Fatalf("%s/%s: engine=%q exact=%v theorem=%q, want forced %s bound",
+				c.spec.Name(), c.alg.Name(), res.Engine, res.Exact, res.Theorem, c.theorem)
+		}
+		gen := Compute(p, c.alg, Options{FastPath: FastPathOff})
+		if gen.Max > res.Max+1e-9 {
+			t.Errorf("%s/%s: %s bound %g below computed E_max %g",
+				c.spec.Name(), c.alg.Name(), c.theorem, res.Max, gen.Max)
+		}
+	}
+}
+
+// TestAnalyticOffByDefault checks the tier is opt-in: the Options zero
+// value never answers analytically, even on a perfect Theorem 2 cell.
+func TestAnalyticOffByDefault(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := mustBuild(t, placement.Linear{C: 0}, tr)
+	if res := Compute(p, routing.ODR{}, Options{}); res.Engine == EngineAnalytic {
+		t.Errorf("zero-value Options answered analytically (engine %q)", res.Engine)
+	}
+}
+
+// TestAnalyticUnrecognizedFallsThrough checks unstructured placements
+// (and non-consecutive unions) go down the computed path.
+func TestAnalyticUnrecognizedFallsThrough(t *testing.T) {
+	tr := torus.New(5, 2)
+	random := mustBuild(t, placement.Random{Count: 7, Seed: 3}, tr)
+	if res := Compute(random, routing.ODR{}, Options{Analytic: AnalyticForce}); res.Engine == EngineAnalytic {
+		t.Error("random placement answered analytically")
+	}
+}
+
+// TestAnalyticCrossCheck runs the analytic tier with CrossCheck on: the
+// computed engine is re-run and must agree, or the process panics.
+func TestAnalyticCrossCheck(t *testing.T) {
+	tr := torus.New(5, 3)
+	p := mustBuild(t, placement.Linear{C: 2}, tr)
+	res := Compute(p, routing.ODR{}, Options{Analytic: AnalyticAuto, CrossCheck: true})
+	if res.Engine != EngineAnalytic {
+		t.Fatalf("engine %q, want analytic", res.Engine)
+	}
+	// A forced bound cell cross-checks the bound direction only.
+	p2 := mustBuild(t, placement.MultipleLinear{T: 2}, tr)
+	res2 := Compute(p2, routing.ODR{}, Options{Analytic: AnalyticForce, CrossCheck: true})
+	if res2.Engine != EngineAnalytic || res2.Exact {
+		t.Fatalf("engine %q exact=%v, want non-exact analytic", res2.Engine, res2.Exact)
+	}
+}
+
+func TestCrossCheckAnalyticPanics(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := mustBuild(t, placement.Linear{C: 0}, tr)
+	mk := func(max float64, exact bool) *Result {
+		return &Result{Torus: tr, Placement: p, Algorithm: "ODR", Max: max, Exact: exact}
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected a panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("exact divergence", func() { crossCheckAnalytic(mk(5, true), mk(4, true)) })
+	mustPanic("bound violation", func() { crossCheckAnalytic(mk(5, false), mk(6, true)) })
+	crossCheckAnalytic(mk(5, false), mk(4, true)) // slack bound: fine
+	crossCheckAnalytic(mk(5, true), mk(5, true))  // equal: fine
+}
+
+// TestAnalyticResultShape checks the documented shape of analytic
+// Results: no per-edge vector, Mean 0, and a String that renders the
+// bound/equality relation.
+func TestAnalyticResultShape(t *testing.T) {
+	tr := torus.New(5, 2)
+	p := mustBuild(t, placement.Linear{C: 0}, tr)
+	exact := Compute(p, routing.ODR{}, Options{Analytic: AnalyticAuto})
+	if exact.Loads != nil || exact.Mean() != 0 || exact.NonzeroEdges() != 0 {
+		t.Errorf("analytic result carries per-edge state: loads=%v mean=%g", exact.Loads, exact.Mean())
+	}
+	if s := exact.String(); !strings.Contains(s, "E_max = ") || !strings.Contains(s, "(analytic)") {
+		t.Errorf("exact String() = %q", s)
+	}
+	bound := Compute(mustBuild(t, placement.MultipleLinear{T: 2}, tr), routing.ODR{},
+		Options{Analytic: AnalyticForce})
+	if s := bound.String(); !strings.Contains(s, "E_max ≤ ") || !strings.Contains(s, "(analytic)") {
+		t.Errorf("bound String() = %q", s)
+	}
+}
+
+// TestAnalyticDispatchFailpoint checks the soft failpoint: an armed
+// fault suppresses the analytic answer and the computed path serves the
+// request instead of an error.
+func TestAnalyticDispatchFailpoint(t *testing.T) {
+	if err := failpoint.Enable("load.analytic.dispatch", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("load.analytic.dispatch")
+	tr := torus.New(5, 2)
+	p := mustBuild(t, placement.Linear{C: 0}, tr)
+	res := Compute(p, routing.ODR{}, Options{Analytic: AnalyticAuto})
+	if res.Engine == EngineAnalytic {
+		t.Fatalf("armed dispatch failpoint still answered analytically")
+	}
+	if !res.Exact || res.Max != ODRLinearMax(5, 2) {
+		t.Errorf("fallback result: exact=%v max=%g", res.Exact, res.Max)
+	}
+}
+
+// TestAnalyticAnswerServiceEntry drives the service lane's entry point.
+func TestAnalyticAnswerServiceEntry(t *testing.T) {
+	ev, ok := AnalyticAnswer(5, 2, 1, "ODR", true)
+	if !ok || !ev.Exact || ev.EMax != ODRLinearMax(5, 2) {
+		t.Fatalf("AnalyticAnswer = %+v, %v", ev, ok)
+	}
+	if _, ok := AnalyticAnswer(6, 2, 1, "ODR-multi", true); ok {
+		t.Error("even-k ODR-multi is not an exact cell")
+	}
+}
+
+// TestODRLinearInteriorMaxSmallD is the regression test for the odd-k
+// underflow: d < 3 has no interior dimension, and the old code silently
+// evaluated fractional powers of k instead of erroring.
+func TestODRLinearInteriorMaxSmallD(t *testing.T) {
+	for _, d := range []int{0, 1, 2} {
+		if v, err := ODRLinearInteriorMax(7, d); err == nil {
+			t.Errorf("d=%d: got %g, want an error", d, v)
+		}
+	}
+	if v, err := ODRLinearInteriorMax(7, 3); err != nil || v != 6 {
+		t.Errorf("d=3: got %g, %v; want (49-1)/8 = 6", v, err)
+	}
+	// The d=2 failure mode was a fractional power: k/8 − 1/(8k), never an
+	// integer edge count. Guard against it ever coming back.
+	if v, err := ODRLinearInteriorMax(8, 2); err == nil && v != math.Trunc(v) {
+		t.Errorf("d=2 returned the fractional artifact %g instead of an error", v)
+	}
+}

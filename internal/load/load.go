@@ -42,6 +42,14 @@ type Result struct {
 	// ordered processor pairs (each message occupies exactly Lee(p,q) edges
 	// in expectation).
 	Total float64
+	// Exact reports whether Max is E_max itself rather than an upper bound
+	// on it. Every computed engine is exact; the analytic engine sets it
+	// false when it answers from the Theorem 3–5 bounds, so bound-only
+	// answers are never cross-checked (or cached) as equalities.
+	Exact bool
+	// Theorem names the closed form an analytic result came from
+	// ("theorem2" … "theorem5"); empty for computed engines.
+	Theorem string
 }
 
 // Engine names recorded in Result.Engine.
@@ -52,6 +60,11 @@ const (
 	// (degraded service answers); MonteCarloResult has no Engine field, so
 	// the name exists for consumers that mix exact and sampled loads.
 	EngineMonteCarlo = "montecarlo"
+	// EngineAnalytic labels O(1) closed-form answers from the Theorem 2–5
+	// expressions. Analytic results carry no per-edge Loads vector (only
+	// Max, plus Exact/Theorem); consumers that need edge detail must use a
+	// computed engine.
+	EngineAnalytic = "analytic"
 )
 
 // FastPathMode selects how Compute uses the translation-symmetry engine.
@@ -96,7 +109,12 @@ type Options struct {
 	// CrossCheck recomputes every fast-path result with the generic engine
 	// and panics on divergence beyond floating-point tolerance. Debugging
 	// and experiment aid; no-op when the generic engine was used anyway.
+	// For analytic results it gates Max instead: equality for exact cells,
+	// the bound direction for Theorem 3–5 cells.
 	CrossCheck bool
+	// Analytic selects the closed-form O(1) tier, tried ahead of the fast
+	// path. Off by default: see AnalyticMode.
+	Analytic AnalyticMode
 }
 
 // effectiveWorkers resolves a requested worker count against the number of
@@ -134,6 +152,13 @@ func ComputeCtx(ctx context.Context, p *placement.Placement, alg routing.Algorit
 	sp.SetAttr("algorithm", alg.Name())
 	sp.SetAttrInt("workers", int64(workers))
 	sp.SetAttrInt("processors", int64(p.Size()))
+	if res, ok := computeAnalytic(ctx, p, alg, opts.Analytic); ok {
+		sp.SetAttr("engine", EngineAnalytic)
+		if opts.CrossCheck {
+			crossCheckAnalytic(res, computeGeneric(ctx, p, alg, workers))
+		}
+		return res
+	}
 	if opts.FastPath != FastPathOff {
 		if res, ok := computeSymmetry(ctx, p, alg, workers, opts.FastPath == FastPathForce); ok {
 			sp.SetAttr("engine", EngineSymmetry)
@@ -236,7 +261,7 @@ func NewResultFromLoads(t *torus.Torus, p *placement.Placement, algName string, 
 }
 
 func newResult(t *torus.Torus, p *placement.Placement, algName string, loads []float64) *Result {
-	res := &Result{Torus: t, Placement: p, Algorithm: algName, Loads: loads}
+	res := &Result{Torus: t, Placement: p, Algorithm: algName, Loads: loads, Exact: true}
 	for e, v := range loads {
 		res.Total += v
 		if v > res.Max {
@@ -247,8 +272,12 @@ func newResult(t *torus.Torus, p *placement.Placement, algName string, loads []f
 	return res
 }
 
-// Mean returns the average load over all directed edges.
+// Mean returns the average load over all directed edges; 0 for analytic
+// results, which carry no per-edge vector.
 func (r *Result) Mean() float64 {
+	if len(r.Loads) == 0 {
+		return 0
+	}
 	return r.Total / float64(len(r.Loads))
 }
 
@@ -290,8 +319,17 @@ func (r *Result) PerDimensionMax() []float64 {
 	return out
 }
 
-// String summarizes the result.
+// String summarizes the result. Analytic results have no busiest edge to
+// report and print the bound relation instead.
 func (r *Result) String() string {
+	if len(r.Loads) == 0 {
+		rel := "≤"
+		if r.Exact {
+			rel = "="
+		}
+		return fmt.Sprintf("%s with %s: E_max %s %.4f (%s)",
+			r.Placement, r.Algorithm, rel, r.Max, r.Engine)
+	}
 	return fmt.Sprintf("%s with %s: E_max=%.4f at %s, mean=%.4f",
 		r.Placement, r.Algorithm, r.Max, r.Torus.EdgeString(r.MaxEdge), r.Mean())
 }

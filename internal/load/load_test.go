@@ -139,7 +139,10 @@ func TestPaperFormulaHoldsOnInteriorDimensions(t *testing.T) {
 		for j := 1; j <= c.d-2; j++ {
 			interior = math.Max(interior, perDim[j])
 		}
-		want := ODRLinearInteriorMax(c.k, c.d)
+		want, err := ODRLinearInteriorMax(c.k, c.d)
+		if err != nil {
+			t.Fatalf("T^%d_%d: %v", c.d, c.k, err)
+		}
 		if math.Abs(interior-want) > 1e-6 {
 			t.Errorf("T^%d_%d: interior-dim max=%v, §6.1 formula=%v (per-dim %v)",
 				c.d, c.k, interior, want, perDim)
@@ -327,11 +330,11 @@ func TestTranslationInvarianceOfLoads(t *testing.T) {
 }
 
 func TestAnalyticHelpers(t *testing.T) {
-	if got := ODRLinearInteriorMax(8, 3); got != 8+2 {
-		t.Errorf("ODRLinearInteriorMax(8,3) = %v, want 10", got)
+	if got, err := ODRLinearInteriorMax(8, 3); err != nil || got != 8+2 {
+		t.Errorf("ODRLinearInteriorMax(8,3) = %v, %v, want 10", got, err)
 	}
-	if got := ODRLinearInteriorMax(5, 3); got != 3 {
-		t.Errorf("ODRLinearInteriorMax(5,3) = %v, want 3", got)
+	if got, err := ODRLinearInteriorMax(5, 3); err != nil || got != 3 {
+		t.Errorf("ODRLinearInteriorMax(5,3) = %v, %v, want 3", got, err)
 	}
 	if got := ODRLinearMax(8, 3); got != 32 {
 		t.Errorf("ODRLinearMax(8,3) = %v, want 32", got)
@@ -530,8 +533,8 @@ func TestLargeScaleFormulasHold(t *testing.T) {
 		t.Errorf("E_max %v, funneling form %v", par.Max, want)
 	}
 	perDim := par.PerDimensionMax()
-	if want := ODRLinearInteriorMax(16, 3); perDim[1] != want {
-		t.Errorf("interior max %v, §6.1 form %v", perDim[1], want)
+	if want, err := ODRLinearInteriorMax(16, 3); err != nil || perDim[1] != want {
+		t.Errorf("interior max %v, §6.1 form %v (%v)", perDim[1], want, err)
 	}
 	ser := Compute(p, routing.ODR{}, Options{Workers: 1})
 	for e := range par.Loads {

@@ -23,6 +23,9 @@ type Placement struct {
 
 	stabOnce sync.Once // guards the lazily computed translation stabilizer
 	stab     [][]int
+
+	linOnce sync.Once // guards the lazily computed linear classification
+	lin     LinearClass
 }
 
 // New builds a placement from an arbitrary node set. Duplicate nodes are

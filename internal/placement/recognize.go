@@ -1,0 +1,102 @@
+package placement
+
+import "torusnet/internal/torus"
+
+// LinearClass is the cached classification of a placement against the
+// paper's linear families: a Definition 10 linear placement with unit
+// coefficients (all nodes with Σ p_i ≡ c mod k), a translate of one (same
+// shape, different residue c), or a union of t disjoint such classes — the
+// §5 multiple linear placement when the residues are consecutive. The
+// analytic load engine keys the Theorem 2–5 closed forms on this shape.
+type LinearClass struct {
+	// Recognized reports that every residue class the placement touches is
+	// fully populated: the placement is exactly a union of T linear
+	// placements. False for partial classes, unstructured sets, and the
+	// empty placement; coefficient vectors other than all-ones are not
+	// detected and deliberately fall through to the computed engines.
+	Recognized bool
+	// T is the number of (fully populated) residue classes, so the
+	// placement size is T·k^{d−1}. T == 1 is a single linear placement.
+	T int
+	// Residues lists the populated residues sorted ascending. Callers must
+	// not mutate the slice: it is shared by every caller of LinearClass.
+	Residues []int
+	// Consecutive reports that the residues form one cyclic run
+	// c, c+1, …, c+T−1 (mod k) — the exact shape quantified over by the
+	// multiple-linear Theorems 3 and 5. Always true for T == 1 and T == k.
+	Consecutive bool
+	// Start is the first residue of the run when Consecutive (the run
+	// element whose cyclic predecessor is absent); 0 otherwise.
+	Start int
+}
+
+// LinearClass classifies the placement in O(|P|·d) index arithmetic. The
+// classification is a property of the immutable placement, so — like
+// TranslationStabilizer — it is computed once and cached.
+func (p *Placement) LinearClass() LinearClass {
+	p.linOnce.Do(func() { p.lin = p.computeLinearClass() })
+	return p.lin
+}
+
+// computeLinearClass buckets every processor by its coordinate-sum residue
+// and accepts the placement iff each touched residue class is complete
+// (k^{d−1} nodes). One pass over the flattened coordinates suffices: a
+// union of full classes can neither overshoot a bucket nor leave one
+// partially filled.
+func (p *Placement) computeLinearClass() LinearClass {
+	d, k := p.t.D(), p.t.K()
+	if len(p.nodes) == 0 {
+		return LinearClass{}
+	}
+	full := p.t.Nodes() / k // k^{d-1} nodes per residue class
+	if len(p.nodes)%full != 0 {
+		return LinearClass{}
+	}
+	counts := make([]int, k)
+	coords := make([]int, d)
+	for _, u := range p.nodes {
+		p.t.CoordsInto(u, coords)
+		s := 0
+		for _, c := range coords {
+			s += c
+		}
+		// Coordinates are canonical in [0, k), so the sum is already
+		// non-negative and one plain remainder wraps it.
+		counts[s%k]++
+	}
+	residues := make([]int, 0, len(p.nodes)/full)
+	for r, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if c != full {
+			return LinearClass{}
+		}
+		residues = append(residues, r)
+	}
+	cls := LinearClass{Recognized: true, T: len(residues), Residues: residues}
+	cls.Consecutive, cls.Start = consecutiveRun(counts, residues)
+	return cls
+}
+
+// consecutiveRun reports whether the populated residues form one cyclic run
+// and, if so, where it starts. counts doubles as the membership table.
+func consecutiveRun(counts, residues []int) (bool, int) {
+	k, t := len(counts), len(residues)
+	if t == k {
+		return true, 0
+	}
+	start, starts := 0, 0
+	for _, r := range residues {
+		if counts[torus.Mod(r-1, k)] == 0 {
+			start = r
+			starts++
+		}
+	}
+	// Exactly one run element lacks a populated predecessor iff the set is
+	// a single cyclic run.
+	if starts != 1 {
+		return false, 0
+	}
+	return true, start
+}

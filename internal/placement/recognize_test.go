@@ -1,0 +1,236 @@
+package placement
+
+import (
+	"testing"
+
+	"torusnet/internal/torus"
+)
+
+// classifyBrute is an independent oracle for LinearClass: count residues
+// with map arithmetic and check run-ness by rotating through every
+// possible start.
+func classifyBrute(p *Placement) LinearClass {
+	k, d := p.t.K(), p.t.D()
+	if p.Size() == 0 {
+		return LinearClass{}
+	}
+	counts := make(map[int]int)
+	coords := make([]int, d)
+	for _, u := range p.Nodes() {
+		p.t.CoordsInto(u, coords)
+		s := 0
+		for _, c := range coords {
+			s += c
+		}
+		counts[s%k]++
+	}
+	full := p.t.Nodes() / k
+	var residues []int
+	for r := 0; r < k; r++ {
+		switch counts[r] {
+		case 0:
+		case full:
+			residues = append(residues, r)
+		default:
+			return LinearClass{}
+		}
+	}
+	cls := LinearClass{Recognized: true, T: len(residues), Residues: residues}
+	for start := 0; start < k; start++ {
+		run := true
+		for i := 0; i < len(residues); i++ {
+			if counts[(start+i)%k] != full {
+				run = false
+				break
+			}
+		}
+		if run {
+			cls.Consecutive = true
+			if len(residues) < k {
+				cls.Start = start
+			}
+			break
+		}
+	}
+	return cls
+}
+
+func TestLinearClassSingleLinear(t *testing.T) {
+	for _, c := range []struct{ k, d, res int }{
+		{3, 2, 0}, {4, 2, 3}, {8, 2, 5}, {5, 3, 2}, {4, 4, 1}, {7, 3, 6},
+	} {
+		tr := torus.New(c.k, c.d)
+		cls := mustBuild(t, Linear{C: c.res}, tr).LinearClass()
+		if !cls.Recognized || cls.T != 1 || !cls.Consecutive || cls.Start != c.res {
+			t.Errorf("T^%d_%d linear c=%d: %+v", c.d, c.k, c.res, cls)
+		}
+		if len(cls.Residues) != 1 || cls.Residues[0] != c.res {
+			t.Errorf("T^%d_%d: residues %v, want [%d]", c.d, c.k, cls.Residues, c.res)
+		}
+	}
+}
+
+func TestLinearClassShiftedDiagonal(t *testing.T) {
+	tr := torus.New(5, 3)
+	cls := mustBuild(t, ShiftedDiagonal{Shift: 2}, tr).LinearClass()
+	if !cls.Recognized || cls.T != 1 || cls.Start != 2 {
+		t.Errorf("shifted diagonal is a linear translate: %+v", cls)
+	}
+}
+
+func TestLinearClassMultipleLinear(t *testing.T) {
+	tr := torus.New(6, 3)
+	for tt := 1; tt <= 5; tt++ {
+		cls := mustBuild(t, MultipleLinear{Start: 2, T: tt}, tr).LinearClass()
+		if !cls.Recognized || cls.T != tt || !cls.Consecutive || cls.Start != 2 {
+			t.Errorf("t=%d: %+v", tt, cls)
+		}
+	}
+}
+
+func TestLinearClassWrappedRun(t *testing.T) {
+	// Start 3, T 2 on k=4 populates residues {3, 0}: a run that wraps.
+	tr := torus.New(4, 2)
+	cls := mustBuild(t, MultipleLinear{Start: 3, T: 2}, tr).LinearClass()
+	if !cls.Recognized || cls.T != 2 || !cls.Consecutive || cls.Start != 3 {
+		t.Errorf("wrapped run: %+v", cls)
+	}
+}
+
+func TestLinearClassFullTorus(t *testing.T) {
+	tr := torus.New(4, 2)
+	cls := mustBuild(t, Full{}, tr).LinearClass()
+	if !cls.Recognized || cls.T != 4 || !cls.Consecutive || cls.Start != 0 {
+		t.Errorf("full torus: %+v", cls)
+	}
+}
+
+func TestLinearClassNonConsecutiveUnion(t *testing.T) {
+	// Residues {0, 2} on k=5: two full classes, but not one cyclic run.
+	tr := torus.New(5, 2)
+	a := mustBuild(t, Linear{C: 0}, tr)
+	b := mustBuild(t, Linear{C: 2}, tr)
+	union := New(tr, append(append([]torus.Node{}, a.Nodes()...), b.Nodes()...), "union")
+	cls := union.LinearClass()
+	if !cls.Recognized || cls.T != 2 || cls.Consecutive || cls.Start != 0 {
+		t.Errorf("non-consecutive union: %+v", cls)
+	}
+}
+
+func TestLinearClassRejectsUnstructured(t *testing.T) {
+	tr := torus.New(4, 2)
+	for name, p := range map[string]*Placement{
+		"empty":        New(tr, nil, "empty"),
+		"layercluster": mustBuild(t, LayerCluster{Dim: 0}, tr),
+		"random":       mustBuild(t, Random{Count: 5, Seed: 1}, tr),
+	} {
+		if cls := p.LinearClass(); cls.Recognized {
+			t.Errorf("%s: classified as linear: %+v", name, cls)
+		}
+	}
+}
+
+func TestLinearClassRejectsPerturbedLinear(t *testing.T) {
+	tr := torus.New(5, 3)
+	lin := mustBuild(t, Linear{C: 0}, tr)
+	nodes := lin.Nodes()
+
+	// One node short of a full class.
+	short := New(tr, append([]torus.Node{}, nodes[1:]...), "short")
+	if short.LinearClass().Recognized {
+		t.Error("placement one node short of a class was recognized")
+	}
+
+	// One node swapped into another residue class.
+	swapped := append([]torus.Node{}, nodes[1:]...)
+	other := mustBuild(t, Linear{C: 1}, tr)
+	swapped = append(swapped, other.Nodes()[0])
+	if New(tr, swapped, "swapped").LinearClass().Recognized {
+		t.Error("placement with one off-class node was recognized")
+	}
+}
+
+func TestLinearClassGeneralCoeffsFallThrough(t *testing.T) {
+	// 2x+3y ≡ 0 mod 5 is a Definition 10 linear placement, but not a
+	// unit-coefficient one: the recognizer must leave it to the computed
+	// engines rather than misclassify it.
+	tr := torus.New(5, 2)
+	p := mustBuild(t, Linear{C: 0, Coeffs: []int{2, 3}}, tr)
+	if cls := p.LinearClass(); cls.Recognized {
+		t.Errorf("general-coefficient placement recognized: %+v", cls)
+	}
+}
+
+func TestLinearClassCached(t *testing.T) {
+	tr := torus.New(6, 2)
+	p := mustBuild(t, MultipleLinear{Start: 1, T: 2}, tr)
+	a, b := p.LinearClass(), p.LinearClass()
+	if len(a.Residues) == 0 || &a.Residues[0] != &b.Residues[0] {
+		t.Error("LinearClass should return the cached classification")
+	}
+}
+
+func TestLinearClassMatchesBruteForce(t *testing.T) {
+	tr := torus.New(6, 2)
+	specs := []Spec{
+		Linear{C: 4}, MultipleLinear{Start: 5, T: 3}, Full{},
+		LayerCluster{Dim: 1}, Random{Count: 12, Seed: 9},
+	}
+	for _, s := range specs {
+		p := mustBuild(t, s, tr)
+		got, want := p.LinearClass(), classifyBrute(p)
+		if got.Recognized != want.Recognized || got.T != want.T ||
+			got.Consecutive != want.Consecutive || got.Start != want.Start {
+			t.Errorf("%s: got %+v, want %+v", s.Name(), got, want)
+		}
+	}
+}
+
+// FuzzRecognizeLinear checks the recognizer against the brute-force
+// oracle on fuzzer-chosen node subsets, and that genuinely linear
+// placements are never lost nor perturbed ones accepted.
+func FuzzRecognizeLinear(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(1), uint16(3))
+	f.Add(uint8(5), uint8(3), uint8(0), uint16(0))
+	f.Add(uint8(8), uint8(2), uint8(7), uint16(21))
+	f.Fuzz(func(t *testing.T, kRaw, dRaw, cRaw uint8, pick uint16) {
+		k := int(kRaw%7) + 2 // 2..8
+		d := int(dRaw%2) + 2 // 2..3
+		c := int(cRaw) % k
+		tr := torus.New(k, d)
+
+		lin, err := (Linear{C: c}).Build(tr)
+		if err != nil {
+			t.Fatalf("Linear{C:%d} on %s: %v", c, tr, err)
+		}
+		cls := lin.LinearClass()
+		if !cls.Recognized || cls.T != 1 || !cls.Consecutive || cls.Start != c {
+			t.Fatalf("T^%d_%d c=%d misclassified: %+v", d, k, c, cls)
+		}
+
+		// Dropping any single node breaks the only populated class.
+		nodes := lin.Nodes()
+		i := int(pick) % len(nodes)
+		dropped := make([]torus.Node, 0, len(nodes)-1)
+		dropped = append(dropped, nodes[:i]...)
+		dropped = append(dropped, nodes[i+1:]...)
+		if New(tr, dropped, "dropped").LinearClass().Recognized {
+			t.Fatalf("T^%d_%d c=%d: recognized after dropping node %d", d, k, c, i)
+		}
+
+		// An arbitrary subset must agree with the brute-force oracle.
+		subset := make([]torus.Node, 0, tr.Nodes())
+		for u := 0; u < tr.Nodes(); u++ {
+			// Deterministic pseudo-random membership from the fuzz input.
+			if (u*2654435761+int(pick))%(int(cRaw)+2)%3 == 0 {
+				subset = append(subset, torus.Node(u))
+			}
+		}
+		p := New(tr, subset, "fuzz")
+		got, want := p.LinearClass(), classifyBrute(p)
+		if got.Recognized != want.Recognized || got.T != want.T ||
+			got.Consecutive != want.Consecutive || got.Start != want.Start {
+			t.Fatalf("subset of T^%d_%d: got %+v, want %+v", d, k, got, want)
+		}
+	})
+}

@@ -252,6 +252,27 @@ func TestChaosAllSites(t *testing.T) {
 				t.Errorf("compute.merge error: status %d err %v, want 500 panicked", st, err)
 			}
 		}},
+		"load.analytic.dispatch": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// The analytic fast lane is soft: an armed fault makes the lane
+			// decline, and the request falls through to the computed
+			// pipeline — still 200, still exact, just not closed-form. The
+			// main chaos server runs with the lane off, so this scenario
+			// boots its own lane-enabled server.
+			_, ac, astop := newTestServer(t, Config{
+				Workers: 2, DegradeWatermark: -1, EnableAnalytic: true,
+			})
+			defer astop()
+			resp, err := ac.Analyze(context.Background(), AnalyzeRequest{K: 13, D: 2, Placement: "linear", Routing: "ODR"})
+			if err != nil {
+				t.Fatalf("analyze with analytic fault: %v", err)
+			}
+			if resp.Engine == "analytic" {
+				t.Error("engine = analytic despite an armed lane fault, want computed fallback")
+			}
+			if !resp.Exact || resp.TotalLoad == 0 {
+				t.Errorf("fallback answer exact=%v total=%v, want an exact computed result", resp.Exact, resp.TotalLoad)
+			}
+		}},
 		"cluster.ring.lookup": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
 			// With the ring unreadable, a cluster node cannot place any key —
 			// every request must still answer exactly, computed locally.

@@ -60,6 +60,7 @@ const (
 	mPeerFills      = "peer_fills"
 	mPeerFillErrors = "peer_fill_errors"
 	mPeerHops       = "peer_hops"
+	mAnalyticHits   = "analytic_hits"
 )
 
 func newMetrics() *metrics {
@@ -76,7 +77,7 @@ func newMetrics() *metrics {
 		mRequests, mErrors, mPanics, mQueueFull, mTimeouts,
 		mCacheHits, mCacheMisses, mCoalesced, mInFlight,
 		mWriteErrors, mLatencyMSTotal, mDegraded, mSlow,
-		mPeerFills, mPeerFillErrors, mPeerHops,
+		mPeerFills, mPeerFillErrors, mPeerHops, mAnalyticHits,
 	} {
 		m.vars.Set(name, new(expvar.Int))
 	}
@@ -137,6 +138,7 @@ var promSchema = []struct {
 	{mPeerFills, "torusd_peer_fills_total", "cache misses served by the key's home cluster peer", false},
 	{mPeerFillErrors, "torusd_peer_fill_errors_total", "peer fills lost to ring, dial, or decode failures", false},
 	{mPeerHops, "torusd_peer_hops_total", "fill requests served on behalf of cluster peers", false},
+	{mAnalyticHits, "torusd_analytic_hits_total", "analyze requests answered by the closed-form fast lane", false},
 	{mInFlight, "torusd_in_flight", "requests currently being served", true},
 }
 

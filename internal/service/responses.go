@@ -62,10 +62,20 @@ type AnalyzeResponse struct {
 	DimensionCut     CutSummary `json:"dimension_cut"`
 	// Engine reports which load engine produced E_max ("symmetry" for the
 	// translation fast path, "generic" for the pair loop, "montecarlo" for
-	// degraded answers). Engine choice never changes exact results beyond
-	// float summation order, so it is not part of the cache key.
+	// degraded answers, "analytic" for closed-form fast-lane answers).
+	// Engine choice never changes exact results beyond float summation
+	// order, so it is not part of the cache key.
 	Engine string `json:"engine"`
-	Cached bool   `json:"cached"`
+	// Exact reports whether EMax is the exact expectation rather than an
+	// upper bound (analytic Theorem 3–5 cells) or an estimate (degraded
+	// answers). Every computed-engine answer is exact.
+	Exact bool `json:"exact"`
+	// Theorem names the paper closed form behind an analytic answer
+	// ("theorem2" … "theorem5"); empty for computed engines. Analytic
+	// answers carry no per-edge fields: MaxEdge, TotalLoad, and the cut
+	// summaries are zero.
+	Theorem string `json:"theorem,omitempty"`
+	Cached  bool   `json:"cached"`
 	// Degraded marks a load-shed answer: EMax is a Monte Carlo estimate
 	// over DegradedRounds exchanges rather than the exact expectation, and
 	// ErrorBound is 3× the standard error of that estimate at the maximal
@@ -251,6 +261,8 @@ func computeAnalyze(ctx context.Context, req AnalyzeRequest, opts load.Options) 
 		SweepCut:         cutSummary(rep.SweepCut),
 		DimensionCut:     cutSummary(rep.DimensionCut),
 		Engine:           rep.Load.Engine,
+		Exact:            rep.Load.Exact,
+		Theorem:          rep.Load.Theorem,
 	}, nil
 }
 

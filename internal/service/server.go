@@ -54,6 +54,17 @@ type Config struct {
 	// results beyond float summation order, so it is not part of cache
 	// keys; the toggle exists for debugging and A/B measurement.
 	DisableFastPath bool
+	// EnableAnalytic turns on the closed-form admission fast lane for
+	// /v1/analyze: requests whose spec proves a single linear placement
+	// under ODR (or ODR-multi on odd k) are answered from the Theorem 2
+	// equality in O(1), ahead of canonicalization, admission control,
+	// caching, and the worker pool — so they are never degraded or 429'd,
+	// and they bypass MaxNodes (only the package torus limit applies,
+	// since the lane does no per-node work). Opt-in rather than default
+	// because lane answers have a different shape: no per-edge fields
+	// (MaxEdge, TotalLoad, and the cuts are zero). cmd/torusd enables the
+	// lane by default; -no-analytic disables it.
+	EnableAnalytic bool
 	// DegradeWatermark is the pool-utilization fraction
 	// ((running+queued)/(workers+queue)) past which /v1/analyze sheds load
 	// by answering with a Monte Carlo estimate ("degraded": true) instead
@@ -571,6 +582,10 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if resp, ok := s.tryAnalytic(r.Context(), req); ok {
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {

@@ -2,6 +2,7 @@
 # bench_load.sh — regenerate results/BENCH_load.json (load-engine benchmarks).
 #
 # Runs the BenchmarkLoadCompute* micro-benchmarks plus BenchmarkE31FastPath
+# and the BenchmarkAnalyzeAnalytic* closed-form tier benchmarks
 # with -benchmem -count=$BENCH_COUNT (default 3), keeps each benchmark's
 # fastest run, and writes results/BENCH_load.json recording the current
 # ("after") numbers side by side with the committed pre-fast-path baseline
@@ -16,8 +17,8 @@ OUT="results/BENCH_load.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "bench: go test -bench LoadCompute|E31FastPath -benchmem -count=${COUNT}"
-go test -run '^$' -bench '^(BenchmarkLoadCompute[A-Za-z]*|BenchmarkE31FastPath)$' \
+echo "bench: go test -bench LoadCompute|E31FastPath|AnalyzeAnalytic -benchmem -count=${COUNT}"
+go test -run '^$' -bench '^(BenchmarkLoadCompute[A-Za-z]*|BenchmarkE31FastPath|BenchmarkAnalyzeAnalytic[A-Za-z0-9]*)$' \
     -benchmem -count="$COUNT" . | tee "$RAW"
 
 # Keep each benchmark's minimum ns/op run (and that run's B/op + allocs/op).

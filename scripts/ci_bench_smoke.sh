@@ -12,7 +12,12 @@
 #      scratch reuse immediately);
 #   2. the generic/fast ns-per-op ratio, measured within this single run,
 #      must not fall below the recorded speedup by >30% (both sides see the
-#      same machine and load, so the ratio cancels hardware out).
+#      same machine and load, so the ratio cancels hardware out);
+#   3. the analytic tier: the recognize+evaluate core must stay at
+#      0 allocs/op at every k, its K256/K16 latency ratio must stay below
+#      3x (the closed forms are O(1) in torus size), and the end-to-end
+#      analytic dispatch must stay >=100x faster than the fast-path engine
+#      within this same run.
 #
 # Absolute ns/op is deliberately NOT gated. Run from the repository root;
 # CI runs it via `make bench-smoke`.
@@ -25,7 +30,7 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "bench-smoke: running paired load benchmarks"
 go test -run '^$' \
-    -bench '^BenchmarkLoadCompute(ODR|ODRMulti|UDR)(Generic)?$' \
+    -bench '^(BenchmarkLoadCompute(ODR|ODRMulti|UDR)(Generic)?|BenchmarkAnalyzeAnalytic(K16|K64|K256)?)$' \
     -benchmem -benchtime=0.5s -count=1 . | tee "$RAW"
 
 # name -> ns/op and name -> allocs/op maps from this run.
@@ -69,6 +74,46 @@ while read -r key fast generic want; do
     fi
 done < <(jq -r '.fastpath.ratios | to_entries[] |
     "\(.key) \(.value.fast) \(.value.generic) \(.value.speedup)"' "$BASELINE")
+
+echo "bench-smoke: checking the analytic tier"
+for name in BenchmarkAnalyzeAnalyticK16 BenchmarkAnalyzeAnalyticK64 BenchmarkAnalyzeAnalyticK256; do
+    allocs=$(jq -n --argjson m "$measured" --arg n "$name" '$m[$n].allocs // null')
+    if [ "$allocs" = "null" ]; then
+        echo "bench-smoke: FAIL — $name did not run" >&2
+        fail=1
+    elif [ "$allocs" != "0" ]; then
+        echo "bench-smoke: FAIL — $name allocs/op $allocs, want 0" >&2
+        fail=1
+    else
+        echo "  ok $name allocs/op 0"
+    fi
+done
+flat=$(jq -n --argjson m "$measured" '
+    if $m.BenchmarkAnalyzeAnalyticK16 and $m.BenchmarkAnalyzeAnalyticK256
+    then (($m.BenchmarkAnalyzeAnalyticK256.ns / $m.BenchmarkAnalyzeAnalyticK16.ns * 100 | round) / 100)
+    else null end')
+if [ "$flat" = "null" ]; then
+    echo "bench-smoke: FAIL — analytic K16/K256 pair missing from run" >&2
+    fail=1
+elif [ "$(jq -n --argjson f "$flat" '$f > 3')" = "true" ]; then
+    echo "bench-smoke: FAIL — analytic latency grows with k: K256/K16 = ${flat}x, limit 3x" >&2
+    fail=1
+else
+    echo "  ok analytic latency flat in k (K256/K16 = ${flat}x <= 3x)"
+fi
+adv=$(jq -n --argjson m "$measured" '
+    if $m.BenchmarkLoadComputeODR and $m.BenchmarkAnalyzeAnalytic
+    then (($m.BenchmarkLoadComputeODR.ns / $m.BenchmarkAnalyzeAnalytic.ns) | round)
+    else null end')
+if [ "$adv" = "null" ]; then
+    echo "bench-smoke: FAIL — analytic/fast-path pair missing from run" >&2
+    fail=1
+elif [ "$(jq -n --argjson a "$adv" '$a < 100')" = "true" ]; then
+    echo "bench-smoke: FAIL — analytic dispatch only ${adv}x over fast path, floor 100x" >&2
+    fail=1
+else
+    echo "  ok analytic dispatch ${adv}x over fast path (floor 100x)"
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "bench-smoke: FAIL" >&2

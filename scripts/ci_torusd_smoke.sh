@@ -4,7 +4,12 @@
 # Builds cmd/torusd, boots it on a local port with the pprof sidecar
 # enabled, polls /healthz until ready, issues one POST /v1/analyze, and
 # asserts a 200 with well-formed JSON plus a live /debug/pprof/ index on
-# the sidecar before shutting the server down. The observability surface is
+# the sidecar before shutting the server down. The analytic fast lane
+# (on by default) is asserted next: a linear-placement request must come
+# back with engine "analytic" and exact true, and a T³₂₅₆ request — 4000x
+# past the computed pipeline's node cap — must answer analytically too.
+# Computed-path legs use random placements throughout so they exercise
+# the pool and cache rather than the lane. The observability surface is
 # covered next: /metrics must be valid Prometheus text with the headline
 # families present, the traceparent response header must be well formed,
 # and /debug/traces on the sidecar must hold a full pipeline trace (>= 5
@@ -44,8 +49,8 @@ if [ -z "$ready" ]; then
     exit 1
 fi
 
-echo "smoke: POST /v1/analyze"
-body='{"k":8,"d":2,"placement":"linear","routing":"odr"}'
+echo "smoke: POST /v1/analyze (computed path)"
+body='{"k":8,"d":2,"placement":"random:8","routing":"odr"}'
 status=$(curl -sS -o /tmp/torusd_smoke_analyze.json -w '%{http_code}' \
     -H 'Content-Type: application/json' -d "$body" "${BASE}/v1/analyze")
 if [ "$status" != "200" ]; then
@@ -55,12 +60,53 @@ if [ "$status" != "200" ]; then
 fi
 
 echo "smoke: validating response JSON"
-jq -e '.e_max > 0 and .processors == 8 and .k == 8 and .d == 2 and (.engine | length) > 0' \
+jq -e '.e_max > 0 and .processors == 8 and .k == 8 and .d == 2
+    and (.engine | length) > 0 and .engine != "analytic"' \
     /tmp/torusd_smoke_analyze.json >/dev/null || {
     echo "smoke: FAIL — malformed analyze response:" >&2
     cat /tmp/torusd_smoke_analyze.json >&2
     exit 1
 }
+
+echo "smoke: POST /v1/analyze (analytic fast lane)"
+lane_body='{"k":8,"d":2,"placement":"linear","routing":"odr"}'
+status=$(curl -sS -o /tmp/torusd_smoke_lane.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$lane_body" "${BASE}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke: FAIL — analytic-lane analyze returned ${status}:" >&2
+    cat /tmp/torusd_smoke_lane.json >&2
+    exit 1
+fi
+jq -e '.engine == "analytic" and .exact == true and .theorem == "theorem2"
+    and .e_max == 4 and .processors == 8 and .placement == "linear:0"' \
+    /tmp/torusd_smoke_lane.json >/dev/null || {
+    echo "smoke: FAIL — lane response malformed (want theorem2 with e_max = 8^1/2 = 4):" >&2
+    cat /tmp/torusd_smoke_lane.json >&2
+    exit 1
+}
+
+echo "smoke: analytic lane on T^3_256 (16.7M nodes, far past the computed cap)"
+big_body='{"k":256,"d":3,"placement":"linear","routing":"odr"}'
+status=$(curl -sS -o /tmp/torusd_smoke_big.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$big_body" "${BASE}/v1/analyze")
+if [ "$status" != "200" ]; then
+    echo "smoke: FAIL — T^3_256 analytic analyze returned ${status}:" >&2
+    cat /tmp/torusd_smoke_big.json >&2
+    exit 1
+fi
+jq -e '.engine == "analytic" and .exact == true and .processors == 65536 and .e_max == 32768' \
+    /tmp/torusd_smoke_big.json >/dev/null || {
+    echo "smoke: FAIL — T^3_256 lane response malformed:" >&2
+    cat /tmp/torusd_smoke_big.json >&2
+    exit 1
+}
+# The same torus must still be rejected on the computed path (node cap).
+status=$(curl -sS -o /dev/null -w '%{http_code}' -H 'Content-Type: application/json' \
+    -d '{"k":256,"d":3,"placement":"random:8","routing":"odr"}' "${BASE}/v1/analyze")
+if [ "$status" = "200" ]; then
+    echo "smoke: FAIL — oversized computed request was admitted" >&2
+    exit 1
+fi
 
 echo "smoke: checking pprof sidecar on ${DEBUG_BASE}"
 curl -fsS "${DEBUG_BASE}/debug/pprof/" | grep -q 'goroutine' || {
@@ -73,7 +119,10 @@ if curl -fsS "${BASE}/debug/pprof/" >/dev/null 2>&1; then
 fi
 
 echo "smoke: checking /debug/vars counters"
-curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1' >/dev/null || {
+# cache_misses comes from the computed random:8 request; analytic_hits from
+# the two lane answers (T^2_8 linear and T^3_256 linear).
+curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.cache_misses >= 1 and .torusd.requests >= 1
+    and .torusd.analytic_hits >= 2' >/dev/null || {
     echo "smoke: FAIL — /debug/vars missing expected torusd counters" >&2
     exit 1
 }
@@ -88,7 +137,8 @@ if grep -vE '^(#.*)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-
     exit 1
 fi
 for fam in torusd_requests_total torusd_request_duration_seconds_bucket \
-    torusd_requests_by_endpoint_total torusd_in_flight torusd_uptime_seconds; do
+    torusd_requests_by_endpoint_total torusd_in_flight torusd_uptime_seconds \
+    torusd_analytic_hits_total; do
     grep -q "^${fam}" /tmp/torusd_smoke_metrics.txt || {
         echo "smoke: FAIL — /metrics is missing the ${fam} family" >&2
         exit 1
@@ -142,7 +192,9 @@ fi
 echo "smoke: forcing degraded mode via the admission failpoint"
 curl -fsS -X PUT -d 'error' "${DEBUG_BASE}/debug/failpoints/service.admission" >/dev/null
 # A fresh (uncached) request must come back 200 as a Monte Carlo estimate.
-deg_body='{"k":6,"d":2,"placement":"linear","routing":"odr"}'
+# Random placement: a linear one would be answered by the analytic lane
+# before admission control ever sees it.
+deg_body='{"k":6,"d":2,"placement":"random:6","routing":"odr"}'
 status=$(curl -sS -o /tmp/torusd_smoke_degraded.json -w '%{http_code}' \
     -H 'Content-Type: application/json' -d "$deg_body" "${BASE}/v1/analyze")
 if [ "$status" != "200" ]; then
@@ -190,9 +242,13 @@ PEERS="http://127.0.0.1:${CPORTS[0]},http://127.0.0.1:${CPORTS[1]},http://127.0.
 CPIDS=()
 
 echo "smoke-cluster: booting 3 nodes"
+# -no-analytic: the hot key below is a linear placement, and this leg asserts
+# the compute/peer-fill accounting (one miss cluster-wide, fills elsewhere).
+# With the lane on, every node would answer it locally in closed form and
+# none of those counters would move.
 for i in 0 1 2; do
     "$BIN" -addr "127.0.0.1:${CPORTS[$i]}" -debug-addr "127.0.0.1:${CDEBUG[$i]}" \
-        -cluster -self "http://127.0.0.1:${CPORTS[$i]}" -peers "$PEERS" &
+        -no-analytic -cluster -self "http://127.0.0.1:${CPORTS[$i]}" -peers "$PEERS" &
     CPIDS[$i]=$!
 done
 trap 'for p in "${CPIDS[@]}"; do kill "$p" 2>/dev/null || true; done; wait 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT

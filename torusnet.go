@@ -126,6 +126,15 @@ type (
 	// FastPathMode selects how the translation-symmetry fast path
 	// dispatches (LoadOptions.FastPath).
 	FastPathMode = load.FastPathMode
+	// AnalyticMode selects how the closed-form analytic tier dispatches
+	// (LoadOptions.Analytic).
+	AnalyticMode = load.AnalyticMode
+	// AnalyticEval is one closed-form Theorem 2–5 answer: the E_max value
+	// (or upper bound), exactness, and the theorem it comes from.
+	AnalyticEval = load.AnalyticEval
+	// LinearClass is the recognizer's classification of a placement
+	// against the paper's linear families (Placement.LinearClass).
+	LinearClass = placement.LinearClass
 	// ExactLoadResult holds loads as exact rationals.
 	ExactLoadResult = load.ExactResult
 	// MonteCarloResult holds empirical load estimates.
@@ -144,18 +153,37 @@ const (
 	// for a trivial stabilizer.
 	FastPathForce = load.FastPathForce
 
+	// AnalyticOff never answers from the closed forms (the default: the
+	// analytic tier is opt-in because its results carry no per-edge loads).
+	AnalyticOff = load.AnalyticOff
+	// AnalyticAuto answers from Theorem 2 on its equality cells only.
+	AnalyticAuto = load.AnalyticAuto
+	// AnalyticForce additionally serves the Theorem 3–5 upper bounds,
+	// with LoadResult.Exact == false.
+	AnalyticForce = load.AnalyticForce
+
 	// EngineGeneric marks results from the O(|P|²) pair loop.
 	EngineGeneric = load.EngineGeneric
 	// EngineSymmetry marks results from the translation fast path.
 	EngineSymmetry = load.EngineSymmetry
 	// EngineMonteCarlo marks empirical estimates (degraded torusd answers).
 	EngineMonteCarlo = load.EngineMonteCarlo
+	// EngineAnalytic marks closed-form Theorem 2–5 answers (no load vector).
+	EngineAnalytic = load.EngineAnalytic
 )
 
 // MaxEngineDivergence reports the largest absolute per-edge difference
 // between two load results, for cross-checking engines against each other.
 func MaxEngineDivergence(a, b *LoadResult) float64 {
 	return load.MaxEngineDivergence(a, b)
+}
+
+// AnalyticEMax maps a recognized placement shape (t consecutive residue
+// classes on T^d_k) and a routing algorithm name to the paper's Theorem 2–5
+// closed forms; exactOnly restricts the map to the equality cells. The
+// second return is false when no theorem applies.
+func AnalyticEMax(k, d, t int, algName string, exactOnly bool) (AnalyticEval, bool) {
+	return load.AnalyticEMax(k, d, t, algName, exactOnly)
 }
 
 // IsTranslationEquivariant reports whether a routing algorithm declares
