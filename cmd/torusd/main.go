@@ -23,14 +23,22 @@
 //	torusd -failpoints 'service.cache.get=error'    # boot with chaos faults armed
 //	torusd -cluster -self http://10.0.0.1:8080 \
 //	       -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//	torusd -cluster -self http://10.0.0.1:8080 -peers-file /etc/torusd/peers \
+//	       -replication 2                          # SIGHUP re-reads the peers file
 //
 // Cluster mode shards canonical cache keys across the -peers membership on
 // a consistent-hash ring: a local cache miss for a key homed on another
 // peer is fetched from that peer (falling back to local compute if it
-// cannot answer), so the cluster computes each answer once globally.
-// /readyz reports readiness (ring joined); /healthz stays pure liveness.
-// The debug sidecar gains /debug/cluster (ring status, and ?key=... for a
-// key's home peer).
+// cannot answer), so the cluster computes each answer once globally. Each
+// key has -replication owners (default 2): the primary's exact answers are
+// write-through-replicated to the backups, so a shard death loses no cached
+// work — fills fail over along the owner list. Membership is dynamic:
+// POST /debug/cluster/membership ({"join": url} / {"leave": url} /
+// {"peers": [...]}) on the debug sidecar swaps the ring at a new epoch, and
+// with -peers-file a SIGHUP re-reads the file and applies it the same way.
+// /readyz reports readiness (ring joined) plus the current epoch; /healthz
+// stays pure liveness. The debug sidecar gains /debug/cluster (ring status,
+// and ?key=... for a key's replicated owner list).
 //
 // Under sustained pool pressure (past -degrade-at utilization) /v1/analyze
 // answers with a Monte Carlo estimate tagged "degraded": true instead of
@@ -67,29 +75,31 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "analysis pool goroutines (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "pending-request queue depth (0 = 2×workers)")
-		analysisW  = flag.Int("analysis-workers", 0, "load-engine workers per analysis (0 = 1)")
-		cacheSize  = flag.Int("cache", 0, "result cache capacity in entries (0 = 512)")
-		cacheTTL   = flag.Duration("ttl", 0, "result cache TTL (0 = 10m, negative = no expiry)")
-		timeout    = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
-		maxNodes   = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
-		noFastPath = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
-		noAnalytic = flag.Bool("no-analytic", false, "disable the closed-form analytic fast lane for /v1/analyze")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/failpoints on this separate address (empty = disabled)")
-		selfbench  = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
-		selfbenchN = flag.Int("selfbench-n", 200, "requests per selfbench series")
-		degradeAt  = flag.Float64("degrade-at", 0, "pool-utilization watermark past which /v1/analyze answers degraded Monte Carlo estimates (0 = 0.9, negative = never)")
-		degradedN  = flag.Int("degraded-rounds", 0, "Monte Carlo rounds behind degraded answers (0 = 16)")
-		wedge      = flag.Duration("wedge-timeout", 0, "watchdog deadline before a wedged pool worker is replaced (0 = 2×timeout, negative = no watchdog)")
-		failpoints = flag.String("failpoints", "", "semicolon-separated site=spec failpoints to arm at boot (see /debug/failpoints for sites)")
-		traceBuf   = flag.Int("trace-buf", 0, "finished request traces retained for /debug/traces (0 = 256, negative = tracing off)")
-		slowThresh = flag.Duration("slow-threshold", 0, "warn-log requests slower than this (0 = disabled)")
-		clusterOn  = flag.Bool("cluster", false, "enable sharded cluster mode (requires -self and -peers)")
-		selfURL    = flag.String("self", "", "this node's advertised base URL in cluster mode (e.g. http://10.0.0.1:8080)")
-		peersList  = flag.String("peers", "", "comma-separated base URLs of the full cluster membership (self included)")
-		replicas   = flag.Int("ring-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = 64)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "analysis pool goroutines (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "pending-request queue depth (0 = 2×workers)")
+		analysisW   = flag.Int("analysis-workers", 0, "load-engine workers per analysis (0 = 1)")
+		cacheSize   = flag.Int("cache", 0, "result cache capacity in entries (0 = 512)")
+		cacheTTL    = flag.Duration("ttl", 0, "result cache TTL (0 = 10m, negative = no expiry)")
+		timeout     = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
+		maxNodes    = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
+		noFastPath  = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
+		noAnalytic  = flag.Bool("no-analytic", false, "disable the closed-form analytic fast lane for /v1/analyze")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /debug/failpoints on this separate address (empty = disabled)")
+		selfbench   = flag.String("selfbench", "", "run the cached-vs-uncached micro-benchmark, write JSON to this file, and exit")
+		selfbenchN  = flag.Int("selfbench-n", 200, "requests per selfbench series")
+		degradeAt   = flag.Float64("degrade-at", 0, "pool-utilization watermark past which /v1/analyze answers degraded Monte Carlo estimates (0 = 0.9, negative = never)")
+		degradedN   = flag.Int("degraded-rounds", 0, "Monte Carlo rounds behind degraded answers (0 = 16)")
+		wedge       = flag.Duration("wedge-timeout", 0, "watchdog deadline before a wedged pool worker is replaced (0 = 2×timeout, negative = no watchdog)")
+		failpoints  = flag.String("failpoints", "", "semicolon-separated site=spec failpoints to arm at boot (see /debug/failpoints for sites)")
+		traceBuf    = flag.Int("trace-buf", 0, "finished request traces retained for /debug/traces (0 = 256, negative = tracing off)")
+		slowThresh  = flag.Duration("slow-threshold", 0, "warn-log requests slower than this (0 = disabled)")
+		clusterOn   = flag.Bool("cluster", false, "enable sharded cluster mode (requires -self and -peers)")
+		selfURL     = flag.String("self", "", "this node's advertised base URL in cluster mode (e.g. http://10.0.0.1:8080)")
+		peersList   = flag.String("peers", "", "comma-separated base URLs of the full cluster membership (self included)")
+		peersFile   = flag.String("peers-file", "", "file holding the cluster membership (one URL per line, # comments); SIGHUP re-reads and applies it")
+		replicas    = flag.Int("ring-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = 64)")
+		replication = flag.Int("replication", 0, "owners per key; exact results are write-through-replicated to the backups (0 = 2)")
 	)
 	flag.Parse()
 
@@ -119,12 +129,15 @@ func main() {
 		SlowThreshold:    *slowThresh,
 	}
 	if *clusterOn {
-		cl, err := buildCluster(*selfURL, *peersList, *replicas)
+		cl, err := buildCluster(*selfURL, *peersList, *peersFile, *replicas, *replication)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "torusd:", err)
 			os.Exit(1)
 		}
 		cfg.Cluster = cl
+		if *peersFile != "" {
+			watchPeersFile(cl, *peersFile)
+		}
 	}
 
 	// Arm chaos faults before serving: env first, then the flag (the flag
@@ -155,19 +168,25 @@ func main() {
 }
 
 // buildCluster assembles this node's shard-ring view from the
-// -self/-peers flags. Each remote peer gets its own resilient fill client
-// (per-peer breaker state); the fill policy retries once with short
-// backoff and no hedging, because every fill failure has a cheap local
-// fallback — computing the answer ourselves.
-func buildCluster(self, peers string, replicas int) (*cluster.Cluster, error) {
-	if self == "" || peers == "" {
-		return nil, errors.New("-cluster requires -self and -peers")
+// -self/-peers (or -peers-file) flags. Each remote peer gets its own
+// resilient fill client (per-peer breaker state); the fill policy retries
+// once with short backoff and no hedging, because every fill failure has a
+// cheap local fallback — computing the answer ourselves.
+func buildCluster(self, peers, peersFile string, replicas, replication int) (*cluster.Cluster, error) {
+	if self == "" || (peers == "" && peersFile == "") {
+		return nil, errors.New("-cluster requires -self and -peers or -peers-file")
+	}
+	if peers != "" && peersFile != "" {
+		return nil, errors.New("-peers and -peers-file are mutually exclusive")
 	}
 	var members []string
-	for _, p := range strings.Split(peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			members = append(members, strings.TrimRight(p, "/"))
+	if peersFile != "" {
+		var err error
+		if members, err = readPeersFile(peersFile); err != nil {
+			return nil, err
 		}
+	} else {
+		members = parsePeers(peers)
 	}
 	rcfg := service.ResilienceConfig{
 		MaxAttempts: 2,
@@ -175,13 +194,65 @@ func buildCluster(self, peers string, replicas int) (*cluster.Cluster, error) {
 		MaxBackoff:  500 * time.Millisecond,
 	}
 	return cluster.New(cluster.Config{
-		Self:     strings.TrimRight(self, "/"),
-		Peers:    members,
-		Replicas: replicas,
+		Self:        strings.TrimRight(self, "/"),
+		Peers:       members,
+		Replicas:    replicas,
+		Replication: replication,
 		Dial: func(u string) cluster.PeerTransport {
 			return service.NewPeerFillClient(u, rcfg)
 		},
 	})
+}
+
+// parsePeers splits a comma- or newline-separated membership list,
+// dropping blanks and #-comment lines.
+func parsePeers(s string) []string {
+	var members []string
+	for _, p := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '\n' || r == '\r' }) {
+		p = strings.TrimSpace(p)
+		if p == "" || strings.HasPrefix(p, "#") {
+			continue
+		}
+		members = append(members, strings.TrimRight(p, "/"))
+	}
+	return members
+}
+
+// readPeersFile loads the membership from a peers file: one URL per line
+// (commas also accepted), blank lines and #-comments ignored.
+func readPeersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("peers file: %w", err)
+	}
+	members := parsePeers(string(data))
+	if len(members) == 0 {
+		return nil, fmt.Errorf("peers file %s: no peer URLs", path)
+	}
+	return members, nil
+}
+
+// watchPeersFile re-reads the peers file on every SIGHUP and applies it
+// through the membership controller — the operator's config-reload path
+// for rolling membership changes without restarts.
+func watchPeersFile(cl *cluster.Cluster, path string) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			members, err := readPeersFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "torusd: SIGHUP reload:", err)
+				continue
+			}
+			epoch, err := cl.Membership().Set(members)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "torusd: SIGHUP membership:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "torusd: membership reloaded from %s: %d peer(s), epoch %d\n", path, len(members), epoch)
+		}
+	}()
 }
 
 // run serves until SIGINT/SIGTERM, then drains gracefully. When debugAddr
@@ -219,6 +290,7 @@ func run(cfg service.Config, addr, debugAddr string) error {
 		}
 		if cfg.Cluster != nil {
 			mux.Handle("/debug/cluster", cfg.Cluster.Handler())
+			mux.Handle("/debug/cluster/membership", cfg.Cluster.MembershipHandler())
 		}
 		debugSrv = &http.Server{Handler: mux}
 		fmt.Fprintf(os.Stderr, "torusd: pprof + failpoints + traces on %s\n", dln.Addr())

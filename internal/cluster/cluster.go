@@ -1,27 +1,40 @@
-// Package cluster shards the torusd analysis service across a static set
-// of peers. A consistent-hash ring over the canonical cache key gives every
-// key exactly one home shard, mirroring the paper's placement discipline:
-// assign work so no link — here, no node — carries avoidable duplicate
-// load, and the cluster computes each E_max answer once globally.
+// Package cluster shards the torusd analysis service across a set of
+// peers. A consistent-hash ring over the canonical cache key gives every
+// key an ordered list of homes, mirroring the paper's placement
+// discipline: assign work so no link — here, no node — carries avoidable
+// duplicate load, and the cluster computes each E_max answer once
+// globally.
 //
 // The fill path is groupcache-shaped. On a local cache miss for a key
-// homed elsewhere, the serving node fetches the answer from the home peer
-// over the ordinary service API (each peer reached through its own
-// resilient client, so breaker state is per peer) and only computes
-// locally when the peer cannot answer. Fill requests carry a one-hop loop
-// guard: a node serving a fill never fills in turn, so requests traverse
-// at most one peer edge regardless of membership skew. Every failure mode
-// — ring fault, peer down, dial error, corrupt fill body — degrades to
-// local compute, trading cluster-wide dedup for availability.
+// homed elsewhere, the serving node fetches the answer from the key's
+// owners in ring order (each peer reached through its own resilient
+// client, so breaker state is per peer) and only computes locally when no
+// owner can answer. Fill requests carry a one-hop loop guard: a node
+// serving a fill never fills in turn, so requests traverse at most one
+// peer edge regardless of membership skew. Every failure mode — ring
+// fault, peer down, dial error, corrupt fill body — degrades to local
+// compute, trading cluster-wide dedup for availability.
 //
-// Membership is static (flag-configured) with per-peer health: a peer that
-// fails FailureThreshold consecutive fills is marked down for DownCooldown
-// and re-admitted only after a successful readiness probe (GET /readyz),
-// so a live-but-still-joining process stays out of the fill path.
+// Ownership is replicated: OwnersN(key, R) lists R distinct physical
+// peers, and the flight leader write-through-replicates exact results to
+// the other R-1 homes (best effort), so killing any single shard loses no
+// cached exact answer — the next owner in ring order already holds it and
+// is exactly the peer that inherits the key.
+//
+// Membership is dynamic: a Membership controller applies runtime
+// Join/Leave/Set operations as epoch-numbered ring swaps published
+// atomically, so readers always see one consistent (epoch, ring) pair and
+// never block on a swap. Per-peer health is unchanged from the static
+// design: a peer that fails FailureThreshold consecutive exchanges is
+// marked down for DownCooldown and re-admitted only after a successful
+// readiness probe (GET /readyz) bounded by its own ProbeTimeout, so a
+// live-but-still-joining process stays out of the fill path and a
+// black-holed peer cannot wedge the health loop.
 package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
@@ -29,6 +42,17 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// DefaultReplication is the owner-list length R used when Config.
+// Replication <= 0: every key lives on its primary plus one successor, so
+// any single shard death loses no cached exact answer.
+const DefaultReplication = 2
+
+// ReplicaPath is the service endpoint replica puts are POSTed to. The
+// service package registers its replica handler here and the client stamps
+// the replica header on requests to it, so the constant is the one shared
+// name for the write-through channel.
+const ReplicaPath = "/v1/replica"
 
 // PeerTransport is the wire surface the cluster needs to one peer. The
 // service package's Client implements it (see NewPeerFillClient); the test
@@ -50,15 +74,21 @@ type Config struct {
 	// so every node agrees which keys are local. If absent from Peers it
 	// is added.
 	Self string
-	// Peers is the full static membership list (base URLs), normally
-	// including Self; every node of a cluster must be configured with the
-	// same set.
+	// Peers is the boot membership list (base URLs), normally including
+	// Self; every node of a cluster must boot with the same set. The
+	// Membership controller can change it at runtime.
 	Peers []string
 	// Replicas is the virtual-node count per peer; <= 0 means
 	// DefaultReplicas.
 	Replicas int
+	// Replication is the owner-list length R: each key is homed on its
+	// primary owner plus the next Replication-1 distinct peers clockwise,
+	// and exact results are write-through-replicated to all of them.
+	// <= 0 means DefaultReplication.
+	Replication int
 	// Dial builds the transport for one remote peer, called once per peer
-	// at construction. Required when the membership has any remote peer.
+	// at construction and again for every peer a membership change adds.
+	// Required when the membership has (or may gain) any remote peer.
 	Dial func(baseURL string) PeerTransport
 	// FailureThreshold is how many consecutive fill failures mark a peer
 	// down; <= 0 means 3.
@@ -66,6 +96,20 @@ type Config struct {
 	// DownCooldown is how long a down peer is skipped before a readiness
 	// probe may re-admit it; <= 0 means 5s.
 	DownCooldown time.Duration
+	// ProbeTimeout bounds each /readyz re-admission probe independently
+	// of the calling request's deadline, so a black-holed peer cannot
+	// wedge the fill path for the full request timeout; <= 0 means 1s.
+	ProbeTimeout time.Duration
+	// ReplicaTimeout bounds each best-effort replica put; <= 0 means 2s.
+	ReplicaTimeout time.Duration
+	// HotThreshold is how many fill-path touches within the sliding
+	// window promote a key to the hot store; <= 0 means 32.
+	HotThreshold int
+	// HotWindow is the sliding-window width for the hot-key sketch;
+	// <= 0 means 10s.
+	HotWindow time.Duration
+	// HotCapacity caps the hot store's entry count; <= 0 means 128.
+	HotCapacity int
 }
 
 // peer is the health and transport state for one remote member.
@@ -81,32 +125,60 @@ type peer struct {
 	fillErrors atomic.Int64
 }
 
+// ringState is one immutable (epoch, ring) generation, swapped atomically
+// so fills racing a membership change still see a consistent pair.
+type ringState struct {
+	epoch uint64
+	ring  *Ring
+}
+
 // Cluster is one node's view of the shard ring plus per-peer health and
 // fill counters. All methods are safe for concurrent use.
 type Cluster struct {
-	self      string
-	ring      *Ring
-	threshold int
-	cooldown  time.Duration
-	peers     map[string]*peer // remote members only, keyed by URL
-	vars      *expvar.Map
+	self           string
+	replicas       int // vnodes per peer
+	replication    int // owner-list length R
+	threshold      int
+	cooldown       time.Duration
+	probeTimeout   time.Duration
+	replicaTimeout time.Duration
+	dial           func(string) PeerTransport
+
+	state atomic.Pointer[ringState]
+
+	memberMu sync.Mutex // serializes membership swaps
+
+	peersMu sync.RWMutex
+	peers   map[string]*peer // remote members only, keyed by URL
+
+	hot      *hotTracker
+	hotStore *hotStore
+
+	vars *expvar.Map
 }
 
 // Counter names in the cluster expvar map (exposed under the server's
 // "cluster" key in /debug/vars).
 const (
-	vFills            = "fills"             // successful peer fills
-	vFillErrors       = "fill_errors"       // fills lost to dial/decode/ring faults
-	vFillSkips        = "fill_skips"        // fills skipped because the home peer is down
-	vLocalKeys        = "local_keys"        // misses whose home is this node
-	vReadyProbes      = "ready_probes"      // /readyz probes of cooled-down peers
+	vFills            = "fills"       // successful peer fills
+	vFillErrors       = "fill_errors" // fills lost to dial/decode/ring faults
+	vFillSkips        = "fill_skips"  // fills skipped because an owner is down
+	vLocalKeys        = "local_keys"  // misses whose primary home is this node
+	vFailovers        = "failovers"   // fill attempts moved to a backup owner
+	vFailoverErrors   = "failover_errors"
+	vReplicaPuts      = "replica_puts" // successful write-through replica puts
+	vReplicaPutErrors = "replica_put_errors"
+	vMembershipSwaps  = "membership_swaps" // epoch-advancing ring swaps
+	vMembershipErrors = "membership_errors"
+	vReadyProbes      = "ready_probes" // /readyz probes of cooled-down peers
 	vRingLookupErrors = "ring_lookup_errors"
 	vWriteErrors      = "write_errors" // debug-handler response writes that failed
 )
 
 // New builds a Cluster from cfg. The ring is ready as soon as New returns:
-// with static membership, "joined" means constructed and serving, which is
-// exactly what /readyz reports once the listener is up.
+// "joined" means constructed and serving, which is exactly what /readyz
+// reports once the listener is up. Later membership changes go through
+// Membership.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Self == "" {
 		return nil, errors.New("cluster: Config.Self must be set")
@@ -128,31 +200,53 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DownCooldown <= 0 {
 		cfg.DownCooldown = 5 * time.Second
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.ReplicaTimeout <= 0 {
+		cfg.ReplicaTimeout = 2 * time.Second
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = DefaultReplication
+	}
 	c := &Cluster{
-		self:      cfg.Self,
-		ring:      NewRing(members, cfg.Replicas),
-		threshold: cfg.FailureThreshold,
-		cooldown:  cfg.DownCooldown,
-		peers:     make(map[string]*peer),
-		vars:      new(expvar.Map).Init(),
+		self:           cfg.Self,
+		replicas:       cfg.Replicas,
+		replication:    cfg.Replication,
+		threshold:      cfg.FailureThreshold,
+		cooldown:       cfg.DownCooldown,
+		probeTimeout:   cfg.ProbeTimeout,
+		replicaTimeout: cfg.ReplicaTimeout,
+		dial:           cfg.Dial,
+		peers:          make(map[string]*peer),
+		hot:            newHotTracker(cfg.HotThreshold, cfg.HotWindow),
+		hotStore:       newHotStore(cfg.HotCapacity),
+		vars:           new(expvar.Map).Init(),
 	}
 	for _, name := range []string{
-		vFills, vFillErrors, vFillSkips, vLocalKeys, vReadyProbes,
+		vFills, vFillErrors, vFillSkips, vLocalKeys, vFailovers,
+		vFailoverErrors, vReplicaPuts, vReplicaPutErrors,
+		vMembershipSwaps, vMembershipErrors, vReadyProbes,
 		vRingLookupErrors, vWriteErrors,
 	} {
 		c.vars.Set(name, new(expvar.Int))
 	}
-	c.vars.Set("peers", expvar.Func(func() any { return len(c.ring.Peers()) }))
+	c.vars.Set("peers", expvar.Func(func() any { return len(c.Peers()) }))
 	c.vars.Set("peers_down", expvar.Func(func() any { return c.DownPeers() }))
-	for _, u := range c.ring.Peers() {
+	c.vars.Set("epoch", expvar.Func(func() any { return c.Epoch() }))
+	c.vars.Set("hot_keys", expvar.Func(func() any { return c.HotKeys() }))
+
+	ring := NewRing(members, cfg.Replicas)
+	for _, u := range ring.Peers() {
 		if u == c.self {
 			continue
 		}
-		if cfg.Dial == nil {
+		if c.dial == nil {
 			return nil, errors.New("cluster: Config.Dial must be set when the membership has remote peers")
 		}
-		c.peers[u] = &peer{url: u, tr: cfg.Dial(u)}
+		c.peers[u] = &peer{url: u, tr: c.dial(u)}
 	}
+	c.state.Store(&ringState{epoch: 1, ring: ring})
 	return c, nil
 }
 
@@ -160,80 +254,193 @@ func New(cfg Config) (*Cluster, error) {
 func (c *Cluster) Self() string { return c.self }
 
 // Ready reports whether this node has joined the ring and can place keys.
-// With static membership that holds from construction on; /readyz stays
-// meaningful because it cannot answer before the node actually serves.
-func (c *Cluster) Ready() bool { return len(c.ring.Peers()) > 0 }
+func (c *Cluster) Ready() bool { return len(c.ring().Peers()) > 0 }
+
+// Epoch returns the current membership epoch. It starts at 1 and advances
+// by one on every successful ring swap.
+func (c *Cluster) Epoch() uint64 { return c.state.Load().epoch }
+
+// Replication returns the owner-list length R.
+func (c *Cluster) Replication() int { return c.replication }
+
+// Peers returns the current ring membership, sorted.
+func (c *Cluster) Peers() []string { return c.ring().Peers() }
+
+// ring returns the current ring generation.
+func (c *Cluster) ring() *Ring { return c.state.Load().ring }
+
+// peerFor returns the health record for a remote member URL, or nil for
+// self and for URLs no longer in the membership.
+func (c *Cluster) peerFor(url string) *peer {
+	c.peersMu.RLock()
+	p := c.peers[url]
+	c.peersMu.RUnlock()
+	return p
+}
 
 // Vars returns the cluster's expvar map for embedding in a server's
 // /debug/vars output.
 func (c *Cluster) Vars() *expvar.Map { return c.vars }
 
-// Owner returns the home peer URL for key, through the cluster.ring.lookup
-// failpoint (an armed fault makes the home unknowable for this call).
+// Owner returns the primary home peer URL for key, through the
+// cluster.ring.lookup failpoint (an armed fault makes the home unknowable
+// for this call).
 func (c *Cluster) Owner(key string) (string, error) {
 	if err := fpRingLookup.Inject(); err != nil {
 		c.vars.Add(vRingLookupErrors, 1)
 		return "", err
 	}
-	return c.ring.Owner(key), nil
+	return c.ring().Owner(key), nil
 }
 
-// Fill attempts a peer fill for key: if key is homed on a healthy remote
+// Owners returns the ordered owner list for key — its primary home plus
+// the next R-1 distinct peers clockwise — through the cluster.ring.lookup
+// failpoint.
+func (c *Cluster) Owners(key string) ([]string, error) {
+	if err := fpRingLookup.Inject(); err != nil {
+		c.vars.Add(vRingLookupErrors, 1)
+		return nil, err
+	}
+	return c.ring().OwnersN(key, c.replication), nil
+}
+
+// Fill attempts a peer fill for key: if key's primary home is a remote
 // peer, fetch the answer by POSTing payload to path there and decode the
-// response body with decode. served reports whether the returned value
-// came from a peer; when served is false the caller must compute locally
-// (err, when non-nil, says why the fill was lost — a nil err means the key
-// is local or its home is down, which is not an error).
+// response body with decode, failing over through the key's backup owners
+// in ring order. served reports whether the returned value came from a
+// peer; when served is false the caller must compute locally (err, when
+// non-nil, says why the fill was lost — a nil err means the key is local
+// or every usable owner is down, which is not an error).
 func (c *Cluster) Fill(ctx context.Context, key, path string, payload []byte, decode func([]byte) (any, error)) (v any, served bool, err error) {
-	owner, err := c.Owner(key)
+	owners, err := c.Owners(key)
 	if err != nil {
 		return nil, false, err
 	}
-	if owner == "" || owner == c.self {
+	if len(owners) == 0 || owners[0] == c.self {
 		c.vars.Add(vLocalKeys, 1)
 		return nil, false, nil
 	}
-	p := c.peers[owner]
-	if p == nil {
-		// Unreachable with a consistent Config; treat as local.
-		c.vars.Add(vLocalKeys, 1)
-		return nil, false, nil
+	var lastErr error
+	for i, owner := range owners {
+		if i > 0 {
+			// Moving past the primary is a failover step; the armed
+			// failpoint models a broken failover path and degrades the
+			// request to local compute.
+			if ferr := fpOwnerFailover.Inject(); ferr != nil {
+				c.vars.Add(vFailoverErrors, 1)
+				return nil, false, ferr
+			}
+			c.vars.Add(vFailovers, 1)
+		}
+		if owner == c.self {
+			// The failover walk reached this node: it is a backup owner
+			// for key, so computing locally is serving from a home.
+			c.vars.Add(vLocalKeys, 1)
+			return nil, false, nil
+		}
+		p := c.peerFor(owner)
+		if p == nil {
+			// Stale owner list racing a membership swap; try the next.
+			continue
+		}
+		if !c.admit(ctx, p) {
+			c.vars.Add(vFillSkips, 1)
+			continue
+		}
+		if err := fpPeerDial.Inject(); err != nil {
+			c.fail(p)
+			lastErr = err
+			continue
+		}
+		body, err := p.tr.FillPeer(ctx, path, payload)
+		if err != nil {
+			c.fail(p)
+			lastErr = err
+			continue
+		}
+		c.ok(p)
+		if err := fpFillDecode.Inject(); err != nil {
+			c.vars.Add(vFillErrors, 1)
+			p.fillErrors.Add(1)
+			return nil, false, err
+		}
+		v, err = decode(body)
+		if err != nil {
+			c.vars.Add(vFillErrors, 1)
+			p.fillErrors.Add(1)
+			return nil, false, fmt.Errorf("cluster: decoding fill from %s: %w", owner, err)
+		}
+		c.vars.Add(vFills, 1)
+		p.fills.Add(1)
+		return v, true, nil
 	}
-	if !c.admit(ctx, p) {
-		c.vars.Add(vFillSkips, 1)
-		return nil, false, nil
+	return nil, false, lastErr
+}
+
+// ReplicaPut is the wire body of a write-through replica put: the
+// canonical request (path + payload) identifying the key, the exact
+// result body to store, and whether the key is hot. The receiver derives
+// the cache key from the canonical payload itself rather than trusting a
+// key field, so a replica put can never poison an unrelated cache entry.
+type ReplicaPut struct {
+	Path    string          `json:"path"`
+	Payload json.RawMessage `json:"payload"`
+	Result  json.RawMessage `json:"result"`
+	Hot     bool            `json:"hot,omitempty"`
+}
+
+// Replicate write-through-replicates an exact result to key's other
+// owners, best effort: down peers are skipped, failures are counted and
+// swallowed, and each put is bounded by ReplicaTimeout. The flight leader
+// calls it after computing, so killing any single shard after a warm
+// request loses no cached exact answer. It returns the number of
+// successful puts.
+func (c *Cluster) Replicate(ctx context.Context, key, path string, payload, result []byte, hot bool) int {
+	owners := c.ring().OwnersN(key, c.replication)
+	if len(owners) < 2 {
+		return 0
 	}
-	if err := fpPeerDial.Inject(); err != nil {
-		c.fail(p)
-		return nil, false, err
-	}
-	body, err := p.tr.FillPeer(ctx, path, payload)
+	body, err := json.Marshal(ReplicaPut{Path: path, Payload: payload, Result: result, Hot: hot})
 	if err != nil {
-		c.fail(p)
-		return nil, false, err
+		c.vars.Add(vReplicaPutErrors, 1)
+		return 0
 	}
-	c.ok(p)
-	if err := fpFillDecode.Inject(); err != nil {
-		c.vars.Add(vFillErrors, 1)
-		p.fillErrors.Add(1)
-		return nil, false, err
+	sent := 0
+	for _, owner := range owners {
+		if owner == c.self {
+			continue
+		}
+		p := c.peerFor(owner)
+		if p == nil || !c.admit(ctx, p) {
+			continue
+		}
+		if err := fpReplicaPut.Inject(); err != nil {
+			c.vars.Add(vReplicaPutErrors, 1)
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, c.replicaTimeout)
+		_, err := p.tr.FillPeer(rctx, ReplicaPath, body)
+		cancel()
+		if err != nil {
+			c.vars.Add(vReplicaPutErrors, 1)
+			c.fail(p)
+			continue
+		}
+		c.ok(p)
+		c.vars.Add(vReplicaPuts, 1)
+		sent++
 	}
-	v, err = decode(body)
-	if err != nil {
-		c.vars.Add(vFillErrors, 1)
-		p.fillErrors.Add(1)
-		return nil, false, fmt.Errorf("cluster: decoding fill from %s: %w", owner, err)
-	}
-	c.vars.Add(vFills, 1)
-	p.fills.Add(1)
-	return v, true, nil
+	return sent
 }
 
 // admit reports whether p may be dialed right now. Healthy peers pass
 // immediately. A down peer is skipped until its cooldown expires, then
 // must answer one readiness probe before fills resume — so a process that
-// restarts but is not yet serving stays out of the fill path. Concurrent
-// callers may race to probe; the probes are cheap idempotent GETs.
+// restarts but is not yet serving stays out of the fill path. The probe
+// carries its own ProbeTimeout deadline independent of the caller's, so a
+// black-holed peer costs at most ProbeTimeout, not the full request
+// budget. Concurrent callers may race to probe; the probes are cheap
+// idempotent GETs.
 func (c *Cluster) admit(ctx context.Context, p *peer) bool {
 	p.mu.Lock()
 	if p.failures < c.threshold {
@@ -246,7 +453,10 @@ func (c *Cluster) admit(ctx context.Context, p *peer) bool {
 	}
 	p.mu.Unlock()
 	c.vars.Add(vReadyProbes, 1)
-	if err := p.tr.Ready(ctx); err != nil {
+	pctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	err := p.tr.Ready(pctx)
+	cancel()
+	if err != nil {
 		c.fail(p)
 		return false
 	}
@@ -277,6 +487,8 @@ func (c *Cluster) ok(p *peer) {
 
 // DownPeers counts remote peers currently marked down.
 func (c *Cluster) DownPeers() int {
+	c.peersMu.RLock()
+	defer c.peersMu.RUnlock()
 	n := 0
 	for _, p := range c.peers {
 		p.mu.Lock()
@@ -301,19 +513,30 @@ type PeerStatus struct {
 // Status is a point-in-time snapshot of the ring and peer health, served
 // by the /debug/cluster handler.
 type Status struct {
-	Self     string       `json:"self"`
-	Ready    bool         `json:"ready"`
-	Replicas int          `json:"replicas"`
-	Peers    []PeerStatus `json:"peers"`
+	Self        string       `json:"self"`
+	Ready       bool         `json:"ready"`
+	Epoch       uint64       `json:"epoch"`
+	Replicas    int          `json:"replicas"`
+	Replication int          `json:"replication"`
+	HotKeys     int          `json:"hot_keys"`
+	Peers       []PeerStatus `json:"peers"`
 }
 
 // Status snapshots the cluster: membership in ring order, per-peer health
-// and fill counters.
+// and fill counters, the membership epoch, and the hot-store size.
 func (c *Cluster) Status() Status {
-	st := Status{Self: c.self, Ready: c.Ready(), Replicas: c.ring.Replicas()}
-	for _, u := range c.ring.Peers() {
+	st := c.state.Load()
+	out := Status{
+		Self:        c.self,
+		Ready:       len(st.ring.Peers()) > 0,
+		Epoch:       st.epoch,
+		Replicas:    st.ring.Replicas(),
+		Replication: c.replication,
+		HotKeys:     c.HotKeys(),
+	}
+	for _, u := range st.ring.Peers() {
 		ps := PeerStatus{URL: u, Self: u == c.self}
-		if p := c.peers[u]; p != nil {
+		if p := c.peerFor(u); p != nil {
 			p.mu.Lock()
 			ps.Failures = p.failures
 			ps.Down = p.failures >= c.threshold && time.Now().Before(p.downUntil)
@@ -321,7 +544,7 @@ func (c *Cluster) Status() Status {
 			ps.Fills = p.fills.Load()
 			ps.FillErrors = p.fillErrors.Load()
 		}
-		st.Peers = append(st.Peers, ps)
+		out.Peers = append(out.Peers, ps)
 	}
-	return st
+	return out
 }

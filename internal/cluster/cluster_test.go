@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTransport is a scriptable PeerTransport for unit tests.
+type fakeTransport struct {
+	fill  func(ctx context.Context, path string, payload []byte) ([]byte, error)
+	ready func(ctx context.Context) error
+
+	fills  atomic.Int64
+	probes atomic.Int64
+}
+
+func (f *fakeTransport) FillPeer(ctx context.Context, path string, payload []byte) ([]byte, error) {
+	f.fills.Add(1)
+	if f.fill == nil {
+		return []byte(`{}`), nil
+	}
+	return f.fill(ctx, path, payload)
+}
+
+func (f *fakeTransport) Ready(ctx context.Context) error {
+	f.probes.Add(1)
+	if f.ready == nil {
+		return nil
+	}
+	return f.ready(ctx)
+}
+
+func decodeAny(b []byte) (any, error) {
+	var v any
+	err := json.Unmarshal(b, &v)
+	return v, err
+}
+
+// TestAdmitProbeTimeout is the regression test for the health loop's
+// probe bound: re-admitting a cooled-down peer whose /readyz black-holes
+// must cost at most ProbeTimeout, not the caller's full deadline. Before
+// the bound existed, a blocked probe wedged every fill routed at the peer
+// for as long as the request context allowed.
+func TestAdmitProbeTimeout(t *testing.T) {
+	tr := &fakeTransport{
+		fill: func(context.Context, string, []byte) ([]byte, error) {
+			return nil, errors.New("refused")
+		},
+		ready: func(ctx context.Context) error {
+			// Black hole: never answers, only honors cancellation.
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	}
+	c, err := New(Config{
+		Self:             "http://self",
+		Peers:            []string{"http://self", "http://peer"},
+		Dial:             func(string) PeerTransport { return tr },
+		FailureThreshold: 1,
+		DownCooldown:     time.Millisecond,
+		ProbeTimeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a key homed on the remote peer and fail it once to trip the
+	// threshold, then wait out the cooldown so the next fill must probe.
+	key := ""
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.ring().Owner(k) == "http://peer" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key homed on the remote peer")
+	}
+	ctx := context.Background()
+	if _, served, _ := c.Fill(ctx, key, "/v1/analyze", []byte(`{}`), decodeAny); served {
+		t.Fatal("fill served from a refusing peer")
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	// The caller has a generous deadline; the probe must not inherit it.
+	cctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	start := time.Now()
+	_, served, _ := c.Fill(cctx, key, "/v1/analyze", []byte(`{}`), decodeAny)
+	elapsed := time.Since(start)
+	if served {
+		t.Fatal("fill served from a black-holed peer")
+	}
+	if tr.probes.Load() == 0 {
+		t.Fatal("cooled-down peer was never probed")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("fill with black-holed probe took %v, want ~ProbeTimeout (50ms)", elapsed)
+	}
+}
+
+// TestFillFailsOverToSecondary pins the tentpole fill contract: when the
+// primary owner is unreachable the fill lands on the secondary, and only
+// when every remote owner fails does the caller fall back to computing
+// locally.
+func TestFillFailsOverToSecondary(t *testing.T) {
+	trs := map[string]*fakeTransport{
+		"http://a": {fill: func(context.Context, string, []byte) ([]byte, error) { return nil, errors.New("refused") }},
+		"http://b": {fill: func(context.Context, string, []byte) ([]byte, error) { return []byte(`{"from":"b"}`), nil }},
+	}
+	c, err := New(Config{
+		Self:  "http://self",
+		Peers: []string{"http://self", "http://a", "http://b"},
+		Dial:  func(u string) PeerTransport { return trs[u] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key whose owner pair is exactly [a, b].
+	key := ""
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o := c.ring().OwnersN(k, 2)
+		if len(o) == 2 && o[0] == "http://a" && o[1] == "http://b" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key with owner pair [a, b]")
+	}
+	v, served, err := c.Fill(context.Background(), key, "/v1/analyze", []byte(`{}`), decodeAny)
+	if err != nil || !served {
+		t.Fatalf("Fill = (served=%v, err=%v), want served from secondary", served, err)
+	}
+	if m, ok := v.(map[string]any); !ok || m["from"] != "b" {
+		t.Fatalf("Fill value = %v, want the secondary's answer", v)
+	}
+	if trs["http://a"].fills.Load() != 1 || trs["http://b"].fills.Load() != 1 {
+		t.Fatalf("fills: a=%d b=%d, want one attempt each", trs["http://a"].fills.Load(), trs["http://b"].fills.Load())
+	}
+	if got := c.vars.Get(vFailovers).(*expvar.Int).Value(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+}
+
+// TestFillFailoverStopsAtSelf: when this node is a key's backup owner and
+// the primary is unreachable, the walk stops at self and the caller
+// computes locally — serving from a home, not an error.
+func TestFillFailoverStopsAtSelf(t *testing.T) {
+	refused := &fakeTransport{fill: func(context.Context, string, []byte) ([]byte, error) {
+		return nil, errors.New("refused")
+	}}
+	c, err := New(Config{
+		Self:  "http://self",
+		Peers: []string{"http://self", "http://a"},
+		Dial:  func(string) PeerTransport { return refused },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ""
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.ring().Owner(k) == "http://a" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key homed on the remote peer")
+	}
+	// R=2 in a 2-node ring: owner pair is [a, self].
+	v, served, err := c.Fill(context.Background(), key, "/v1/analyze", []byte(`{}`), decodeAny)
+	if served || v != nil || err != nil {
+		t.Fatalf("Fill = (%v, %v, %v), want clean local-compute fallback", v, served, err)
+	}
+	if got := c.vars.Get(vLocalKeys).(*expvar.Int).Value(); got != 1 {
+		t.Fatalf("local_keys = %d, want 1 (failover reached self)", got)
+	}
+}
+
+// TestMembershipJoinLeave walks the controller through a join and a leave,
+// checking epoch advancement, peer-map reconciliation, idempotency, and
+// the self-leave guard.
+func TestMembershipJoinLeave(t *testing.T) {
+	dialed := make(map[string]int)
+	c, err := New(Config{
+		Self:  "http://self",
+		Peers: []string{"http://self", "http://a"},
+		Dial: func(u string) PeerTransport {
+			dialed[u]++
+			return &fakeTransport{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Membership()
+	if m.Epoch() != 1 {
+		t.Fatalf("boot epoch = %d, want 1", m.Epoch())
+	}
+
+	epoch, err := m.Join("http://b")
+	if err != nil || epoch != 2 {
+		t.Fatalf("Join = (%d, %v), want epoch 2", epoch, err)
+	}
+	if dialed["http://b"] != 1 {
+		t.Fatalf("join did not dial the new peer (dialed=%v)", dialed)
+	}
+	if c.peerFor("http://b") == nil {
+		t.Fatal("joined peer missing from the health map")
+	}
+	if epoch, err := m.Join("http://b"); err != nil || epoch != 2 {
+		t.Fatalf("idempotent Join = (%d, %v), want epoch 2 unchanged", epoch, err)
+	}
+
+	if _, err := m.Leave("http://self"); err == nil {
+		t.Fatal("Leave(self) succeeded, want rejection")
+	}
+	epoch, err = m.Leave("http://a")
+	if err != nil || epoch != 3 {
+		t.Fatalf("Leave = (%d, %v), want epoch 3", epoch, err)
+	}
+	if c.peerFor("http://a") != nil {
+		t.Fatal("left peer still in the health map")
+	}
+	if epoch, err := m.Leave("http://a"); err != nil || epoch != 3 {
+		t.Fatalf("idempotent Leave = (%d, %v), want epoch 3 unchanged", epoch, err)
+	}
+
+	epoch, err = m.Set([]string{"http://a", "http://b"})
+	if err != nil || epoch != 4 {
+		t.Fatalf("Set = (%d, %v), want epoch 4", epoch, err)
+	}
+	if got := c.Peers(); len(got) != 3 {
+		t.Fatalf("Set membership = %v, want self added back (3 peers)", got)
+	}
+	if epoch, err := m.Set([]string{"http://a", "http://b", "http://self"}); err != nil || epoch != 4 {
+		t.Fatalf("no-op Set = (%d, %v), want epoch 4 unchanged", epoch, err)
+	}
+}
+
+// TestMembershipHandler exercises the admin endpoint wire format.
+func TestMembershipHandler(t *testing.T) {
+	c, err := New(Config{
+		Self:  "http://self",
+		Peers: []string{"http://self"},
+		Dial:  func(string) PeerTransport { return &fakeTransport{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.MembershipHandler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/cluster/membership", strings.NewReader(body)))
+		return rec
+	}
+
+	if rec := post(`{"join":"http://b"}`); rec.Code != http.StatusOK {
+		t.Fatalf("join status = %d: %s", rec.Code, rec.Body)
+	} else {
+		var resp membershipResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Epoch != 2 || len(resp.Peers) != 2 {
+			t.Fatalf("join response = %+v, want epoch 2 with 2 peers", resp)
+		}
+	}
+	if rec := post(`{"leave":"http://self"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("leave(self) status = %d, want 422", rec.Code)
+	}
+	if rec := post(`{"join":"http://c","leave":"http://b"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("ambiguous request status = %d, want 400", rec.Code)
+	}
+	if rec := post(`{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty request status = %d, want 400", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/cluster/membership", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", rec.Code)
+	}
+}
+
+// TestHotTracker drives the sliding-window sketch through promotion,
+// sustained heat, and decay with an injected clock.
+func TestHotTracker(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := newHotTracker(3, 10*time.Second)
+	h.now = func() time.Time { return now }
+
+	if h.touch("k") || h.touch("k") {
+		t.Fatal("crossed threshold before 3 touches")
+	}
+	if !h.touch("k") {
+		t.Fatal("third touch did not cross the threshold")
+	}
+	if h.touch("k") {
+		t.Fatal("fourth touch re-crossed the threshold")
+	}
+	if !h.isHot("k") || h.isHot("other") {
+		t.Fatal("isHot disagrees with the counts")
+	}
+
+	// One window later the count straddles cur+prev and stays hot.
+	now = now.Add(11 * time.Second)
+	if !h.isHot("k") {
+		t.Fatal("key cooled after one window despite prev-bucket counts")
+	}
+	// Two quiet windows later the heat is gone — and the key can cross
+	// the threshold again.
+	now = now.Add(25 * time.Second)
+	if h.isHot("k") {
+		t.Fatal("key still hot after two quiet windows")
+	}
+	h.touch("k")
+	h.touch("k")
+	if !h.touch("k") {
+		t.Fatal("key cannot re-promote after cooling")
+	}
+
+	h.force("cold")
+	if !h.isHot("cold") {
+		t.Fatal("force did not mark the key hot")
+	}
+}
+
+// TestClusterHotStore covers the Cluster-level hot API: pin, serve, decay,
+// capacity bound, and the gauge's lazy purge.
+func TestClusterHotStore(t *testing.T) {
+	now := time.Unix(0, 0)
+	c, err := New(Config{
+		Self:         "http://self",
+		Peers:        []string{"http://self"},
+		HotThreshold: 2,
+		HotWindow:    10 * time.Second,
+		HotCapacity:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.hot.now = func() time.Time { return now }
+
+	c.TouchHot("k")
+	if !c.TouchHot("k") {
+		t.Fatal("second touch did not promote")
+	}
+	c.HotPut("k", "answer")
+	if v, ok := c.HotGet("k"); !ok || v != "answer" {
+		t.Fatalf("HotGet = (%v, %v), want the pinned answer", v, ok)
+	}
+	if c.HotKeys() != 1 {
+		t.Fatalf("HotKeys = %d, want 1", c.HotKeys())
+	}
+
+	// Capacity: a third pin is rejected, existing pins still update.
+	c.HotPut("k2", 1)
+	c.HotPut("k3", 1)
+	c.HotPut("k", "updated")
+	if c.HotKeys() != 2 {
+		t.Fatalf("HotKeys = %d, want capacity bound of 2", c.HotKeys())
+	}
+	if v, _ := c.HotGet("k"); v != "updated" {
+		t.Fatalf("HotGet = %v, want the updated pin", v)
+	}
+
+	// Decay: two quiet windows cool the key and the pin is dropped.
+	now = now.Add(25 * time.Second)
+	if _, ok := c.HotGet("k"); ok {
+		t.Fatal("cooled key still served from the hot store")
+	}
+	if c.HotKeys() != 0 {
+		t.Fatalf("HotKeys = %d after cooling, want 0", c.HotKeys())
+	}
+}
+
+// TestReplicateBestEffort: a replica put lands on the live secondary, is
+// counted, and a dead secondary only costs an error counter — never an
+// error return.
+func TestReplicateBestEffort(t *testing.T) {
+	var gotPath atomic.Value
+	live := &fakeTransport{fill: func(_ context.Context, path string, payload []byte) ([]byte, error) {
+		gotPath.Store(path)
+		var put ReplicaPut
+		if err := json.Unmarshal(payload, &put); err != nil {
+			return nil, err
+		}
+		if put.Path != "/v1/analyze" || string(put.Result) != `{"e":1}` {
+			return nil, fmt.Errorf("unexpected put %+v", put)
+		}
+		return []byte(`{"stored":true}`), nil
+	}}
+	dead := &fakeTransport{fill: func(context.Context, string, []byte) ([]byte, error) {
+		return nil, errors.New("refused")
+	}}
+	trs := map[string]*fakeTransport{"http://a": live, "http://b": dead}
+	c, err := New(Config{
+		Self:  "http://self",
+		Peers: []string{"http://self", "http://a", "http://b"},
+		Dial:  func(u string) PeerTransport { return trs[u] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(primary, secondary string) string {
+		for i := 0; i < 8192; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			o := c.ring().OwnersN(k, 2)
+			if len(o) == 2 && o[0] == primary && o[1] == secondary {
+				return k
+			}
+		}
+		t.Fatalf("no key with owner pair [%s, %s]", primary, secondary)
+		return ""
+	}
+
+	ctx := context.Background()
+	keyLive := find("http://self", "http://a")
+	if sent := c.Replicate(ctx, keyLive, "/v1/analyze", []byte(`{}`), []byte(`{"e":1}`), false); sent != 1 {
+		t.Fatalf("Replicate to live secondary sent %d, want 1", sent)
+	}
+	if gotPath.Load() != ReplicaPath {
+		t.Fatalf("replica put path = %v, want %s", gotPath.Load(), ReplicaPath)
+	}
+	keyDead := find("http://self", "http://b")
+	if sent := c.Replicate(ctx, keyDead, "/v1/analyze", []byte(`{}`), []byte(`{"e":1}`), false); sent != 0 {
+		t.Fatalf("Replicate to dead secondary sent %d, want 0", sent)
+	}
+	if got := c.vars.Get(vReplicaPutErrors).(*expvar.Int).Value(); got == 0 {
+		t.Fatal("dead-secondary put not counted in replica_put_errors")
+	}
+}

@@ -8,9 +8,11 @@
 // node's /readyz before the test drives load.
 //
 // Nodes are real service.Servers with real cluster views, so harness
-// tests exercise the same ring lookup, peer fill, loop guard, and health
-// tracking code paths production runs — only the wire between peers is
-// swapped for an interceptable in-process edge.
+// tests exercise the same ring lookup, replicated peer fill, loop guard,
+// and health tracking code paths production runs — only the wire between
+// peers is swapped for an interceptable in-process edge. Join and Leave
+// drive the same runtime membership controller production exposes, so
+// rebalance and epoch behavior is tested end to end.
 package harness
 
 import (
@@ -35,6 +37,15 @@ type Options struct {
 	// Replicas is the ring's virtual-node count per peer; 0 means
 	// cluster.DefaultReplicas.
 	Replicas int
+	// Replication is the ownership factor R (how many peers own each
+	// key); 0 means cluster.DefaultReplication.
+	Replication int
+	// HotThreshold, HotWindow, and HotCapacity tune per-node hot-key
+	// detection; zero values take the cluster defaults. Tests drop the
+	// threshold to 2-3 so a handful of requests promotes a key.
+	HotThreshold int
+	HotWindow    time.Duration
+	HotCapacity  int
 	// Service is the base per-node configuration. Cluster and OnCompute
 	// are overwritten per node; everything else applies to every node.
 	Service service.Config
@@ -85,19 +96,32 @@ type Node struct {
 	Cluster *cluster.Cluster
 	Client  *service.Client
 
-	ln       net.Listener
+	ln net.Listener
+	// edgeMu guards edges: the Dial closure appends at construction and
+	// again on runtime membership joins, racing setBlocked readers.
+	edgeMu   sync.Mutex
 	edges    map[string]*edge // outgoing, keyed by target URL
 	killed   atomic.Bool
-	serveErr atomic.Value // error from Serve, nil/ErrServerClosed excluded
+	done     chan struct{} // closed when the serve goroutine exits
+	serveErr atomic.Value  // error from Serve, nil/ErrServerClosed excluded
 }
 
 // Killed reports whether the node was stopped by Kill.
 func (n *Node) Killed() bool { return n.killed.Load() }
 
+func (n *Node) edge(target string) *edge {
+	n.edgeMu.Lock()
+	defer n.edgeMu.Unlock()
+	return n.edges[target]
+}
+
 // Network is a running in-process cluster.
 type Network struct {
 	Nodes []*Node
-	wg    sync.WaitGroup
+
+	opts Options
+	rcfg service.ResilienceConfig
+	wg   sync.WaitGroup
 }
 
 // Start boots opts.Nodes torusd instances on loopback listeners, each
@@ -136,61 +160,84 @@ func Start(opts Options) (*Network, error) {
 		urls = append(urls, "http://"+ln.Addr().String())
 	}
 
-	// Peer fills retry once with short backoff; every failure has a local
-	// fallback, so a patient policy only hides partitions from tests.
-	rcfg := service.ResilienceConfig{
-		MaxAttempts: 2,
-		BaseBackoff: 2 * time.Millisecond,
-		MaxBackoff:  10 * time.Millisecond,
+	nw := &Network{
+		opts: opts,
+		// Peer fills retry once with short backoff; every failure has a
+		// local fallback, so a patient policy only hides partitions from
+		// tests.
+		rcfg: service.ResilienceConfig{
+			MaxAttempts: 2,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  10 * time.Millisecond,
+		},
 	}
-
-	nw := &Network{}
 	for i := 0; i < count; i++ {
-		node := &Node{
-			Index: i,
-			URL:   urls[i],
-			ln:    listeners[i],
-			edges: make(map[string]*edge),
-		}
-		cl, err := cluster.New(cluster.Config{
-			Self:             urls[i],
-			Peers:            urls,
-			Replicas:         opts.Replicas,
-			FailureThreshold: opts.FailureThreshold,
-			DownCooldown:     opts.DownCooldown,
-			Dial: func(u string) cluster.PeerTransport {
-				e := &edge{inner: service.NewPeerFillClient(u, rcfg)}
-				node.edges[u] = e
-				return e
-			},
-		})
+		node, err := nw.newNode(i, urls[i], listeners[i], urls)
 		if err != nil {
 			closeAll()
-			return nil, fmt.Errorf("harness: cluster view %d: %w", i, err)
+			return nil, err
 		}
-		cfg := opts.Service
-		cfg.Cluster = cl
-		if opts.OnCompute != nil {
-			idx, hook := i, opts.OnCompute
-			cfg.OnCompute = func(key string) { hook(idx, key) }
-		}
-		node.Cluster = cl
-		node.Server = service.New(cfg)
-		node.Client = service.NewClient(urls[i])
 		nw.Nodes = append(nw.Nodes, node)
 	}
 	for _, node := range nw.Nodes {
-		node := node
-		nw.wg.Add(1)
-		//lint:ignore syncmisuse joined in Stop: nw.wg.Wait runs after every node's Shutdown.
-		go func() {
-			defer nw.wg.Done()
-			if err := node.Server.Serve(node.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				node.serveErr.Store(err)
-			}
-		}()
+		nw.serve(node)
 	}
 	return nw, nil
+}
+
+// newNode builds one torusd instance whose cluster view spans peers.
+func (nw *Network) newNode(index int, url string, ln net.Listener, peers []string) (*Node, error) {
+	node := &Node{
+		Index: index,
+		URL:   url,
+		ln:    ln,
+		edges: make(map[string]*edge),
+		done:  make(chan struct{}),
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:             url,
+		Peers:            peers,
+		Replicas:         nw.opts.Replicas,
+		Replication:      nw.opts.Replication,
+		HotThreshold:     nw.opts.HotThreshold,
+		HotWindow:        nw.opts.HotWindow,
+		HotCapacity:      nw.opts.HotCapacity,
+		FailureThreshold: nw.opts.FailureThreshold,
+		DownCooldown:     nw.opts.DownCooldown,
+		Dial: func(u string) cluster.PeerTransport {
+			e := &edge{inner: service.NewPeerFillClient(u, nw.rcfg)}
+			node.edgeMu.Lock()
+			node.edges[u] = e
+			node.edgeMu.Unlock()
+			return e
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: cluster view %d: %w", index, err)
+	}
+	cfg := nw.opts.Service
+	cfg.Cluster = cl
+	if nw.opts.OnCompute != nil {
+		idx, hook := index, nw.opts.OnCompute
+		cfg.OnCompute = func(key string) { hook(idx, key) }
+	}
+	node.Cluster = cl
+	node.Server = service.New(cfg)
+	node.Client = service.NewClient(url)
+	return node, nil
+}
+
+// serve starts node's listener goroutine.
+func (nw *Network) serve(node *Node) {
+	nw.wg.Add(1)
+	//lint:ignore syncmisuse joined in Stop: nw.wg.Wait runs after every node's Shutdown.
+	go func() {
+		defer nw.wg.Done()
+		defer close(node.done)
+		if err := node.Server.Serve(node.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			node.serveErr.Store(err)
+		}
+	}()
 }
 
 // WaitReady is the availability checker: it polls every live node's
@@ -225,9 +272,14 @@ func (n *Node) WaitReady(ctx context.Context) error {
 }
 
 // Owner resolves the home node index for a canonical cache key, asking
-// the first live node's ring (every view agrees by construction).
+// the first live node's ring (every live view agrees by construction).
+// The returned index may name a killed node — that is exactly what
+// failover tests want to know.
 func (nw *Network) Owner(key string) (int, error) {
 	for _, n := range nw.Nodes {
+		if n.Killed() {
+			continue
+		}
 		owner, err := n.Cluster.Owner(key)
 		if err != nil {
 			return -1, err
@@ -239,12 +291,42 @@ func (nw *Network) Owner(key string) (int, error) {
 		}
 		return -1, fmt.Errorf("harness: owner %q is not a member", owner)
 	}
-	return -1, errors.New("harness: empty network")
+	return -1, errors.New("harness: no live nodes")
+}
+
+// Owners resolves the replicated owner set (node indexes, primary first)
+// for a canonical cache key from the first live node's ring.
+func (nw *Network) Owners(key string) ([]int, error) {
+	for _, n := range nw.Nodes {
+		if n.Killed() {
+			continue
+		}
+		owners, err := n.Cluster.Owners(key)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, 0, len(owners))
+		for _, o := range owners {
+			found := -1
+			for _, m := range nw.Nodes {
+				if m.URL == o {
+					found = m.Index
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("harness: owner %q is not a member", o)
+			}
+			idx = append(idx, found)
+		}
+		return idx, nil
+	}
+	return nil, errors.New("harness: no live nodes")
 }
 
 // Kill stops node i — it drains and leaves the cluster, its listener
-// closes, and subsequent fills homed there fail over to local compute on
-// the survivors. Idempotent.
+// closes, and subsequent fills homed there fail over to the key's other
+// owners on the survivors. Idempotent.
 func (nw *Network) Kill(ctx context.Context, i int) error {
 	n := nw.Nodes[i]
 	if n.killed.Swap(true) {
@@ -253,19 +335,98 @@ func (nw *Network) Kill(ctx context.Context, i int) error {
 	return n.Server.Shutdown(ctx)
 }
 
+// KillAndWait stops node i and blocks until its serve goroutine has
+// fully exited — after it returns, nothing of node i is still running.
+func (nw *Network) KillAndWait(ctx context.Context, i int) error {
+	if err := nw.Kill(ctx, i); err != nil {
+		return err
+	}
+	select {
+	case <-nw.Nodes[i].done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("harness: node %d did not stop: %w", i, ctx.Err())
+	}
+}
+
+// Join grows the cluster by one node at runtime: it boots a fresh torusd
+// instance whose view already spans the full new membership, then drives
+// every live node's membership controller to admit it — the same
+// epoch-swap path the production admin endpoint uses — and waits for the
+// newcomer to serve. Returns the new node (also appended to Nodes).
+func (nw *Network) Join(ctx context.Context) (*Node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("harness: join listener: %w", err)
+	}
+	url := "http://" + ln.Addr().String()
+	peers := make([]string, 0, len(nw.Nodes)+1)
+	for _, n := range nw.Nodes {
+		if !n.Killed() {
+			peers = append(peers, n.URL)
+		}
+	}
+	peers = append(peers, url)
+	node, err := nw.newNode(len(nw.Nodes), url, ln, peers)
+	if err != nil {
+		if cerr := ln.Close(); cerr != nil {
+			_ = cerr // the construction error wins
+		}
+		return nil, err
+	}
+	nw.Nodes = append(nw.Nodes, node)
+	nw.serve(node)
+	for _, n := range nw.Nodes {
+		if n.Killed() || n == node {
+			continue
+		}
+		if _, err := n.Cluster.Membership().Join(url); err != nil {
+			return node, fmt.Errorf("harness: node %d admitting %s: %w", n.Index, url, err)
+		}
+	}
+	return node, node.WaitReady(ctx)
+}
+
+// Leave shrinks the cluster: every survivor's membership controller
+// evicts node i (advancing its epoch and rebalancing its ring), then the
+// node is stopped and its serve goroutine joined.
+func (nw *Network) Leave(ctx context.Context, i int) error {
+	url := nw.Nodes[i].URL
+	for _, n := range nw.Nodes {
+		if n.Killed() || n.Index == i {
+			continue
+		}
+		if _, err := n.Cluster.Membership().Leave(url); err != nil {
+			return fmt.Errorf("harness: node %d evicting %s: %w", n.Index, url, err)
+		}
+	}
+	return nw.KillAndWait(ctx, i)
+}
+
 // Partition severs both directions of the i↔j link: fills and readiness
 // probes between the two nodes fail while every other link stays up —
-// the network-context primitive for asymmetric failure tests.
-func (nw *Network) Partition(i, j int) { nw.setBlocked(i, j, true) }
+// the network-context primitive for symmetric failure tests.
+func (nw *Network) Partition(i, j int) {
+	nw.setBlocked(i, j, true)
+	nw.setBlocked(j, i, true)
+}
 
-// Heal restores the i↔j link.
-func (nw *Network) Heal(i, j int) { nw.setBlocked(i, j, false) }
+// Heal restores both directions of the i↔j link.
+func (nw *Network) Heal(i, j int) {
+	nw.setBlocked(i, j, false)
+	nw.setBlocked(j, i, false)
+}
+
+// PartitionDirected blocks only the i→j direction: i's fills and probes
+// toward j fail while j can still reach i — the asymmetric-partition
+// primitive (a half-broken link, the classic gray failure).
+func (nw *Network) PartitionDirected(i, j int) { nw.setBlocked(i, j, true) }
+
+// HealDirected restores the i→j direction.
+func (nw *Network) HealDirected(i, j int) { nw.setBlocked(i, j, false) }
 
 func (nw *Network) setBlocked(i, j int, blocked bool) {
-	if e := nw.Nodes[i].edges[nw.Nodes[j].URL]; e != nil {
-		e.blocked.Store(blocked)
-	}
-	if e := nw.Nodes[j].edges[nw.Nodes[i].URL]; e != nil {
+	if e := nw.Nodes[i].edge(nw.Nodes[j].URL); e != nil {
 		e.blocked.Store(blocked)
 	}
 }

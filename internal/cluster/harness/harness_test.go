@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"expvar"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -156,7 +157,9 @@ func TestClusterSingleGlobalCompute(t *testing.T) {
 	}
 
 	// The compute happened on the home shard; every other node was served
-	// by a peer fill, and the home saw their hop requests.
+	// by a peer fill or by the write-through replica the home pushed (the
+	// secondary owner may receive the replica before its own fill runs,
+	// so non-owners see at most one fill), and the home saw hop requests.
 	owner, err := nw.Owner(key)
 	if err != nil {
 		t.Fatal(err)
@@ -167,13 +170,13 @@ func TestClusterSingleGlobalCompute(t *testing.T) {
 			t.Fatalf("vars node %d: %v", n.Index, verr)
 		}
 		if n.Index == owner {
-			if hops := intVar(t, vars, "peer_hops"); hops < 2 {
-				t.Errorf("home node %d served %d hops, want >= 2", n.Index, hops)
+			if hops := intVar(t, vars, "peer_hops"); hops < 1 {
+				t.Errorf("home node %d served %d hops, want >= 1", n.Index, hops)
 			}
 			continue
 		}
-		if fills := intVar(t, vars, "peer_fills"); fills != 1 {
-			t.Errorf("node %d peer_fills = %d, want 1", n.Index, fills)
+		if fills := intVar(t, vars, "peer_fills"); fills > 1 {
+			t.Errorf("node %d peer_fills = %d, want <= 1", n.Index, fills)
 		}
 		if ferr := intVar(t, vars, "peer_fill_errors"); ferr != 0 {
 			t.Errorf("node %d peer_fill_errors = %d, want 0", n.Index, ferr)
@@ -260,7 +263,8 @@ func TestClusterKillHomeMidLoad(t *testing.T) {
 	}
 
 	// A fresh key homed on the dead node must still be answerable: the
-	// fill fails over to local compute on whichever survivor is asked.
+	// fill walks past the dead primary to the key's backup owner — either
+	// the asked survivor itself (local compute) or the other survivor.
 	survivor := (owner + 1) % len(nw.Nodes)
 	freshReq, freshKey := findKeyOwnedBy(t, nw, owner, map[string]bool{key: true})
 	freshTruth := singleNodeTruth(t, ctx, freshReq)
@@ -271,13 +275,18 @@ func TestClusterKillHomeMidLoad(t *testing.T) {
 	if !sameAnswer(resp, freshTruth) {
 		t.Fatalf("survivor answer for %q diverges from single-node truth: %+v vs %+v", freshKey, resp, freshTruth)
 	}
-	vars, err := nw.Nodes[survivor].Client.Vars(ctx)
-	if err != nil {
-		t.Fatal(err)
+	if fo := clusterCounter(nw.Nodes[survivor], "failovers"); fo < 1 {
+		t.Errorf("survivor failovers = %d, want >= 1 (the walk must have stepped past the dead primary)", fo)
 	}
-	if ferr := intVar(t, vars, "peer_fill_errors"); ferr < 1 {
-		t.Errorf("survivor peer_fill_errors = %d, want >= 1 (fill to the dead home must have failed)", ferr)
+}
+
+// clusterCounter reads one integer counter from a node's cluster expvar
+// map (0 when absent).
+func clusterCounter(n *Node, name string) int64 {
+	if v, ok := n.Cluster.Vars().Get(name).(*expvar.Int); ok {
+		return v.Value()
 	}
+	return 0
 }
 
 // TestClusterPartitionFallsBackLocal partitions a requester from a key's
@@ -290,13 +299,33 @@ func TestClusterPartitionFallsBackLocal(t *testing.T) {
 	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
 
 	req, key := analyzeFixture(t, 6, 2, "odr")
-	owner, err := nw.Owner(key)
+	owners, err := nw.Owners(key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	requester := (owner + 1) % len(nw.Nodes)
-
-	nw.Partition(requester, owner)
+	owner := owners[0]
+	// The requester must not itself be an owner of key: otherwise the
+	// failover walk would legitimately stop at self and count no fill
+	// error. Partition it from BOTH owners so every fill attempt fails.
+	requester := -1
+	for _, n := range nw.Nodes {
+		isOwner := false
+		for _, o := range owners {
+			if n.Index == o {
+				isOwner = true
+			}
+		}
+		if !isOwner {
+			requester = n.Index
+			break
+		}
+	}
+	if requester < 0 {
+		t.Fatal("no non-owner node for the requester role")
+	}
+	for _, o := range owners {
+		nw.Partition(requester, o)
+	}
 	resp, err := nw.Nodes[requester].Client.Analyze(ctx, req)
 	if err != nil {
 		t.Fatalf("partitioned request: %v", err)
@@ -318,21 +347,39 @@ func TestClusterPartitionFallsBackLocal(t *testing.T) {
 		t.Fatalf("peer_fill_errors = %d, want >= 1", ferr)
 	}
 
-	// Heal and verify fills resume on a fresh key homed on the same peer.
-	nw.Heal(requester, owner)
-	freshReq, freshKey := findKeyOwnedBy(t, nw, owner, map[string]bool{key: true})
-	if _, err := nw.Nodes[requester].Client.Analyze(ctx, freshReq); err != nil {
-		t.Fatalf("healed request: %v", err)
+	// Heal and verify fills resume. The local fallback's write-through
+	// replica puts also failed across the partition, so the owners may be
+	// marked down; poll with fresh keys until the cooldown + readiness
+	// probe re-admits them and a fill lands.
+	for _, o := range owners {
+		nw.Heal(requester, o)
 	}
-	if got := counter.get(freshKey); got != 1 {
-		t.Fatalf("computes for %q after heal = %d, want 1", freshKey, got)
-	}
-	vars, err = nw.Nodes[requester].Client.Vars(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fills := intVar(t, vars, "peer_fills"); fills != 1 {
-		t.Fatalf("peer_fills after heal = %d, want 1", fills)
+	exclude := map[string]bool{key: true}
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		freshReq, freshKey := findKeyOwnedBy(t, nw, owner, exclude)
+		exclude[freshKey] = true
+		if _, err := nw.Nodes[requester].Client.Analyze(ctx, freshReq); err != nil {
+			t.Fatalf("healed request: %v", err)
+		}
+		if got := counter.get(freshKey); got > 1 {
+			t.Fatalf("computes for %q after heal = %d, want at most 1", freshKey, got)
+		}
+		vars, err = nw.Nodes[requester].Client.Vars(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if intVar(t, vars, "peer_fills") >= 1 {
+			return // a fill landed: the link healed end to end
+		}
+		select {
+		case <-deadline.C:
+			t.Fatal("peer fills never resumed after healing the partition")
+		case <-tick.C:
+		}
 	}
 }
 
@@ -408,5 +455,311 @@ func TestClusterChaosFailpointsUnderChurn(t *testing.T) {
 			t.Fatal("peer fills never resumed after disarming the chaos sites")
 		case <-tick.C:
 		}
+	}
+}
+
+// ownersAndSpare resolves a key's replicated owner set plus one node that
+// owns nothing of it, failing the test if the 3-node layout is degenerate.
+func ownersAndSpare(t *testing.T, nw *Network, key string) (primary, secondary, spare int) {
+	t.Helper()
+	owners, err := nw.Owners(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 2 {
+		t.Fatalf("owners for %q = %v, want a pair", key, owners)
+	}
+	spare = -1
+	for _, n := range nw.Nodes {
+		if n.Index != owners[0] && n.Index != owners[1] {
+			spare = n.Index
+			break
+		}
+	}
+	if spare < 0 {
+		t.Fatalf("no non-owner node for %q in a 3-node cluster", key)
+	}
+	return owners[0], owners[1], spare
+}
+
+// TestClusterReplicaSurvivesKill is the replication acceptance test: warm
+// a key at its home, kill the home, and the very next request for it is
+// served exact from the secondary's write-through replica — zero
+// recomputes cluster-wide.
+func TestClusterReplicaSurvivesKill(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	truth := singleNodeTruth(t, ctx, req)
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	primary, secondary, spare := ownersAndSpare(t, nw, key)
+
+	// Warm at the home only. The flight leader write-through-replicates
+	// synchronously, so by the time Analyze returns the secondary holds
+	// the exact bytes.
+	if resp, err := nw.Nodes[primary].Client.Analyze(ctx, req); err != nil {
+		t.Fatalf("warm primary: %v", err)
+	} else if !sameAnswer(resp, truth) {
+		t.Fatalf("primary warm answer diverges: %+v vs %+v", resp, truth)
+	}
+	vars, err := nw.Nodes[secondary].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stores := intVar(t, vars, "replica_stores"); stores != 1 {
+		t.Fatalf("secondary replica_stores = %d after warm, want 1", stores)
+	}
+	if puts := clusterCounter(nw.Nodes[primary], "replica_puts"); puts != 1 {
+		t.Fatalf("primary replica_puts = %d after warm, want 1", puts)
+	}
+
+	if err := nw.KillAndWait(ctx, primary); err != nil {
+		t.Fatalf("kill primary: %v", err)
+	}
+
+	// The spare never saw the key; its fill walks past the dead primary
+	// to the secondary, which answers from the replicated cache.
+	resp, err := nw.Nodes[spare].Client.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("post-kill request: %v", err)
+	}
+	if !sameAnswer(resp, truth) {
+		t.Fatalf("post-kill answer diverges from truth: %+v vs %+v", resp, truth)
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("cluster-wide computes for %q = %d, want 1 (replica must serve, not recompute)", key, got)
+	}
+	if fo := clusterCounter(nw.Nodes[spare], "failovers"); fo < 1 {
+		t.Errorf("spare failovers = %d, want >= 1", fo)
+	}
+	vars, err = nw.Nodes[spare].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills := intVar(t, vars, "peer_fills"); fills != 1 {
+		t.Errorf("spare peer_fills = %d, want 1 (served by the secondary)", fills)
+	}
+
+	// The secondary itself also answers from its replica, not a compute.
+	if resp, err := nw.Nodes[secondary].Client.Analyze(ctx, req); err != nil {
+		t.Fatalf("secondary post-kill request: %v", err)
+	} else if !sameAnswer(resp, truth) {
+		t.Fatalf("secondary post-kill answer diverges: %+v vs %+v", resp, truth)
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("computes for %q after secondary read = %d, want still 1", key, got)
+	}
+}
+
+// TestClusterJoinUnderLoad grows the cluster by one node while load runs
+// against every original node: availability must stay 100%, every answer
+// exact, and every surviving view's epoch must advance by exactly one.
+func TestClusterJoinUnderLoad(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	for _, n := range nw.Nodes {
+		if got := n.Cluster.Epoch(); got != 1 {
+			t.Fatalf("node %d initial epoch = %d, want 1", n.Index, got)
+		}
+	}
+
+	reqs := make([]service.AnalyzeRequest, 0, 3)
+	for k := 5; k <= 7; k++ {
+		req, _ := analyzeFixture(t, k, 2, "odr")
+		reqs = append(reqs, req)
+	}
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	stopLoad := make(chan struct{})
+	for _, n := range nw.Nodes[:3] {
+		cl := n.Client
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				resp, err := cl.Analyze(ctx, reqs[i%len(reqs)])
+				if err != nil || resp.Degraded {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	joined, err := nw.Join(ctx)
+	close(stopLoad)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed or degraded during the join", n)
+	}
+	for _, n := range nw.Nodes[:3] {
+		if got := n.Cluster.Epoch(); got != 2 {
+			t.Errorf("node %d epoch after join = %d, want 2", n.Index, got)
+		}
+		if peers := len(n.Cluster.Status().Peers); peers != 4 {
+			t.Errorf("node %d sees %d peers after join, want 4", n.Index, peers)
+		}
+	}
+	// The newcomer serves: a request against it answers exact, computed
+	// at most once cluster-wide.
+	req, key := analyzeFixture(t, 9, 2, "odr")
+	resp, err := joined.Client.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("request on joined node: %v", err)
+	}
+	if resp.Degraded {
+		t.Fatal("joined node answered degraded")
+	}
+	if got := counter.get(key); got != 1 {
+		t.Errorf("computes for %q via joined node = %d, want 1", key, got)
+	}
+
+	// And Leave shrinks back: survivors advance to epoch 3 and drop to 3
+	// peers, with the departed node fully stopped.
+	if err := nw.Leave(ctx, joined.Index); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	for _, n := range nw.Nodes[:3] {
+		if got := n.Cluster.Epoch(); got != 3 {
+			t.Errorf("node %d epoch after leave = %d, want 3", n.Index, got)
+		}
+		if peers := len(n.Cluster.Status().Peers); peers != 3 {
+			t.Errorf("node %d sees %d peers after leave, want 3", n.Index, peers)
+		}
+	}
+}
+
+// TestClusterAsymmetricPartitionFailover blocks only the requester→primary
+// direction of one link (a half-broken wire, the classic gray failure):
+// the requester fails over to the secondary owner, which computes and —
+// because its own link to the primary is intact — write-through-replicates
+// back to the primary, converging the cluster despite the bad edge.
+func TestClusterAsymmetricPartitionFailover(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{Nodes: 3, Service: testConfig(), OnCompute: counter.hook})
+
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	primary, secondary, spare := ownersAndSpare(t, nw, key)
+
+	nw.PartitionDirected(spare, primary)
+	resp, err := nw.Nodes[spare].Client.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("request across the broken direction: %v", err)
+	}
+	if resp.Degraded {
+		t.Fatal("asymmetric-partition answer degraded")
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("computes for %q = %d, want 1 (on the secondary)", key, got)
+	}
+	if fo := clusterCounter(nw.Nodes[spare], "failovers"); fo < 1 {
+		t.Errorf("requester failovers = %d, want >= 1", fo)
+	}
+	vars, err := nw.Nodes[spare].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills := intVar(t, vars, "peer_fills"); fills != 1 {
+		t.Errorf("requester peer_fills = %d, want 1 (served by the secondary)", fills)
+	}
+	svars, err := nw.Nodes[secondary].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops := intVar(t, svars, "peer_hops"); hops < 1 {
+		t.Errorf("secondary peer_hops = %d, want >= 1 (it served the failover fill)", hops)
+	}
+	// Convergence through the healthy direction: the secondary's compute
+	// was replicated to the primary over its own intact link.
+	vars, err = nw.Nodes[primary].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stores := intVar(t, vars, "replica_stores"); stores != 1 {
+		t.Errorf("primary replica_stores = %d, want 1 (secondary→primary link is open)", stores)
+	}
+	// The primary answers from that replica without recomputing.
+	if resp, err := nw.Nodes[primary].Client.Analyze(ctx, req); err != nil {
+		t.Fatalf("primary request: %v", err)
+	} else if resp.Degraded {
+		t.Fatal("primary answered degraded")
+	}
+	if got := counter.get(key); got != 1 {
+		t.Errorf("computes for %q after primary read = %d, want still 1", key, got)
+	}
+	nw.HealDirected(spare, primary)
+}
+
+// TestClusterHotKeySpreading hammers one key until the frequency sketch
+// promotes it: the hot copy is pinned locally and pushed to every owner,
+// after which reads anywhere are hot-store hits and the cluster-wide
+// compute count stops at one.
+func TestClusterHotKeySpreading(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counter := newComputeCounter()
+	nw := startNetwork(t, ctx, Options{
+		Nodes:        3,
+		HotThreshold: 2,
+		Service:      testConfig(),
+		OnCompute:    counter.hook,
+	})
+
+	req, key := analyzeFixture(t, 6, 2, "odr")
+	primary, secondary, spare := ownersAndSpare(t, nw, key)
+
+	// Drive the spare past the threshold: first request fills from the
+	// home, the second is the cache hit that crosses and spreads heat.
+	for i := 0; i < 4; i++ {
+		resp, err := nw.Nodes[spare].Client.Analyze(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+		if resp.Degraded {
+			t.Fatalf("request %d answered degraded", i+1)
+		}
+	}
+	if got := counter.get(key); got != 1 {
+		t.Fatalf("computes for %q = %d, want 1", key, got)
+	}
+	if hot := nw.Nodes[spare].Cluster.HotKeys(); hot != 1 {
+		t.Fatalf("spare hot keys = %d after promotion, want 1", hot)
+	}
+	vars, err := nw.Nodes[spare].Client.Vars(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := intVar(t, vars, "hot_hits"); hits < 1 {
+		t.Errorf("spare hot_hits = %d, want >= 1", hits)
+	}
+	// The promotion pushed pinned hot copies to both owners.
+	for _, idx := range []int{primary, secondary} {
+		if hot := nw.Nodes[idx].Cluster.HotKeys(); hot != 1 {
+			t.Errorf("owner node %d hot keys = %d, want 1", idx, hot)
+		}
+	}
+	// Hot reads never recompute, on any node.
+	for _, n := range nw.Nodes {
+		if _, err := n.Client.Analyze(ctx, req); err != nil {
+			t.Fatalf("hot read on node %d: %v", n.Index, err)
+		}
+	}
+	if got := counter.get(key); got != 1 {
+		t.Errorf("computes for %q after hot reads = %d, want still 1", key, got)
 	}
 }

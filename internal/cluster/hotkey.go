@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// hotTracker is a sliding-window frequency sketch over fill-path touches.
+// It keeps two epoch buckets of exact per-key counts — the current window
+// and the previous one — and scores a key as cur+prev, so a key's heat
+// decays to zero within two window widths of its traffic stopping. Exact
+// counts are affordable here because only keys that are actually requested
+// appear, and rotation drops whole buckets; the structure is O(live keys)
+// with no per-key timers.
+type hotTracker struct {
+	mu        sync.Mutex
+	window    time.Duration
+	threshold int
+	now       func() time.Time // injectable for tests
+
+	cur, prev map[string]int
+	curStart  time.Time
+}
+
+// newHotTracker builds a tracker; threshold <= 0 means 32 touches, window
+// <= 0 means 10s.
+func newHotTracker(threshold int, window time.Duration) *hotTracker {
+	if threshold <= 0 {
+		threshold = 32
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	return &hotTracker{
+		window:    window,
+		threshold: threshold,
+		now:       time.Now,
+		cur:       make(map[string]int),
+		prev:      make(map[string]int),
+	}
+}
+
+// rotateLocked advances the window buckets if the current one has aged
+// out. Callers hold mu.
+func (h *hotTracker) rotateLocked() {
+	t := h.now()
+	if h.curStart.IsZero() {
+		h.curStart = t
+		return
+	}
+	elapsed := t.Sub(h.curStart)
+	switch {
+	case elapsed >= 2*h.window:
+		h.cur = make(map[string]int)
+		h.prev = make(map[string]int)
+		h.curStart = t
+	case elapsed >= h.window:
+		h.prev = h.cur
+		h.cur = make(map[string]int)
+		h.curStart = t
+	}
+}
+
+// touch counts one fill-path request for key and reports whether this
+// touch crossed the hot threshold (the caller promotes the key exactly
+// once per crossing).
+func (h *hotTracker) touch(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotateLocked()
+	before := h.cur[key] + h.prev[key]
+	h.cur[key]++
+	return before < h.threshold && before+1 >= h.threshold
+}
+
+// isHot reports whether key's windowed count is at or past the threshold.
+func (h *hotTracker) isHot(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotateLocked()
+	return h.cur[key]+h.prev[key] >= h.threshold
+}
+
+// force marks key hot immediately, as when a peer replicates a hot value
+// here: the receiver adopts the sender's heat so the spread copy serves
+// traffic at once, and the mark decays through the same window rotation as
+// organic heat.
+func (h *hotTracker) force(key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotateLocked()
+	if h.cur[key]+h.prev[key] < h.threshold {
+		h.cur[key] = h.threshold
+	}
+}
+
+// hotStore pins promoted values outside the main cache so LRU pressure and
+// TTL expiry cannot evict a key that is currently saturating the cluster.
+// Entries leave only by cooling (checked lazily on reads and size probes).
+type hotStore struct {
+	mu       sync.RWMutex
+	capacity int
+	vals     map[string]any
+}
+
+// newHotStore builds a store; capacity <= 0 means 128 entries.
+func newHotStore(capacity int) *hotStore {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &hotStore{capacity: capacity, vals: make(map[string]any)}
+}
+
+// get returns the pinned value for key, if any.
+func (s *hotStore) get(key string) (any, bool) {
+	s.mu.RLock()
+	v, ok := s.vals[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// put pins v for key. At capacity, new keys are rejected (existing keys
+// still update): the bound protects memory, and a rejected promotion just
+// leaves the key on the ordinary cache path.
+func (s *hotStore) put(key string, v any) {
+	s.mu.Lock()
+	if _, ok := s.vals[key]; !ok && len(s.vals) >= s.capacity {
+		s.mu.Unlock()
+		return
+	}
+	s.vals[key] = v
+	s.mu.Unlock()
+}
+
+// drop removes key.
+func (s *hotStore) drop(key string) {
+	s.mu.Lock()
+	delete(s.vals, key)
+	s.mu.Unlock()
+}
+
+// keys returns the pinned key set.
+func (s *hotStore) keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// TouchHot counts one fill-path request for key in the hot-key sketch and
+// reports whether this touch crossed the promotion threshold.
+func (c *Cluster) TouchHot(key string) bool { return c.hot.touch(key) }
+
+// IsHot reports whether key is currently past the hot threshold.
+func (c *Cluster) IsHot(key string) bool { return c.hot.isHot(key) }
+
+// HotGet returns the pinned value for key if the key is still hot; a
+// cooled key's pin is dropped on the way out, so the store shrinks lazily
+// as traffic moves on.
+func (c *Cluster) HotGet(key string) (any, bool) {
+	v, ok := c.hotStore.get(key)
+	if !ok {
+		return nil, false
+	}
+	if !c.hot.isHot(key) {
+		c.hotStore.drop(key)
+		return nil, false
+	}
+	return v, true
+}
+
+// HotPut pins v for key in the hot store and marks the key hot, so a
+// replicated hot value serves immediately on this node.
+func (c *Cluster) HotPut(key string, v any) {
+	c.hot.force(key)
+	c.hotStore.put(key, v)
+}
+
+// HotKeys returns the number of currently hot pinned keys, purging cooled
+// entries as a side effect; the torusd_hotkeys gauge reads it.
+func (c *Cluster) HotKeys() int {
+	n := 0
+	for _, k := range c.hotStore.keys() {
+		if c.hot.isHot(k) {
+			n++
+		} else {
+			c.hotStore.drop(k)
+		}
+	}
+	return n
+}

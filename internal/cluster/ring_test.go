@@ -135,6 +135,97 @@ func TestRingRebalanceGolden(t *testing.T) {
 // TestRingRebalanceGolden -v after any deliberate hash change.
 var ringGoldenOwned = []int{587, 457, 520, 612, 533, 483, 496, 408}
 
+// ringGoldenJoinMoved is how many of the 4096 golden keys change primary
+// owner when a 9th peer joins the 8-peer ring. Expected movement is 1/9 of
+// the keyspace (~455); the golden pins the actual count so hash changes
+// are a visible diff.
+const ringGoldenJoinMoved = 457
+
+// TestRingReplicatedRebalanceGolden extends the rebalance check to R=2
+// owner pairs — the replication contract the cluster's zero-cache-loss
+// guarantee rests on:
+//
+//   - owner pairs are two distinct physical peers whenever N >= 2, with
+//     pair[0] == Owner(key);
+//   - a join moves at most ~1/N of primaries (golden-pinned, bounded well
+//     under 25%), and every key's old primary remains in its new owner
+//     pair, so a value replicated before the join is still homed after it;
+//   - a leave of a key's primary promotes its old secondary to primary
+//     (the replica IS the new home — no cached answer is lost), a leave of
+//     its secondary keeps its primary, and a leave of a peer outside the
+//     pair leaves the pair identical.
+func TestRingReplicatedRebalanceGolden(t *testing.T) {
+	const keys = 4096
+	peers := ringPeers(8)
+	full := NewRing(peers, 0)
+
+	key := func(i int) string { return fmt.Sprintf("analyze|k=%d|d=2|p=linear:0|a=odr", i) }
+	pairs := make([][]string, keys)
+	for i := 0; i < keys; i++ {
+		p := full.OwnersN(key(i), 2)
+		if len(p) != 2 || p[0] == p[1] {
+			t.Fatalf("key %d owner pair = %v, want 2 distinct peers", i, p)
+		}
+		if p[0] != full.Owner(key(i)) {
+			t.Fatalf("key %d OwnersN[0] = %s, Owner = %s", i, p[0], full.Owner(key(i)))
+		}
+		pairs[i] = p
+	}
+
+	// Join a 9th peer.
+	joined := NewRing(append(append([]string(nil), peers...), "http://10.0.0.9:8080"), 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := joined.OwnersN(key(i), 2)
+		if after[0] != pairs[i][0] {
+			moved++
+		}
+		if after[0] != pairs[i][0] && after[1] != pairs[i][0] {
+			t.Fatalf("key %d old primary %s vanished from post-join pair %v", i, pairs[i][0], after)
+		}
+	}
+	if moved != ringGoldenJoinMoved {
+		t.Errorf("join moved %d primaries, golden says %d", moved, ringGoldenJoinMoved)
+	}
+	if frac := float64(moved) / keys; frac > 0.25 {
+		t.Errorf("join moved %.1f%% of primaries, want <= 25%%", 100*frac)
+	}
+
+	// Leave each peer in turn.
+	for remove := range peers {
+		rest := make([]string, 0, len(peers)-1)
+		for i, p := range peers {
+			if i != remove {
+				rest = append(rest, p)
+			}
+		}
+		smaller := NewRing(rest, 0)
+		for i := 0; i < keys; i++ {
+			after := smaller.OwnersN(key(i), 2)
+			if len(after) != 2 || after[0] == after[1] {
+				t.Fatalf("key %d post-leave owner pair = %v, want 2 distinct peers", i, after)
+			}
+			switch peers[remove] {
+			case pairs[i][0]:
+				if after[0] != pairs[i][1] {
+					t.Fatalf("key %d primary %s left but new primary is %s, want old secondary %s",
+						i, pairs[i][0], after[0], pairs[i][1])
+				}
+			case pairs[i][1]:
+				if after[0] != pairs[i][0] {
+					t.Fatalf("key %d secondary %s left but primary moved %s -> %s",
+						i, pairs[i][1], pairs[i][0], after[0])
+				}
+			default:
+				if after[0] != pairs[i][0] || after[1] != pairs[i][1] {
+					t.Fatalf("key %d pair changed %v -> %v when uninvolved peer %s left",
+						i, pairs[i], after, peers[remove])
+				}
+			}
+		}
+	}
+}
+
 // FuzzHashRing fuzzes the per-key invariants: determinism, membership of
 // the owner, structural full coverage, and the consistency theorem — a
 // key's owner never changes when some other peer leaves. The aggregate
@@ -168,6 +259,14 @@ func FuzzHashRing(f *testing.F) {
 			t.Fatalf("ring has %d vnodes, want %d", got, want)
 		}
 
+		pair := r.OwnersN(key, 2)
+		if len(pair) != 2 || pair[0] == pair[1] {
+			t.Fatalf("owner pair %v is not 2 distinct peers", pair)
+		}
+		if pair[0] != owner {
+			t.Fatalf("OwnersN[0] = %q, Owner = %q", pair[0], owner)
+		}
+
 		removed := peers[int(leave)%numPeers]
 		rest := make([]string, 0, numPeers-1)
 		for _, p := range peers {
@@ -181,6 +280,9 @@ func FuzzHashRing(f *testing.F) {
 		}
 		if owner == removed && after == removed {
 			t.Fatalf("key still owned by removed peer %q", removed)
+		}
+		if owner == removed && after != pair[1] {
+			t.Fatalf("primary %q left but new primary %q is not old secondary %q", removed, after, pair[1])
 		}
 	})
 }

@@ -303,14 +303,19 @@ func TestChaosAllSites(t *testing.T) {
 			if resp.Degraded || resp.Cached {
 				t.Errorf("dial-fault answer degraded=%v cached=%v, want a fresh exact local compute", resp.Degraded, resp.Cached)
 			}
-			var failures int
+			// The dial fault counts against the peer's health, but the
+			// leader's successful write-through replica put to the same peer
+			// immediately proves it reachable and resets the consecutive-
+			// failure count — so assert the persistent per-peer error
+			// counter, not the transient health state.
+			var fillErrors int64
 			for _, ps := range views[0].Status().Peers {
 				if ps.URL == views[1].Self() {
-					failures = ps.Failures
+					fillErrors = ps.FillErrors
 				}
 			}
-			if failures == 0 {
-				t.Error("home peer shows 0 failures after a dial fault, want >= 1 (dial faults count toward health)")
+			if fillErrors == 0 {
+				t.Error("home peer shows 0 fill errors after a dial fault, want >= 1 (dial faults count toward health)")
 			}
 		}},
 		"cluster.fill.decode": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
@@ -334,6 +339,77 @@ func TestChaosAllSites(t *testing.T) {
 				if ps.URL == views[1].Self() && ps.Failures != 0 {
 					t.Errorf("home peer failures = %d after decode fault, want 0 (health is transport-only)", ps.Failures)
 				}
+			}
+		}},
+		"cluster.replica.put": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// Replication is best effort: with every put dropped, the flight
+			// leader's own answer and cache entry are untouched — only the
+			// secondary's copy (and the error counter) show the fault.
+			clients, views, stop := newChaosClusterPair(t)
+			defer stop()
+			req := remoteHomedRequest(t, views[0], views[0].Self())
+			resp, err := clients[0].Analyze(context.Background(), req)
+			if err != nil {
+				t.Fatalf("analyze with replica-put fault: %v", err)
+			}
+			if resp.Degraded || resp.Cached {
+				t.Errorf("replica-put-fault answer degraded=%v cached=%v, want a fresh exact compute", resp.Degraded, resp.Cached)
+			}
+			if n := clusterVar(views[0].Vars(), "replica_put_errors"); n == 0 {
+				t.Error("replica_put_errors = 0, want the dropped put counted")
+			}
+			if n := clusterVar(views[0].Vars(), "replica_puts"); n != 0 {
+				t.Errorf("replica_puts = %d with every put dropped, want 0", n)
+			}
+		}},
+		"cluster.membership.swap": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// A failed swap must reject the change wholesale: the epoch does
+			// not advance and the previous ring generation keeps serving.
+			view, err := cluster.New(cluster.Config{
+				Self: "http://chaos-node",
+				Dial: func(string) cluster.PeerTransport { return nil },
+			})
+			if err != nil {
+				t.Fatalf("standalone cluster view: %v", err)
+			}
+			if _, jerr := view.Membership().Join("http://other"); jerr == nil {
+				t.Error("Join succeeded despite an armed swap fault, want rejection")
+			}
+			if view.Epoch() != 1 {
+				t.Errorf("epoch = %d after rejected swap, want 1", view.Epoch())
+			}
+			if got := len(view.Peers()); got != 1 {
+				t.Errorf("membership size = %d after rejected swap, want 1", got)
+			}
+			if n := clusterVar(view.Vars(), "membership_errors"); n == 0 {
+				t.Error("membership_errors = 0, want the rejected swap counted")
+			}
+		}},
+		"cluster.owner.failover": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// Break the primary with a one-shot dial fault so the walk must
+			// fail over — into the armed failover fault. Even with both the
+			// primary and the failover path broken, the request answers
+			// exactly from a local compute.
+			clients, views, stop := newChaosClusterPair(t)
+			defer stop()
+			if err := failpoint.Enable("cluster.peer.dial", "1*error"); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := failpoint.Disable("cluster.peer.dial"); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			req := remoteHomedRequest(t, views[0], views[1].Self())
+			resp, err := clients[0].Analyze(context.Background(), req)
+			if err != nil {
+				t.Fatalf("analyze with failover fault: %v", err)
+			}
+			if resp.Degraded || resp.Cached {
+				t.Errorf("failover-fault answer degraded=%v cached=%v, want a fresh exact local compute", resp.Degraded, resp.Cached)
+			}
+			if n := clusterVar(views[0].Vars(), "failover_errors"); n == 0 {
+				t.Error("failover_errors = 0, want the broken failover counted")
 			}
 		}},
 		"sweep.experiment": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {

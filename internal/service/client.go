@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"torusnet/internal/cluster"
 	"torusnet/internal/obs"
 )
 
@@ -101,6 +102,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 	}
 	if c.peerHop {
 		req.Header.Set(PeerHopHeader, "1")
+		if path == cluster.ReplicaPath {
+			// A peer-to-peer POST to the replica endpoint is a write-through
+			// put; the header tells the receiver to store without re-filling.
+			req.Header.Set(ReplicaHeader, "1")
+		}
 	}
 	if traceID := obs.TraceIDFromContext(ctx); traceID != "" {
 		// Propagate the caller's trace downstream: the trace ID rides the

@@ -61,6 +61,8 @@ const (
 	mPeerFillErrors = "peer_fill_errors"
 	mPeerHops       = "peer_hops"
 	mAnalyticHits   = "analytic_hits"
+	mHotHits        = "hot_hits"
+	mReplicaStores  = "replica_stores"
 )
 
 func newMetrics() *metrics {
@@ -78,6 +80,7 @@ func newMetrics() *metrics {
 		mCacheHits, mCacheMisses, mCoalesced, mInFlight,
 		mWriteErrors, mLatencyMSTotal, mDegraded, mSlow,
 		mPeerFills, mPeerFillErrors, mPeerHops, mAnalyticHits,
+		mHotHits, mReplicaStores,
 	} {
 		m.vars.Set(name, new(expvar.Int))
 	}
@@ -139,6 +142,8 @@ var promSchema = []struct {
 	{mPeerFillErrors, "torusd_peer_fill_errors_total", "peer fills lost to ring, dial, or decode failures", false},
 	{mPeerHops, "torusd_peer_hops_total", "fill requests served on behalf of cluster peers", false},
 	{mAnalyticHits, "torusd_analytic_hits_total", "analyze requests answered by the closed-form fast lane", false},
+	{mHotHits, "torusd_hot_hits_total", "requests served from the pinned hot-key store", false},
+	{mReplicaStores, "torusd_replica_stores_total", "write-through replica puts accepted from peers", false},
 	{mInFlight, "torusd_in_flight", "requests currently being served", true},
 }
 
@@ -182,6 +187,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			float64(len(cl.Status().Peers)))
 		obs.PromGauge(&buf, "torusd_cluster_peers_down", "remote peers currently marked down",
 			float64(cl.DownPeers()))
+		obs.PromGauge(&buf, "torusd_cluster_epoch", "current membership epoch (advances on every ring swap)",
+			float64(cl.Epoch()))
+		obs.PromGauge(&buf, "torusd_hotkeys", "keys currently pinned in the hot store",
+			float64(cl.HotKeys()))
 		obs.PromHistogram(&buf, "torusd_peer_fill_seconds",
 			"latency of successful cluster peer fills", s.metrics.peerFill)
 	}

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -207,6 +208,9 @@ func New(cfg Config) *Server {
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
+	if cfg.Cluster != nil {
+		s.mux.HandleFunc("POST "+cluster.ReplicaPath, s.handleReplica)
+	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	s.mux.HandleFunc("POST /v1/bisect", s.handleBisect)
@@ -241,6 +245,14 @@ const degradedHeader = "X-Torusd-Degraded"
 // views disagree during membership skew. NewPeerFillClient sets it on
 // every request.
 const PeerHopHeader = "X-Torusd-Peer-Hop"
+
+// ReplicaHeader marks a write-through replica put from a peer's flight
+// leader: the body is a cluster.ReplicaPut whose exact result the receiver
+// stores without re-filling or recomputing. NewPeerFillClient sets it on
+// requests to cluster.ReplicaPath; the replica handler rejects puts
+// without it so the endpoint cannot be driven by ordinary clients by
+// accident.
+const ReplicaHeader = "X-Torusd-Replica"
 
 // Handler returns the full middleware-wrapped handler, suitable for
 // httptest servers and embedding. The middleware owns request identity and
@@ -397,9 +409,11 @@ type peerFill struct {
 }
 
 // fillFor plans the peer-fill stage for one request: nil outside cluster
-// mode, a hop-marked no-fill plan for requests arriving from peers (each
-// counted in peer_hops), and otherwise the path + canonical payload +
-// decoder the flight leader needs to fetch the key from its home peer.
+// mode, a hop-marked plan for requests arriving from peers (each counted
+// in peer_hops; the loop guard forbids filling again, but the path and
+// payload still ride along so the flight leader can write-through-
+// replicate its result), and otherwise the path + canonical payload +
+// decoder the flight leader needs to fetch the key from its owners.
 // req must be a pointer to the canonicalized request (a pointer converts
 // to any without allocating; the canonical form keeps peer cache keys
 // byte-identical to local ones).
@@ -407,17 +421,17 @@ func (s *Server) fillFor(r *http.Request, path string, req any, decode func([]by
 	if s.cfg.Cluster == nil {
 		return nil
 	}
-	if r.Header.Get(PeerHopHeader) != "" {
+	hop := r.Header.Get(PeerHopHeader) != ""
+	if hop {
 		s.metrics.add(mPeerHops, 1)
-		return &peerFill{hop: true}
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
-		// A canonical request that fails to marshal cannot be forwarded;
-		// serve it locally.
+		// A canonical request that fails to marshal cannot be forwarded or
+		// replicated; serve it locally.
 		return &peerFill{hop: true}
 	}
-	return &peerFill{path: path, payload: payload, decode: decode}
+	return &peerFill{path: path, payload: payload, decode: decode, hop: hop}
 }
 
 // runPeerFill executes the fill plan inside the flight leader under the
@@ -443,16 +457,51 @@ func (s *Server) runPeerFill(ctx context.Context, key string, f *peerFill) (any,
 	return v, true
 }
 
-// execute is the shared cache → coalesce → [peer fill] → pool path of
-// every POST endpoint, with one span per pipeline stage (cache.get,
-// flight.do, cluster.peer_fill, pool.submit, pool.run) recorded under any
-// active trace. fill is the peer-fill plan from fillFor (nil in
-// single-node mode); placing the fill inside the flight leader threads the
-// singleflight through the cluster, so N nodes asking for one key still
-// yield one computation cluster-wide. compute receives the trace-carrying
-// context and must return an immutable value; cached reports whether this
-// caller was served from the result cache.
+// replicate write-through-replicates a flight leader's exact result to
+// key's other owners (best effort, under the cluster.replicate span) and,
+// when the request crossed the hot threshold, pins the value in the local
+// hot store so this node serves the key without cache or pool involvement.
+// No-op outside cluster mode or when the plan carries no canonical payload.
+func (s *Server) replicate(ctx context.Context, key string, fill *peerFill, v any, hot bool) {
+	cl := s.cfg.Cluster
+	if cl == nil || fill == nil || fill.path == "" {
+		return
+	}
+	if hot {
+		cl.HotPut(key, v)
+	}
+	result, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	rctx, sp := obs.Start(ctx, "cluster.replicate")
+	defer sp.End()
+	sent := cl.Replicate(rctx, key, fill.path, fill.payload, result, hot)
+	sp.SetAttrInt("sent", int64(sent))
+	sp.SetAttrBool("hot", hot)
+}
+
+// execute is the shared hot store → cache → coalesce → [peer fill] → pool
+// path of every POST endpoint, with one span per pipeline stage
+// (cache.get, flight.do, cluster.peer_fill, pool.submit, pool.run,
+// cluster.replicate) recorded under any active trace. fill is the
+// peer-fill plan from fillFor (nil in single-node mode); placing the fill
+// inside the flight leader threads the singleflight through the cluster,
+// so N nodes asking for one key still yield one computation cluster-wide,
+// and the leader write-through-replicates its exact result to the key's
+// other owners. compute receives the trace-carrying context and must
+// return an immutable value; cached reports whether this caller was served
+// from the hot store or result cache.
 func (s *Server) execute(ctx context.Context, key string, fill *peerFill, compute func(context.Context) (any, error)) (val any, cached bool, err error) {
+	hotCrossed := false
+	if cl := s.cfg.Cluster; cl != nil {
+		if v, ok := cl.HotGet(key); ok {
+			s.metrics.add(mHotHits, 1)
+			cl.TouchHot(key)
+			return v, true, nil
+		}
+		hotCrossed = cl.TouchHot(key)
+	}
 	_, csp := obs.Start(ctx, "cache.get")
 	v, ok, err := s.cacheGet(key)
 	csp.SetAttrBool("hit", ok)
@@ -462,6 +511,9 @@ func (s *Server) execute(ctx context.Context, key string, fill *peerFill, comput
 	}
 	if ok {
 		s.metrics.add(mCacheHits, 1)
+		if hotCrossed {
+			s.replicate(ctx, key, fill, v, true)
+		}
 		return v, true, nil
 	}
 	s.metrics.add(mCacheMisses, 1)
@@ -482,6 +534,9 @@ func (s *Server) execute(ctx context.Context, key string, fill *peerFill, comput
 		}
 		if fill != nil && !fill.hop {
 			if v, ok := s.runPeerFill(fctx, key, fill); ok {
+				if hotCrossed {
+					s.replicate(fctx, key, fill, v, true)
+				}
 				return v, nil
 			}
 		}
@@ -497,6 +552,7 @@ func (s *Server) execute(ctx context.Context, key string, fill *peerFill, comput
 		})
 		if err == nil {
 			s.cachePut(key, v)
+			s.replicate(fctx, key, fill, v, hotCrossed)
 		}
 		return v, err
 	})
@@ -751,6 +807,107 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleReplica accepts a write-through replica put from a peer's flight
+// leader: it derives the cache key from the put's own canonical payload —
+// never trusting a client-supplied key, so a put can only fill the entry
+// its payload hashes to — validates the exact result body with the same
+// decoder the fill path uses (degraded bodies are rejected), and stores
+// it. Hot puts are additionally pinned in the hot store, spreading a hot
+// key across all its owners.
+func (s *Server) handleReplica(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(ReplicaHeader) == "" {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("service: replica puts require the "+ReplicaHeader+" header"))
+		return
+	}
+	var put cluster.ReplicaPut
+	if !s.readRequest(w, r, &put) {
+		return
+	}
+	key, v, err := s.decodeReplica(put)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cachePut(key, v)
+	if put.Hot {
+		s.cfg.Cluster.HotPut(key, v)
+	}
+	s.metrics.add(mReplicaStores, 1)
+	s.writeJSON(w, http.StatusOK, struct {
+		Stored bool   `json:"stored"`
+		Key    string `json:"key"`
+	}{true, key})
+}
+
+// decodeReplica maps a replica put to its server-derived cache key and
+// typed value, mirroring each endpoint's canonicalization so replica keys
+// are byte-identical to locally computed ones.
+func (s *Server) decodeReplica(put cluster.ReplicaPut) (string, any, error) {
+	switch {
+	case put.Path == "/v1/analyze":
+		var req AnalyzeRequest
+		if err := decodeStrict(bytes.NewReader(put.Payload), &req); err != nil {
+			return "", nil, err
+		}
+		if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+			return "", nil, err
+		}
+		v, err := decodeAnalyzeFill(put.Result)
+		if err != nil {
+			return "", nil, err
+		}
+		return req.CacheKey(), v, nil
+	case put.Path == "/v1/bounds":
+		var req BoundsRequest
+		if err := decodeStrict(bytes.NewReader(put.Payload), &req); err != nil {
+			return "", nil, err
+		}
+		if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+			return "", nil, err
+		}
+		v, err := decodeBoundsFill(put.Result)
+		if err != nil {
+			return "", nil, err
+		}
+		return req.CacheKey(), v, nil
+	case put.Path == "/v1/bisect":
+		var req BisectRequest
+		if err := decodeStrict(bytes.NewReader(put.Payload), &req); err != nil {
+			return "", nil, err
+		}
+		if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+			return "", nil, err
+		}
+		v, err := decodeBisectFill(put.Result)
+		if err != nil {
+			return "", nil, err
+		}
+		return req.CacheKey(), v, nil
+	case strings.HasPrefix(put.Path, "/v1/experiments/"):
+		id := strings.TrimPrefix(put.Path, "/v1/experiments/")
+		e, ok := sweep.ByID(id)
+		if !ok {
+			return "", nil, fmt.Errorf("service: replica put for unknown experiment %q", id)
+		}
+		var req ExperimentRequest
+		if len(bytes.TrimSpace(put.Payload)) > 0 {
+			if err := decodeStrict(bytes.NewReader(put.Payload), &req); err != nil {
+				return "", nil, err
+			}
+		}
+		if err := req.Canonicalize(); err != nil {
+			return "", nil, err
+		}
+		v, err := decodeExperimentFill(put.Result)
+		if err != nil {
+			return "", nil, err
+		}
+		return fmt.Sprintf("experiment|%s|%s", e.ID, req.Scale), v, nil
+	}
+	return "", nil, fmt.Errorf("service: replica put for unknown path %q", put.Path)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -771,6 +928,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Mode = "cluster"
 		resp.Ready = cl.Ready()
 		resp.Self = cl.Self()
+		resp.Epoch = cl.Epoch()
+		resp.Replication = cl.Replication()
 		resp.Peers = len(cl.Status().Peers)
 		resp.PeersDown = cl.DownPeers()
 	}
