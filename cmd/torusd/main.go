@@ -1,10 +1,15 @@
 // Command torusd serves the torusnet analyses over HTTP: exact E_max loads
 // (POST /v1/analyze), the paper's lower bounds (POST /v1/bounds), bisection
-// constructions (POST /v1/bisect), and the E1–E32 experiment registry
+// constructions (POST /v1/bisect), async placement searches
+// (POST /v1/optimize → 202 + job id, polled at GET /v1/jobs/{id}, cancelled
+// with DELETE /v1/jobs/{id}), and the E1–E33 experiment registry
 // (GET /v1/experiments, POST /v1/experiments/{id}), plus /healthz, expvar
 // metrics at /debug/vars, and Prometheus text metrics at /metrics.
 // Identical requests are cached (LRU + TTL) and concurrent identical
-// requests are coalesced into one computation.
+// requests are coalesced into one computation. Searches run on their own
+// goroutines outside the request pool, bounded by -max-jobs (429 past it),
+// deadlined by -job-timeout, with finished records pollable for -job-ttl;
+// see OPTIMIZE.md for the operator guide.
 //
 // Every request carries a W3C traceparent ID (incoming honored, otherwise
 // minted) that is echoed on the response and in access logs; per-request
@@ -83,6 +88,9 @@ func main() {
 		cacheTTL    = flag.Duration("ttl", 0, "result cache TTL (0 = 10m, negative = no expiry)")
 		timeout     = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
 		maxNodes    = flag.Int("max-nodes", 0, "k^d ceiling per request (0 = 4096)")
+		maxJobs     = flag.Int("max-jobs", 0, "concurrent async search jobs; submissions past it answer 429 (0 = 4)")
+		jobTTL      = flag.Duration("job-ttl", 0, "how long finished job records stay pollable (0 = 15m, negative = forever)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job search deadline (0 = 5m)")
 		noFastPath  = flag.Bool("no-fastpath", false, "disable the translation-symmetry load fast path (generic engine only)")
 		noAnalytic  = flag.Bool("no-analytic", false, "disable the closed-form analytic fast lane for /v1/analyze")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /debug/failpoints on this separate address (empty = disabled)")
@@ -119,6 +127,9 @@ func main() {
 		CacheTTL:         *cacheTTL,
 		RequestTimeout:   *timeout,
 		MaxNodes:         *maxNodes,
+		MaxJobs:          *maxJobs,
+		JobTTL:           *jobTTL,
+		JobTimeout:       *jobTimeout,
 		DisableFastPath:  *noFastPath,
 		EnableAnalytic:   !*noAnalytic,
 		DegradeWatermark: *degradeAt,

@@ -5,20 +5,34 @@
 // placement is optimal when both grow like k^{d−1} and the ratio
 // E_max / (§4 lower bound) stays bounded.
 //
+// With -serve it instead boots the same HTTP service torusd exposes —
+// /v1/analyze, /v1/optimize, /v1/jobs and friends — so a placement search
+// can be driven from the certifier binary alone (handy on hosts where only
+// torusplace is installed). The sweep flags are ignored in serve mode.
+//
 // Usage:
 //
 //	torusplace -d 3 -placement linear -routing udr -kmin 4 -kmax 10
 //	torusplace -d 2 -placement full -routing odr -kmin 4 -kmax 12
+//	torusplace -serve :8080 -workers 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"torusnet/internal/bounds"
 	"torusnet/internal/cliutil"
 	"torusnet/internal/load"
+	"torusnet/internal/service"
 	"torusnet/internal/stats"
 	"torusnet/internal/torus"
 )
@@ -32,13 +46,56 @@ func main() {
 		placeSpec = flag.String("placement", "linear", "placement spec (see torusload)")
 		routeSpec = flag.String("routing", "odr", "routing: odr|odr-multi|udr|udr-multi|far")
 		workers   = flag.Int("workers", 0, "load-engine workers")
+		serveAddr = flag.String("serve", "", "serve the torusd HTTP API on this address instead of sweeping (empty = sweep mode)")
 	)
 	flag.Parse()
 
-	if err := run(*d, *kmin, *kmax, *kstep, *placeSpec, *routeSpec, *workers); err != nil {
+	var err error
+	if *serveAddr != "" {
+		err = serve(*serveAddr, *workers)
+	} else {
+		err = run(*d, *kmin, *kmax, *kstep, *placeSpec, *routeSpec, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "torusplace:", err)
 		os.Exit(1)
 	}
+}
+
+// serve boots the shared HTTP service — same handlers, cache, job manager,
+// and metrics as torusd, minus torusd's cluster/debug/selfbench trimmings —
+// and drains gracefully on SIGINT/SIGTERM.
+func serve(addr string, workers int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := service.New(service.Config{AnalysisWorkers: workers, AccessLog: os.Stderr})
+	fmt.Fprintf(os.Stderr, "torusplace: serving torusd API on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "torusplace: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "torusplace: stopped")
+	return nil
 }
 
 func run(d, kmin, kmax, kstep int, placeSpec, routeSpec string, workers int) error {

@@ -18,11 +18,14 @@
 //   - fault-tolerance analysis (§7) anchored by a max-flow substrate;
 //   - a cycle-accurate store-and-forward simulator that executes complete
 //     exchanges on partially populated tori;
-//   - the E1–E31 experiment registry: E1–E14 regenerate every claim of the
-//     paper as a measured-vs-predicted table, E15–E31 are extension
+//   - a multi-strategy placement searcher (simulated annealing, exhaustive
+//     branch-and-bound that proves optima on small tori, Lee-sphere tiling
+//     seeds), each result stamped with its gap to the §4 lower bound;
+//   - the E1–E33 experiment registry: E1–E14 regenerate every claim of the
+//     paper as a measured-vs-predicted table, E15–E33 are extension
 //     ablations (routing matrix, wormhole switching, scheduling, BSP,
-//     Valiant randomization, coverage, annealing, and the load engine's
-//     translation-symmetry fast path).
+//     Valiant randomization, coverage, placement search, and the load
+//     engine's translation-symmetry fast path).
 //
 // The root package is a facade over the internal packages; see the
 // examples/ directory for end-to-end usage and EXPERIMENTS.md for the

@@ -90,8 +90,8 @@ func TestFacadeSimulationAndFaults(t *testing.T) {
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 32 {
-		t.Fatalf("got %d experiments, want 32", len(exps))
+	if len(exps) != 33 {
+		t.Fatalf("got %d experiments, want 33", len(exps))
 	}
 	e, ok := ExperimentByID("E10")
 	if !ok {

@@ -1,27 +1,62 @@
-// Package optimize searches for low-load placements directly, by seeded
-// simulated annealing over node subsets of fixed size with E_max under a
-// routing algorithm as the energy. It answers the question the paper's
-// constructions raise empirically: can an unstructured search beat the
-// linear placement? (E28 measures: it essentially cannot — annealed
-// placements converge to the linear placement's E_max from above, which is
-// strong empirical evidence of optimality beyond the Θ-bounds.)
+// Package optimize searches for low-load placements directly, inverting the
+// paper's analysis direction: instead of certifying a given placement
+// against the §4 lower bounds, it looks for node subsets of fixed size
+// minimizing E_max under a routing algorithm. Three complementary
+// strategies share one Result shape:
+//
+//   - Anneal / AnnealCtx: seeded simulated annealing (Metropolis acceptance,
+//     geometric cooling) over single-processor relocations. Scales to any
+//     torus the load engine handles; E28 and E33 measure that annealed
+//     placements converge to the linear construction's E_max from above.
+//   - BranchAndBound: exhaustive subset search on small tori, pruned by the
+//     monotonicity of edge loads (adding a processor never lowers any
+//     edge's load) against the best incumbent, with translation symmetry
+//     reduction for equivariant algorithms and the Theorem 2 / §4 analytic
+//     floor as the early-exit bound. When it completes within budget the
+//     returned placement is a proven optimum (Result.Proven).
+//   - LeeSeed: the constructive strategy — a t-hop Lee-sphere tiling seed
+//     built by farthest-point sampling, spreading processors so their Lee
+//     balls of the largest feasible radius pack the torus. Instant, and the
+//     natural warm start for the other two (Config.Start).
+//
+// Every strategy stamps per-strategy provenance (Strategy, Visited/Pruned
+// counters, Proven) and the gap to the best §4 lower bound certified for
+// the returned placement (LowerBound, Gap), computed from internal/bounds.
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"torusnet/internal/bisect"
+	"torusnet/internal/bounds"
 	"torusnet/internal/load"
+	"torusnet/internal/obs"
 	"torusnet/internal/placement"
 	"torusnet/internal/routing"
 	"torusnet/internal/torus"
 )
 
-// Config parameterizes an annealing run.
+// Strategy names, stamped into Result.Strategy and accepted by the service
+// layer's /v1/optimize endpoint.
+const (
+	// StrategyAnneal is seeded simulated annealing.
+	StrategyAnneal = "anneal"
+	// StrategyBranchBound is the exhaustive branch-and-bound search.
+	StrategyBranchBound = "bnb"
+	// StrategyLeeSphere is the constructive Lee-sphere tiling seed.
+	StrategyLeeSphere = "leesphere"
+)
+
+// Config parameterizes a search run. Anneal reads Size, Steps, Seed, the
+// temperature pair, Workers, Start, and the progress fields; BranchAndBound
+// reads Size, Workers, Start, MaxVisited, and the progress fields; LeeSeed
+// reads only Size.
 type Config struct {
 	// Size is the number of processors to place.
 	Size int
-	// Steps is the number of proposed moves.
+	// Steps is the number of proposed annealing moves.
 	Steps int
 	// Seed drives the proposal and acceptance randomness.
 	Seed int64
@@ -30,22 +65,132 @@ type Config struct {
 	InitialTemp, FinalTemp float64
 	// Workers for the load engine.
 	Workers int
+	// Start optionally seeds the search with an explicit placement (Size
+	// distinct nodes): annealing starts from it instead of a random
+	// placement, and branch-and-bound adopts its E_max as the initial
+	// incumbent. Nil means a random start (anneal) or a Lee-sphere seed
+	// (branch-and-bound).
+	Start []torus.Node
+	// Progress, when non-nil, receives a snapshot every ProgressEvery units
+	// of work (annealing steps, branch-and-bound node expansions). The
+	// callback runs on the searching goroutine; it must be fast and must
+	// not retain the snapshot's Best placement.
+	Progress func(Progress)
+	// ProgressEvery is the work interval between Progress callbacks;
+	// 0 means max(1, Steps/20) for annealing and 65536 expansions for
+	// branch-and-bound.
+	ProgressEvery int
+	// MaxVisited bounds branch-and-bound node expansions; past it the
+	// search returns the incumbent with Proven=false. 0 means
+	// DefaultMaxVisited.
+	MaxVisited int64
 }
 
-// Result reports the annealing outcome.
+// Progress is one in-flight snapshot of a search, delivered through
+// Config.Progress.
+type Progress struct {
+	// Strategy identifies the searcher emitting the snapshot.
+	Strategy string
+	// Step and Steps report annealing progress (proposed moves so far out
+	// of the total schedule); zero for other strategies.
+	Step, Steps int
+	// Visited and Pruned report branch-and-bound progress; zero elsewhere.
+	Visited, Pruned int64
+	// BestEMax is the best energy found so far.
+	BestEMax float64
+}
+
+// Result reports a search outcome in a strategy-independent shape.
 type Result struct {
-	Best      *placement.Placement
-	BestEMax  float64
+	// Best is the best placement found.
+	Best *placement.Placement
+	// BestEMax is Best's E_max under the searched algorithm, recomputed by
+	// the load engine so it is bit-identical to load.Compute on Best.
+	BestEMax float64
+	// StartEMax is the E_max of the search's starting point (the random or
+	// seeded placement for annealing, the initial incumbent for
+	// branch-and-bound, the seed itself for LeeSeed).
 	StartEMax float64
-	Accepted  int
-	Steps     int
+	// Accepted counts accepted annealing moves; zero for other strategies.
+	Accepted int
+	// Steps is the executed annealing schedule length; zero elsewhere.
+	Steps int
+	// Strategy names the searcher that produced this result (StrategyAnneal,
+	// StrategyBranchBound, StrategyLeeSphere).
+	Strategy string
+	// LowerBound is the best §4 lower bound certified for Best (Blaum,
+	// bisection-cut, and — for uniform placements — the improved density
+	// bound), computed from internal/bounds.
+	LowerBound float64
+	// Gap is BestEMax − LowerBound: how far above its own certificate the
+	// returned placement sits. Zero means provably optimal.
+	Gap float64
+	// Proven reports that the search exhausted the (symmetry-reduced)
+	// space within budget, so BestEMax is the exact optimum. Only
+	// branch-and-bound can set it.
+	Proven bool
+	// Visited and Pruned count branch-and-bound node expansions and
+	// bound-pruned subtrees; zero for other strategies.
+	Visited, Pruned int64
+}
+
+// energy computes E_max of a node subset under alg.
+func energy(t *torus.Torus, nodes []torus.Node, alg routing.Algorithm, workers int) float64 {
+	p := placement.New(t, nodes, "search")
+	return load.Compute(p, alg, load.Options{Workers: workers}).Max
+}
+
+// finish stamps the shared provenance fields on res: the best §4 lower
+// bound certified for res.Best and the gap above it. Returns res.
+func finish(res *Result) *Result {
+	p := res.Best
+	t := p.Torus()
+	lb := bounds.Blaum(p.Size(), t.D())
+	cut := bisect.Sweep(p)
+	if b := bounds.Bisection(p.Size(), cut.Width()); b > lb {
+		lb = b
+	}
+	if dim := bisect.BestDimensionCut(p); dim.Balanced() {
+		if b := bounds.Bisection(p.Size(), dim.Width()); b > lb {
+			lb = b
+		}
+	}
+	if p.IsUniform() {
+		kd1 := 1.0
+		for i := 0; i < t.D()-1; i++ {
+			kd1 *= float64(t.K())
+		}
+		if kd1 > 0 {
+			if b := bounds.Improved(float64(p.Size())/kd1, t.K(), t.D()); b > lb {
+				lb = b
+			}
+		}
+	}
+	res.LowerBound = lb
+	res.Gap = res.BestEMax - lb
+	return res
 }
 
 // Anneal searches for a placement of cfg.Size processors minimizing E_max
 // under the algorithm. Moves relocate one processor to a random empty
 // node; acceptance follows Metropolis with geometric cooling. The search
-// is deterministic for a fixed seed.
+// is deterministic for a fixed seed. It is the pre-context shim for
+// AnnealCtx and keeps the original panic-on-bad-size contract.
 func Anneal(t *torus.Torus, alg routing.Algorithm, cfg Config) *Result {
+	res, err := AnnealCtx(context.Background(), t, alg, cfg)
+	if err != nil {
+		// Unreachable: a background context never cancels, and
+		// cancellation is AnnealCtx's only error path.
+		panic(err)
+	}
+	return res
+}
+
+// AnnealCtx is Anneal with cancellation: the loop observes ctx between
+// moves and, when cancelled, returns the best placement found so far
+// together with ctx's error. Progress callbacks fire per Config.Progress.
+// The move sequence for a fixed seed is identical to Anneal's.
+func AnnealCtx(ctx context.Context, t *torus.Torus, alg routing.Algorithm, cfg Config) (*Result, error) {
 	if cfg.Size < 2 || cfg.Size > t.Nodes() {
 		panic("optimize: placement size out of range")
 	}
@@ -61,27 +206,51 @@ func Anneal(t *torus.Torus, alg routing.Algorithm, cfg Config) *Result {
 	if t1 <= 0 {
 		t1 = 0.01
 	}
+	_, sp := obs.Start(ctx, "optimize.anneal")
+	defer sp.End()
+	sp.SetAttrInt("size", int64(cfg.Size))
+	sp.SetAttrInt("steps", int64(steps))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Start from a random placement.
+	// Start from the caller's seed placement, else a random one. The
+	// random permutation is drawn either way so the downstream proposal
+	// stream (and with it every E28 table) is seed-stable.
 	perm := rng.Perm(t.Nodes())
 	current := make([]torus.Node, cfg.Size)
 	occupied := make([]bool, t.Nodes())
-	for i := 0; i < cfg.Size; i++ {
-		current[i] = torus.Node(perm[i])
-		occupied[perm[i]] = true
+	if len(cfg.Start) > 0 {
+		if len(cfg.Start) != cfg.Size {
+			panic("optimize: Start length does not match Size")
+		}
+		copy(current, cfg.Start)
+	} else {
+		for i := 0; i < cfg.Size; i++ {
+			current[i] = torus.Node(perm[i])
+		}
 	}
-	energy := func(nodes []torus.Node) float64 {
-		p := placement.New(t, nodes, "anneal")
-		return load.Compute(p, alg, load.Options{Workers: cfg.Workers}).Max
+	for _, u := range current {
+		occupied[u] = true
 	}
-	cur := energy(current)
-	res := &Result{StartEMax: cur, BestEMax: cur, Steps: steps}
+	cur := energy(t, current, alg, cfg.Workers)
+	res := &Result{StartEMax: cur, BestEMax: cur, Steps: steps, Strategy: StrategyAnneal}
 	best := append([]torus.Node(nil), current...)
 
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = steps / 20
+		if every < 1 {
+			every = 1
+		}
+	}
 	cool := math.Pow(t1/t0, 1/math.Max(1, float64(steps-1)))
 	temp := t0
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			res.Steps = step
+			res.Best = placement.New(t, best, "annealed")
+			sp.SetAttr("outcome", "cancelled")
+			return finish(res), err
+		}
 		// Propose: move one processor to a random free node.
 		pi := rng.Intn(cfg.Size)
 		var target torus.Node
@@ -95,7 +264,7 @@ func Anneal(t *torus.Torus, alg routing.Algorithm, cfg Config) *Result {
 		occupied[old] = false
 		occupied[target] = true
 		current[pi] = target
-		next := energy(current)
+		next := energy(t, current, alg, cfg.Workers)
 		accept := next <= cur || rng.Float64() < math.Exp((cur-next)/temp)
 		if accept {
 			cur = next
@@ -110,7 +279,10 @@ func Anneal(t *torus.Torus, alg routing.Algorithm, cfg Config) *Result {
 			current[pi] = old
 		}
 		temp *= cool
+		if cfg.Progress != nil && (step+1)%every == 0 {
+			cfg.Progress(Progress{Strategy: StrategyAnneal, Step: step + 1, Steps: steps, BestEMax: res.BestEMax})
+		}
 	}
 	res.Best = placement.New(t, best, "annealed")
-	return res
+	return finish(res), nil
 }

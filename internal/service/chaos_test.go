@@ -65,6 +65,12 @@ func analyzeStatus(t *testing.T, c *Client, req AnalyzeRequest) (int, *AnalyzeRe
 	return 0, nil, err
 }
 
+// isAPIStatus reports whether err is an *APIError with the given status.
+func isAPIStatus(err error, status int) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == status
+}
+
 // chaosScenario drives one failpoint site and asserts its documented
 // failure semantics.
 type chaosScenario struct {
@@ -410,6 +416,77 @@ func TestChaosAllSites(t *testing.T) {
 			}
 			if n := clusterVar(views[0].Vars(), "failover_errors"); n == 0 {
 				t.Error("failover_errors = 0, want the broken failover counted")
+			}
+		}},
+		"service.jobs.submit": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {
+			// error fails the submission outright; partial sheds it as 429
+			// capacity backpressure. Both leave the manager untouched.
+			before := s.metrics.get(mJobsSubmitted)
+			req := OptimizeRequest{K: 4, D: 2, Routing: "ODR", Strategy: "leesphere"}
+			if _, err := c.Optimize(context.Background(), req); !isAPIStatus(err, http.StatusInternalServerError) {
+				t.Errorf("jobs.submit error: err = %v, want 500", err)
+			}
+			if err := failpoint.Enable("service.jobs.submit", "1*partial"); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Optimize(context.Background(), req)
+			if !isAPIStatus(err, http.StatusTooManyRequests) {
+				t.Errorf("jobs.submit partial: err = %v, want 429", err)
+			}
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.RetryAfter <= 0 {
+				t.Error("429 shed without a Retry-After hint")
+			}
+			if n := s.metrics.get(mJobsSubmitted); n != before {
+				t.Errorf("jobs_submitted rose %d -> %d across two rejected submissions, want no change", before, n)
+			}
+		}},
+		"service.jobs.run": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {
+			// The submission already answered 202; the fault only shows to
+			// pollers, as the terminal failed state.
+			acc, err := c.Optimize(context.Background(), OptimizeRequest{K: 4, D: 2, Routing: "ODR", Strategy: "leesphere"})
+			if err != nil {
+				t.Fatalf("submit with run fault armed: %v", err)
+			}
+			wctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			snap, err := c.WaitJob(wctx, acc.ID, 5*time.Millisecond)
+			if err != nil {
+				t.Fatalf("waiting for faulted job: %v", err)
+			}
+			if snap.State != JobStateFailed || !strings.Contains(snap.Error, "injected") {
+				t.Errorf("faulted job state=%q error=%q, want failed with the injected fault", snap.State, snap.Error)
+			}
+			// The fault was 1-shot: a fresh job must succeed.
+			acc2, err := c.Optimize(context.Background(), OptimizeRequest{K: 4, D: 2, Routing: "ODR", Strategy: "leesphere"})
+			if err != nil {
+				t.Fatalf("resubmit: %v", err)
+			}
+			if snap, err := c.WaitJob(wctx, acc2.ID, 5*time.Millisecond); err != nil || snap.State != JobStateDone {
+				t.Errorf("job after disarm: snap=%+v err=%v, want done", snap, err)
+			}
+		}},
+		"service.jobs.gc": {spec: "error", drive: func(t *testing.T, _ *Server, _ *Client) {
+			// A broken sweep skips expiry but breaks nothing else: the
+			// finished record outlives its TTL and stays pollable. The main
+			// chaos server's janitor ticks too slowly to reach the site, so
+			// this scenario boots its own tiny-TTL server.
+			_, jc, jstop := newTestServer(t, Config{Workers: 2, DegradeWatermark: -1, JobTTL: 20 * time.Millisecond})
+			defer jstop()
+			acc, err := jc.Optimize(context.Background(), OptimizeRequest{K: 4, D: 2, Routing: "ODR", Strategy: "leesphere"})
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			wctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := jc.WaitJob(wctx, acc.ID, 5*time.Millisecond); err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			// Several TTLs and janitor rounds pass; with every sweep faulted
+			// the record must survive.
+			time.Sleep(120 * time.Millisecond)
+			if _, err := jc.Job(context.Background(), acc.ID); err != nil {
+				t.Errorf("finished job expired despite a faulted janitor: %v", err)
 			}
 		}},
 		"sweep.experiment": {spec: "1*error", drive: func(t *testing.T, s *Server, c *Client) {

@@ -155,9 +155,10 @@ func parseRetryAfter(v string) time.Duration {
 }
 
 // interpret converts one completed exchange into the caller's result:
-// decode on 200, *APIError otherwise.
+// decode on any 2xx (200 responses and the 202 job-accepted bodies),
+// *APIError otherwise.
 func interpret(status int, data []byte, retryAfter time.Duration, out any) error {
-	if status != http.StatusOK {
+	if status < 200 || status > 299 {
 		var apiErr ErrorResponse
 		msg := strings.TrimSpace(string(data))
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
@@ -221,6 +222,72 @@ func (c *Client) Bisect(ctx context.Context, req BisectRequest) (*BisectResponse
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Optimize submits an async placement search via POST /v1/optimize. The
+// 202 body carries the job id to poll; see Job and WaitJob.
+func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*JobAccepted, error) {
+	var out JobAccepted
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job snapshot via GET /v1/jobs/{id}; unknown ids surface
+// as *APIError with status 404.
+func (c *Client) Job(ctx context.Context, id string) (*JobSnapshot, error) {
+	var out JobSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every tracked job via GET /v1/jobs.
+func (c *Client) Jobs(ctx context.Context) ([]JobSnapshot, error) {
+	var out []JobSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob cancels a running job (or drops a finished record) via
+// DELETE /v1/jobs/{id}. Cancellation is asynchronous: the returned
+// snapshot may still read running until the search unwinds; poll for the
+// cancelled state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobSnapshot, error) {
+	var out JobSnapshot
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls GET /v1/jobs/{id} every poll interval (≤0 means 50ms)
+// until the job leaves the running state, returning its terminal
+// snapshot. ctx bounds the wait.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobSnapshot, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		snap, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if snap.State != JobStateRunning {
+			return snap, nil
+		}
+		timer := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return snap, ctx.Err()
+		case <-timer.C:
+		}
+	}
 }
 
 // Experiments runs GET /v1/experiments.

@@ -30,4 +30,16 @@ var (
 	// sleep, which just delays the check). Deterministic lever for chaos
 	// tests and the smoke script.
 	fpAdmission = failpoint.New("service.admission")
+	// fpJobSubmit fires in job admission, before the capacity check.
+	// error → the submission fails (HTTP 500); partial → the submission is
+	// shed as if the manager were at capacity (HTTP 429).
+	fpJobSubmit = failpoint.New("service.jobs.submit")
+	// fpJobRun fires in the job runner before the search starts. error →
+	// the job reaches the failed state (the submission already answered
+	// 202; the fault is only visible to pollers).
+	fpJobRun = failpoint.New("service.jobs.run")
+	// fpJobGC fires in the job janitor's sweep. Any armed fault skips the
+	// round: finished records linger past their TTL but stay pollable —
+	// expiry loss is survivable by design.
+	fpJobGC = failpoint.New("service.jobs.gc")
 )

@@ -1,0 +1,554 @@
+package service
+
+// Async placement-search jobs: POST /v1/optimize answers 202 with a job id
+// immediately, the search runs on its own goroutine (bypassing the pooled
+// request pipeline — searches run for seconds to minutes, far past any
+// HTTP deadline), and clients poll GET /v1/jobs/{id} for progress
+// snapshots until the job reaches a terminal state. DELETE cancels a
+// running job (the search returns its best-so-far placement) or drops a
+// finished record. Finished records linger for Config.JobTTL so slow
+// pollers still find their result, then the janitor expires them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"torusnet/internal/cliutil"
+	"torusnet/internal/failpoint"
+	"torusnet/internal/obs"
+	"torusnet/internal/optimize"
+	"torusnet/internal/torus"
+)
+
+// Job states, as reported in JobSnapshot.State. running is the only
+// non-terminal state.
+const (
+	JobStateRunning   = "running"
+	JobStateDone      = "done"
+	JobStateFailed    = "failed"
+	JobStateCancelled = "cancelled"
+)
+
+// strategyAuto is the canonical "let the server pick" strategy: exhaustive
+// branch-and-bound when the torus is small enough to prove optimality
+// quickly, Lee-sphere-seeded annealing otherwise.
+const strategyAuto = "auto"
+
+// autoBranchBoundNodes is the torus size ceiling for the auto strategy to
+// pick branch-and-bound: past it a proof within the job timeout is not
+// plausible (T³₈'s 512 nodes already blow the default expansion budget),
+// so auto falls back to seeded annealing.
+const autoBranchBoundNodes = 256
+
+// errJobCapacity sheds job submissions past Config.MaxJobs with 429.
+var errJobCapacity = errors.New("service: job capacity reached; retry later")
+
+// OptimizeRequest asks for a placement search on T^d_k: find Size
+// processors minimizing E_max under Routing. Strategy is auto (default),
+// anneal, bnb, or leesphere; Steps, Seed, and MaxVisited tune the anneal
+// and branch-and-bound searchers (zero means their package defaults).
+type OptimizeRequest struct {
+	K          int    `json:"k"`
+	D          int    `json:"d"`
+	Size       int    `json:"size,omitempty"`
+	Routing    string `json:"routing"`
+	Strategy   string `json:"strategy,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	MaxVisited int64  `json:"max_visited,omitempty"`
+}
+
+// Canonicalize validates the request and rewrites Routing and Strategy to
+// canonical spellings; Size 0 defaults to k^{d-1}, the paper's |P|.
+// Idempotent, like every request Canonicalize.
+func (r *OptimizeRequest) Canonicalize(maxNodes int) error {
+	if err := checkTorus(r.K, r.D, maxNodes); err != nil {
+		return err
+	}
+	a, err := canonicalRouting(r.Routing)
+	if err != nil {
+		return err
+	}
+	nodes, err := torus.Volume(r.K, r.D)
+	if err != nil {
+		return err
+	}
+	if r.Size == 0 {
+		size := 1
+		for i := 0; i < r.D-1; i++ {
+			size *= r.K
+		}
+		r.Size = size
+	}
+	if r.Size < 2 || r.Size > nodes {
+		return fmt.Errorf("service: placement size %d out of range [2, %d]", r.Size, nodes)
+	}
+	switch s := strings.ToLower(strings.TrimSpace(r.Strategy)); s {
+	case "":
+		r.Strategy = strategyAuto
+	case strategyAuto, optimize.StrategyAnneal, optimize.StrategyBranchBound, optimize.StrategyLeeSphere:
+		r.Strategy = s
+	default:
+		return fmt.Errorf("service: unknown search strategy %q (want auto|%s|%s|%s)",
+			r.Strategy, optimize.StrategyAnneal, optimize.StrategyBranchBound, optimize.StrategyLeeSphere)
+	}
+	if r.Steps < 0 || r.MaxVisited < 0 {
+		return fmt.Errorf("service: steps and max_visited must be non-negative")
+	}
+	r.Routing = a
+	return nil
+}
+
+// OptimizeResponse is the wire form of an optimize.Result. Strategy is the
+// resolved searcher (never "auto"); Nodes is the best placement found.
+type OptimizeResponse struct {
+	K          int     `json:"k"`
+	D          int     `json:"d"`
+	Size       int     `json:"size"`
+	Routing    string  `json:"routing"`
+	Strategy   string  `json:"strategy"`
+	Nodes      []int   `json:"nodes"`
+	EMax       float64 `json:"e_max"`
+	StartEMax  float64 `json:"start_e_max"`
+	LowerBound float64 `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+	Proven     bool    `json:"proven"`
+	Accepted   int     `json:"accepted,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	Visited    int64   `json:"visited,omitempty"`
+	Pruned     int64   `json:"pruned,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// JobAccepted is the 202 body of POST /v1/optimize.
+type JobAccepted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Poll  string `json:"poll"`
+}
+
+// JobSnapshot is one observation of a job, served by GET /v1/jobs[/{id}].
+// Step/Steps track annealing progress, Visited branch-and-bound expansions;
+// BestEMax is the best energy seen so far. Result is set in terminal states
+// (including a best-so-far partial result for cancelled jobs); Error is set
+// for failed jobs.
+type JobSnapshot struct {
+	ID        string            `json:"id"`
+	State     string            `json:"state"`
+	Strategy  string            `json:"strategy"`
+	Step      int               `json:"step,omitempty"`
+	Steps     int               `json:"steps,omitempty"`
+	Visited   int64             `json:"visited,omitempty"`
+	BestEMax  float64           `json:"best_e_max,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Result    *OptimizeResponse `json:"result,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// job is the manager's record of one search. All mutable fields are
+// guarded by the manager's mutex; the runner goroutine updates progress
+// through it.
+type job struct {
+	id       string
+	state    string
+	strategy string
+	created  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	step, steps int
+	visited     int64
+	bestEMax    float64
+	result      *OptimizeResponse
+	errMsg      string
+}
+
+// jobManager owns the async search jobs: bounded admission, one runner
+// goroutine per job, TTL expiry of finished records, and joinable shutdown
+// (close cancels every runner and waits for the janitor and runners to
+// exit, so tests can assert zero goroutine leaks).
+type jobManager struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     int64
+	running int
+
+	maxJobs int
+	ttl     time.Duration
+	timeout time.Duration
+	workers int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	metrics    *metrics
+}
+
+// newJobManager starts the manager and, when ttl > 0, its janitor. Jobs
+// outlive the requests that submit them, so their lifecycle roots at
+// context.Background() here rather than in any request context; close
+// cancels it.
+func newJobManager(cfg Config, m *metrics) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &jobManager{
+		jobs:       make(map[string]*job),
+		maxJobs:    cfg.MaxJobs,
+		ttl:        cfg.JobTTL,
+		timeout:    cfg.JobTimeout,
+		workers:    cfg.AnalysisWorkers,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		metrics:    m,
+	}
+	if jm.ttl > 0 {
+		interval := jm.ttl / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		jm.wg.Add(1)
+		//lint:ignore syncmisuse janitor is joined in (*jobManager).close via wg.Wait
+		go jm.janitor(interval)
+	}
+	return jm
+}
+
+// close cancels every running job and the janitor, then joins them.
+func (jm *jobManager) close() {
+	jm.baseCancel()
+	jm.wg.Wait()
+}
+
+// runningCount and tracked back the jobs_running / jobs_tracked gauges.
+func (jm *jobManager) runningCount() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.running
+}
+
+func (jm *jobManager) tracked() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return len(jm.jobs)
+}
+
+// submit admits one search job: capacity check, record creation, runner
+// launch. The fpJobSubmit site models admission faults — partial sheds as
+// capacity (429), error fails the submission (500).
+func (jm *jobManager) submit(req OptimizeRequest) (string, error) {
+	if err := fpJobSubmit.Inject(); err != nil {
+		if failpoint.IsPartial(err) {
+			return "", errJobCapacity
+		}
+		return "", err
+	}
+	jm.mu.Lock()
+	if jm.baseCtx.Err() != nil {
+		jm.mu.Unlock()
+		return "", errPoolClosed
+	}
+	if jm.running >= jm.maxJobs {
+		jm.mu.Unlock()
+		jm.metrics.add(mJobsRejected, 1)
+		return "", errJobCapacity
+	}
+	jm.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%d", jm.seq),
+		state:    JobStateRunning,
+		strategy: req.Strategy,
+		created:  time.Now(),
+		bestEMax: -1,
+	}
+	ctx, cancel := context.WithTimeout(jm.baseCtx, jm.timeout)
+	j.cancel = cancel
+	jm.jobs[j.id] = j
+	jm.running++
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+	jm.metrics.add(mJobsSubmitted, 1)
+	//lint:ignore syncmisuse job runners are joined in (*jobManager).close via wg.Wait
+	go jm.run(ctx, j, req)
+	return j.id, nil
+}
+
+// run executes one search job and records its terminal state. Panics in
+// the searcher fail the job instead of the process, mirroring the worker
+// pool's shield.
+func (jm *jobManager) run(ctx context.Context, j *job, req OptimizeRequest) {
+	defer jm.wg.Done()
+	defer j.cancel()
+	rctx, sp := obs.Start(ctx, "jobs.run")
+	defer sp.End()
+	sp.SetAttr("job", j.id)
+	sp.SetAttr("strategy", req.Strategy)
+
+	resp, err := func() (resp *OptimizeResponse, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: search panicked: %v", r)
+			}
+		}()
+		if ferr := fpJobRun.Inject(); ferr != nil && !failpoint.IsPartial(ferr) {
+			return nil, ferr
+		}
+		return jm.search(rctx, j, req)
+	}()
+
+	elapsed := time.Since(j.created)
+	jm.metrics.jobSeconds.ObserveDuration(elapsed)
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.running--
+	j.finished = time.Now()
+	if resp != nil {
+		resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+		j.result = resp
+		j.bestEMax = resp.EMax
+		j.strategy = resp.Strategy
+	}
+	switch {
+	case err == nil:
+		j.state = JobStateDone
+		jm.metrics.add(mJobsDone, 1)
+	case errors.Is(err, context.Canceled):
+		// Cancelled searches still carry their best-so-far placement.
+		j.state = JobStateCancelled
+		jm.metrics.add(mJobsCancelled, 1)
+	default:
+		j.state = JobStateFailed
+		j.errMsg = err.Error()
+		jm.metrics.add(mJobsFailed, 1)
+	}
+	sp.SetAttr("outcome", j.state)
+}
+
+// search resolves the strategy and runs the searcher, streaming progress
+// into the job record.
+func (jm *jobManager) search(ctx context.Context, j *job, req OptimizeRequest) (*OptimizeResponse, error) {
+	t := torus.New(req.K, req.D)
+	alg, err := cliutil.ParseRouting(req.Routing)
+	if err != nil {
+		return nil, err
+	}
+	strategy := req.Strategy
+	if strategy == strategyAuto {
+		if t.Nodes() <= autoBranchBoundNodes {
+			strategy = optimize.StrategyBranchBound
+		} else {
+			strategy = optimize.StrategyAnneal
+		}
+	}
+	jm.mu.Lock()
+	j.strategy = strategy
+	jm.mu.Unlock()
+	cfg := optimize.Config{
+		Size:       req.Size,
+		Steps:      req.Steps,
+		Seed:       req.Seed,
+		Workers:    jm.workers,
+		MaxVisited: req.MaxVisited,
+		Progress: func(p optimize.Progress) {
+			jm.mu.Lock()
+			j.step, j.steps = p.Step, p.Steps
+			j.visited = p.Visited
+			j.bestEMax = p.BestEMax
+			jm.mu.Unlock()
+		},
+	}
+	var res *optimize.Result
+	switch strategy {
+	case optimize.StrategyLeeSphere:
+		res, err = optimize.LeeSeed(t, req.Size, alg, jm.workers)
+	case optimize.StrategyBranchBound:
+		res, err = optimize.BranchAndBound(ctx, t, alg, cfg)
+	default:
+		// Annealing warm-starts from the Lee-sphere seed: deterministic,
+		// and never worse than the seed itself.
+		seed, serr := optimize.LeeSeed(t, req.Size, alg, jm.workers)
+		if serr != nil {
+			return nil, serr
+		}
+		cfg.Start = seed.Best.Nodes()
+		res, err = optimize.AnnealCtx(ctx, t, alg, cfg)
+	}
+	if res == nil {
+		return nil, err
+	}
+	nodes := make([]int, 0, res.Best.Size())
+	for _, u := range res.Best.Nodes() {
+		nodes = append(nodes, int(u))
+	}
+	return &OptimizeResponse{
+		K:          req.K,
+		D:          req.D,
+		Size:       req.Size,
+		Routing:    req.Routing,
+		Strategy:   res.Strategy,
+		Nodes:      nodes,
+		EMax:       res.BestEMax,
+		StartEMax:  res.StartEMax,
+		LowerBound: jsonSafe(res.LowerBound),
+		Gap:        jsonSafe(res.Gap),
+		Proven:     res.Proven,
+		Accepted:   res.Accepted,
+		Steps:      res.Steps,
+		Visited:    res.Visited,
+		Pruned:     res.Pruned,
+	}, err
+}
+
+// snapshotLocked renders j under the manager lock.
+func (jm *jobManager) snapshotLocked(j *job) JobSnapshot {
+	elapsed := time.Since(j.created)
+	if !j.finished.IsZero() {
+		elapsed = j.finished.Sub(j.created)
+	}
+	s := JobSnapshot{
+		ID:        j.id,
+		State:     j.state,
+		Strategy:  j.strategy,
+		Step:      j.step,
+		Steps:     j.steps,
+		Visited:   j.visited,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Result:    j.result,
+		Error:     j.errMsg,
+	}
+	if j.bestEMax >= 0 {
+		s.BestEMax = j.bestEMax
+	}
+	return s
+}
+
+// snapshot returns one job's snapshot.
+func (jm *jobManager) snapshot(id string) (JobSnapshot, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	return jm.snapshotLocked(j), true
+}
+
+// snapshots lists every tracked job, oldest first.
+func (jm *jobManager) snapshots() []JobSnapshot {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		out = append(out, jm.snapshotLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// cancelOrDelete cancels a running job (the runner records the terminal
+// state when the search unwinds) or drops a finished record.
+func (jm *jobManager) cancelOrDelete(id string) (JobSnapshot, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	if j.state == JobStateRunning {
+		j.cancel()
+	} else {
+		delete(jm.jobs, id)
+	}
+	return jm.snapshotLocked(j), true
+}
+
+// janitor expires finished job records past their TTL. The fpJobGC site
+// models a broken sweep: any armed fault skips this round — records
+// linger, nothing breaks — making expiry loss a survivable fault.
+func (jm *jobManager) janitor(interval time.Duration) {
+	defer jm.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jm.baseCtx.Done():
+			return
+		case <-ticker.C:
+			if err := fpJobGC.Inject(); err != nil {
+				continue
+			}
+			now := time.Now()
+			jm.mu.Lock()
+			for id, j := range jm.jobs {
+				if j.state != JobStateRunning && now.Sub(j.finished) > jm.ttl {
+					delete(jm.jobs, id)
+					jm.metrics.add(mJobsExpired, 1)
+				}
+			}
+			jm.mu.Unlock()
+		}
+	}
+}
+
+// handleOptimize is POST /v1/optimize: validate, admit, answer 202 with
+// the poll URL. Capacity rejections answer 429 with Retry-After, the same
+// backpressure contract as the pooled pipeline.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if err := req.Canonicalize(s.cfg.MaxNodes); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.jobs.submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, errJobCapacity):
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errPoolClosed):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, JobAccepted{ID: id, State: JobStateRunning, Poll: "/v1/jobs/" + id})
+}
+
+// handleJobList is GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.jobs.snapshots())
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.jobs.snapshot(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancel a running job or drop a
+// finished record.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.jobs.cancelOrDelete(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}

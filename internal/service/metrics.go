@@ -39,6 +39,10 @@ type metrics struct {
 	// intra-cluster HTTP round trip, so buckets span the same range as
 	// reqSeconds minus the timeout tail.
 	peerFill *obs.Histogram
+	// jobSeconds observes end-to-end async search job durations, submit to
+	// terminal state. Lee-sphere seeds finish in milliseconds; exhaustive
+	// branch-and-bound runs for seconds, so the buckets stretch to minutes.
+	jobSeconds *obs.Histogram
 }
 
 // Counter names. Pre-seeded to zero so /debug/vars always shows the full
@@ -63,6 +67,12 @@ const (
 	mAnalyticHits   = "analytic_hits"
 	mHotHits        = "hot_hits"
 	mReplicaStores  = "replica_stores"
+	mJobsSubmitted  = "jobs_submitted"
+	mJobsDone       = "jobs_done"
+	mJobsFailed     = "jobs_failed"
+	mJobsCancelled  = "jobs_cancelled"
+	mJobsRejected   = "jobs_rejected"
+	mJobsExpired    = "jobs_expired"
 )
 
 func newMetrics() *metrics {
@@ -74,6 +84,7 @@ func newMetrics() *metrics {
 		cacheAge:    obs.NewHistogram(1, 5, 15, 60, 120, 300, 600, 900),
 		degradedErr: obs.NewHistogram(0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 25),
 		peerFill:    obs.NewHistogram(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+		jobSeconds:  obs.NewHistogram(0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300),
 	}
 	for _, name := range []string{
 		mRequests, mErrors, mPanics, mQueueFull, mTimeouts,
@@ -81,6 +92,8 @@ func newMetrics() *metrics {
 		mWriteErrors, mLatencyMSTotal, mDegraded, mSlow,
 		mPeerFills, mPeerFillErrors, mPeerHops, mAnalyticHits,
 		mHotHits, mReplicaStores,
+		mJobsSubmitted, mJobsDone, mJobsFailed,
+		mJobsCancelled, mJobsRejected, mJobsExpired,
 	} {
 		m.vars.Set(name, new(expvar.Int))
 	}
@@ -144,6 +157,12 @@ var promSchema = []struct {
 	{mAnalyticHits, "torusd_analytic_hits_total", "analyze requests answered by the closed-form fast lane", false},
 	{mHotHits, "torusd_hot_hits_total", "requests served from the pinned hot-key store", false},
 	{mReplicaStores, "torusd_replica_stores_total", "write-through replica puts accepted from peers", false},
+	{mJobsSubmitted, "torusd_jobs_submitted_total", "async search jobs accepted by /v1/optimize", false},
+	{mJobsDone, "torusd_jobs_done_total", "async search jobs that completed successfully", false},
+	{mJobsFailed, "torusd_jobs_failed_total", "async search jobs that failed or timed out", false},
+	{mJobsCancelled, "torusd_jobs_cancelled_total", "async search jobs cancelled by DELETE /v1/jobs/{id}", false},
+	{mJobsRejected, "torusd_jobs_rejected_total", "job submissions shed with 429 at the MaxJobs capacity", false},
+	{mJobsExpired, "torusd_jobs_expired_total", "finished job records expired by the TTL janitor", false},
 	{mInFlight, "torusd_in_flight", "requests currently being served", true},
 }
 
@@ -174,6 +193,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"workers replaced by the wedge watchdog", float64(s.pool.replacements.Load()))
 	obs.PromGauge(&buf, "torusd_degraded_inline_running",
 		"degraded Monte Carlo answers computing inline right now", float64(s.inlineRunning.Load()))
+	obs.PromGauge(&buf, "torusd_jobs_running", "async search jobs currently executing", float64(s.jobs.runningCount()))
+	obs.PromGauge(&buf, "torusd_jobs_tracked", "job records currently tracked (running + finished, pre-TTL)", float64(s.jobs.tracked()))
 	obs.PromHistogram(&buf, "torusd_request_duration_seconds",
 		"end-to-end HTTP request latency", s.metrics.reqSeconds)
 	obs.PromHistogram(&buf, "torusd_pool_queue_wait_seconds",
@@ -182,6 +203,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"age of served result-cache hits", s.metrics.cacheAge)
 	obs.PromHistogram(&buf, "torusd_degraded_error_bound",
 		"3-sigma error bound reported on degraded Monte Carlo answers", s.metrics.degradedErr)
+	obs.PromHistogram(&buf, "torusd_job_duration_seconds",
+		"async search job duration, submit to terminal state", s.metrics.jobSeconds)
 	if cl := s.cfg.Cluster; cl != nil {
 		obs.PromGauge(&buf, "torusd_cluster_peers", "cluster membership size including self",
 			float64(len(cl.Status().Peers)))

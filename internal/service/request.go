@@ -1,7 +1,8 @@
 // Package service implements torusd, the long-running HTTP analysis
 // service over the reproduction's capabilities: exact E_max loads
 // (core.Analyze), the paper's lower bounds, the Theorem 1 / appendix
-// bisection constructions, and the E1–E31 experiment registry.
+// bisection constructions, the E1–E33 experiment registry, and the async
+// placement-search job API (jobs.go).
 //
 // The serving pipeline is, per request:
 //

@@ -214,7 +214,7 @@ func (r *resilience) do(ctx context.Context, c *Client, method, path string, pay
 		if opened := br.record(success, r.clk.Now(), r.cfg); opened {
 			r.count(rvBreakerOpens)
 		}
-		if err == nil && status == http.StatusOK {
+		if err == nil && status >= 200 && status <= 299 {
 			return interpret(status, data, retryAfter, out)
 		}
 		var callErr error
@@ -279,7 +279,7 @@ func (r *resilience) attempt(ctx context.Context, c *Client, method, path string
 		select {
 		case res := <-results:
 			pending--
-			if res.err == nil && res.status == http.StatusOK {
+			if res.err == nil && res.status >= 200 && res.status <= 299 {
 				if res.hedge {
 					r.count(rvHedgeWins)
 				}

@@ -93,6 +93,15 @@ type Config struct {
 	// log lines and counts them in torusd_slow_requests_total. 0 disables
 	// slow-request detection.
 	SlowThreshold time.Duration
+	// MaxJobs bounds concurrently running async search jobs (/v1/optimize);
+	// submissions past it are shed with 429. 0 means 4.
+	MaxJobs int
+	// JobTTL is how long finished job records stay pollable before the
+	// janitor expires them. 0 means 15 minutes; negative disables expiry.
+	JobTTL time.Duration
+	// JobTimeout is the per-job search deadline; a job past it fails with a
+	// timeout error. 0 means 5 minutes.
+	JobTimeout time.Duration
 	// Cluster, when non-nil, enables the sharded peer-fill stage: on a
 	// local cache miss for a key homed on another peer, the flight leader
 	// fetches the answer from that peer before falling back to local
@@ -149,6 +158,15 @@ func (c Config) withDefaults() Config {
 	if c.WedgeTimeout == 0 {
 		c.WedgeTimeout = 2 * c.RequestTimeout
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
 	return c
 }
 
@@ -161,6 +179,7 @@ type Server struct {
 	cache   *lruCache
 	flight  *flightGroup
 	pool    *workerPool
+	jobs    *jobManager
 	metrics *metrics
 	logger  *slog.Logger
 	httpSrv *http.Server
@@ -192,6 +211,7 @@ func New(cfg Config) *Server {
 		cache:   newLRUCache(cfg.CacheSize, ttl),
 		flight:  newFlightGroup(),
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.WedgeTimeout, m.queueWait.ObserveDuration),
+		jobs:    newJobManager(cfg, m),
 		metrics: m,
 		started: time.Now(),
 	}
@@ -201,6 +221,8 @@ func New(cfg Config) *Server {
 	s.metrics.vars.Set("pool_running", expvar.Func(func() any { return s.pool.running.Load() }))
 	s.metrics.vars.Set("pool_queued", expvar.Func(func() any { return s.pool.queued.Load() }))
 	s.metrics.vars.Set("degraded_inline_running", expvar.Func(func() any { return s.inlineRunning.Load() }))
+	s.metrics.vars.Set("jobs_running", expvar.Func(func() any { return s.jobs.runningCount() }))
+	s.metrics.vars.Set("jobs_tracked", expvar.Func(func() any { return s.jobs.tracked() }))
 	if cfg.Cluster != nil {
 		s.metrics.vars.Set("cluster", cfg.Cluster.Vars())
 	}
@@ -214,6 +236,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	s.mux.HandleFunc("POST /v1/bisect", s.handleBisect)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -338,17 +364,19 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown gracefully drains in-flight requests (bounded by ctx), then
-// stops the worker pool.
+// stops the worker pool and cancels every async search job.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.pool.close()
+	s.jobs.close()
 	return err
 }
 
-// Close releases the worker pool without HTTP draining — for tests and
-// embedders that never called Serve.
+// Close releases the worker pool and the job manager without HTTP
+// draining — for tests and embedders that never called Serve.
 func (s *Server) Close() {
 	s.pool.close()
+	s.jobs.close()
 }
 
 // statusRecorder captures the status code and body size for metrics and

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 32 {
-		t.Fatalf("registry has %d experiments, want 32", len(all))
+	if len(all) != 33 {
+		t.Fatalf("registry has %d experiments, want 33", len(all))
 	}
 	// Sorted by numeric ID and all present.
 	for i, e := range all {

@@ -17,7 +17,11 @@
 # chaos surface end to end: arms a failpoint through /debug/failpoints on the
 # sidecar and asserts the injected 500, and forces the admission
 # controller into degraded mode and asserts a Monte Carlo answer tagged
-# "degraded": true. Run from the repository root; CI runs it via
+# "degraded": true. Finally the async search job API: POST /v1/optimize
+# must answer 202 with a job id, the poll URL must walk the job to a done
+# state whose result beats or matches its own starting placement (and, on
+# T²₆, is the proven optimum), and the torusd_jobs_* metric families must
+# tally the run. Run from the repository root; CI runs it via
 # `make smoke-torusd`.
 set -euo pipefail
 
@@ -217,6 +221,67 @@ curl -sS -H 'Content-Type: application/json' -d "$deg_body" "${BASE}/v1/analyze"
 }
 curl -fsS "${BASE}/debug/vars" | jq -e '.torusd.degraded >= 1' >/dev/null || {
     echo "smoke: FAIL — degraded counter missing from /debug/vars" >&2
+    exit 1
+}
+
+echo "smoke: submitting an async search job via POST /v1/optimize"
+job_body='{"k":6,"d":2,"routing":"odr"}'
+status=$(curl -sS -o /tmp/torusd_smoke_job.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$job_body" "${BASE}/v1/optimize")
+if [ "$status" != "202" ]; then
+    echo "smoke: FAIL — /v1/optimize returned ${status}, want 202:" >&2
+    cat /tmp/torusd_smoke_job.json >&2
+    exit 1
+fi
+job_id=$(jq -r '.id' /tmp/torusd_smoke_job.json)
+poll=$(jq -r '.poll' /tmp/torusd_smoke_job.json)
+if [ -z "$job_id" ] || [ "$poll" != "/v1/jobs/${job_id}" ]; then
+    echo "smoke: FAIL — malformed 202 body:" >&2
+    cat /tmp/torusd_smoke_job.json >&2
+    exit 1
+fi
+
+echo "smoke: polling ${poll} to completion"
+state=""
+for _ in $(seq 1 120); do
+    curl -fsS "${BASE}${poll}" > /tmp/torusd_smoke_jobpoll.json
+    state=$(jq -r '.state' /tmp/torusd_smoke_jobpoll.json)
+    [ "$state" != "running" ] && break
+    sleep 0.5
+done
+if [ "$state" != "done" ]; then
+    echo "smoke: FAIL — job ended in state '${state}', want done:" >&2
+    cat /tmp/torusd_smoke_jobpoll.json >&2
+    exit 1
+fi
+# The search must never come back worse than its own starting placement,
+# and on T²₆ (auto → branch-and-bound, 36 nodes) it proves the optimum:
+# E_max = 2, strictly better than the linear construction's 3.
+jq -e '.result.e_max <= .result.start_e_max
+    and .result.e_max == 2 and .result.proven == true
+    and (.result.nodes | length) == 6 and .result.strategy == "bnb"' \
+    /tmp/torusd_smoke_jobpoll.json >/dev/null || {
+    echo "smoke: FAIL — job result malformed (want proven e_max 2 on T²₆):" >&2
+    cat /tmp/torusd_smoke_jobpoll.json >&2
+    exit 1
+}
+
+echo "smoke: checking torusd_jobs_* metric families"
+curl -fsS "${BASE}/metrics" > /tmp/torusd_smoke_metrics.txt
+for fam in torusd_jobs_submitted_total torusd_jobs_done_total \
+    torusd_jobs_running torusd_jobs_tracked torusd_job_duration_seconds_bucket; do
+    grep -q "^${fam}" /tmp/torusd_smoke_metrics.txt || {
+        echo "smoke: FAIL — /metrics is missing the ${fam} family" >&2
+        exit 1
+    }
+done
+# One job submitted and done; none running now, but its record is tracked.
+grep -q '^torusd_jobs_submitted_total 1$' /tmp/torusd_smoke_metrics.txt \
+    && grep -q '^torusd_jobs_done_total 1$' /tmp/torusd_smoke_metrics.txt \
+    && grep -q '^torusd_jobs_running 0$' /tmp/torusd_smoke_metrics.txt \
+    && grep -q '^torusd_jobs_tracked 1$' /tmp/torusd_smoke_metrics.txt || {
+    echo "smoke: FAIL — job metrics do not tally the completed run:" >&2
+    grep '^torusd_jobs' /tmp/torusd_smoke_metrics.txt >&2
     exit 1
 }
 

@@ -405,18 +405,64 @@ func EstimateBSP(p *Placement, a RoutingAlgorithm, hmax int, seed int64) (BSPPar
 	return bsp.Estimate(p, a, hmax, seed)
 }
 
-// Placement search.
+// Placement search: three strategies behind one Result shape — simulated
+// annealing (any torus), exhaustive branch-and-bound (small tori, proves
+// optimality), and constructive Lee-sphere seeding. Every result is stamped
+// with the best §4 lower bound and its gap to it; see OPTIMIZE.md.
 type (
-	// AnnealConfig parameterizes the simulated-annealing placement search.
+	// AnnealConfig parameterizes the placement searches (size, budget, seed).
 	AnnealConfig = optimize.Config
-	// AnnealResult reports the search outcome.
+	// AnnealResult reports a search outcome with lower-bound provenance.
 	AnnealResult = optimize.Result
+	// SearchProgress is the periodic callback payload of a running search.
+	SearchProgress = optimize.Progress
+)
+
+// Search strategy names, as carried in AnnealResult.Strategy and accepted
+// by the /v1/optimize job API.
+const (
+	StrategyAnneal      = optimize.StrategyAnneal
+	StrategyBranchBound = optimize.StrategyBranchBound
+	StrategyLeeSphere   = optimize.StrategyLeeSphere
+)
+
+// Branch-and-bound guardrails: the node-count ceiling for exhaustive
+// search, and the default visited-placements budget.
+const (
+	BranchBoundNodeLimit  = optimize.BranchBoundNodeLimit
+	BranchBoundMaxVisited = optimize.DefaultMaxVisited
 )
 
 // AnnealPlacement searches for a low-E_max placement of fixed size.
 func AnnealPlacement(t *Torus, a RoutingAlgorithm, cfg AnnealConfig) *AnnealResult {
 	return optimize.Anneal(t, a, cfg)
 }
+
+// AnnealPlacementCtx is AnnealPlacement with cancellation: on ctx
+// cancellation it returns the best placement found so far alongside the
+// context error.
+func AnnealPlacementCtx(ctx context.Context, t *Torus, a RoutingAlgorithm, cfg AnnealConfig) (*AnnealResult, error) {
+	return optimize.AnnealCtx(ctx, t, a, cfg)
+}
+
+// BranchBoundPlacement exhaustively searches all size-|P| placements on a
+// small torus (≤ BranchBoundNodeLimit nodes), pruning by monotone partial
+// loads; Result.Proven reports whether the optimum is certified.
+func BranchBoundPlacement(ctx context.Context, t *Torus, a RoutingAlgorithm, cfg AnnealConfig) (*AnnealResult, error) {
+	return optimize.BranchAndBound(ctx, t, a, cfg)
+}
+
+// LeeSeedPlacement builds a constructive Lee-sphere-tiling placement by
+// greedy farthest-point sampling — a deterministic seed for the other
+// strategies, and a decent placement on its own.
+func LeeSeedPlacement(t *Torus, size int, a RoutingAlgorithm, workers int) (*AnnealResult, error) {
+	return optimize.LeeSeed(t, size, a, workers)
+}
+
+// LeeTilingRadius is the largest radius r such that size disjoint Lee
+// balls of radius r fit in the torus — the spacing target LeeSeedPlacement
+// aims for.
+func LeeTilingRadius(t *Torus, size int) int { return optimize.TilingRadius(t, size) }
 
 // Lee-distance analytics (closed forms used as analytic anchors).
 var (
@@ -491,6 +537,23 @@ type (
 	ReadyResponse = service.ReadyResponse
 	// ErrorResponse is the error envelope every non-2xx reply uses.
 	ErrorResponse = service.ErrorResponse
+	// OptimizeRequest is the POST /v1/optimize body (async search submit).
+	OptimizeRequest = service.OptimizeRequest
+	// OptimizeResponse is a finished search's result payload.
+	OptimizeResponse = service.OptimizeResponse
+	// JobAccepted is the 202 body of POST /v1/optimize (job id + poll URL).
+	JobAccepted = service.JobAccepted
+	// JobSnapshot is the GET /v1/jobs/{id} reply: state, progress, and —
+	// once terminal — the result or error.
+	JobSnapshot = service.JobSnapshot
+)
+
+// Async search job states, as reported in JobSnapshot.State.
+const (
+	JobStateRunning   = service.JobStateRunning
+	JobStateDone      = service.JobStateDone
+	JobStateFailed    = service.JobStateFailed
+	JobStateCancelled = service.JobStateCancelled
 )
 
 // ServiceMaxNodes is the default per-request torus size ceiling of torusd.
